@@ -1,0 +1,84 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the relevant simulation once (timed via ``benchmark.pedantic``), writes the
+regenerated series/table to ``benchmarks/results/<name>.txt``, and asserts
+the paper's qualitative claim for that artifact.
+
+Scale: traces are generated at ``REPRO_BENCH_SCALE`` (default 0.05 — 5% of
+the published request counts and cache footprints, preserving per-URL
+concentration).  Set ``REPRO_BENCH_SCALE=1.0`` to regenerate at full
+published scale (minutes per workload).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.experiments import run_infinite_cache
+from repro.workloads import generate_valid
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1996"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_report_header(config):
+    return (
+        f"repro benchmark harness: scale={BENCH_SCALE} seed={BENCH_SEED} "
+        f"(results in {RESULTS_DIR})"
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def traces():
+    """Valid traces for all five workloads, generated once per session."""
+    return {
+        key: generate_valid(key, seed=BENCH_SEED, scale=BENCH_SCALE)
+        for key in ("U", "C", "G", "BR", "BL")
+    }
+
+
+@pytest.fixture(scope="session")
+def infinite_results(traces):
+    """Experiment 1 (infinite cache) for all workloads, shared."""
+    return {
+        key: run_infinite_cache(trace, key)
+        for key, trace in traces.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def artifact_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def write_artifact(artifact_dir):
+    """Write one regenerated artifact (table/figure summary) to disk."""
+    def write(name: str, text: str) -> Path:
+        path = artifact_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        return path
+    return write
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a simulation exactly once under pytest-benchmark timing.
+
+    The full-trace simulations are too slow to repeat for statistical
+    timing; one round still records wall time in the benchmark table.
+    """
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return run

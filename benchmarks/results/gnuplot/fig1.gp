@@ -1,0 +1,8 @@
+set terminal png size 900,600
+set output "/root/repo/benchmarks/results/gnuplot/fig1.png"
+set title "Distribution of requests for particular servers"
+set xlabel "Server: ranked by number of requests"
+set ylabel "No. requests"
+set key outside
+set logscale xy
+plot "fig1.dat" index 0 with points title "requests"

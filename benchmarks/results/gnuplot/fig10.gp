@@ -1,0 +1,10 @@
+set terminal png size 900,600
+set output "/root/repo/benchmarks/results/gnuplot/fig10.png"
+set title "Primary sort key performance, 10% cache size, workload C"
+set xlabel "Day"
+set ylabel "Percent of infinite-cache HR"
+set key outside
+plot "fig10.dat" index 0 with lines title "SIZE", \
+     "fig10.dat" index 1 with lines title "ETIME", \
+     "fig10.dat" index 2 with lines title "ATIME", \
+     "fig10.dat" index 3 with lines title "NREF"

@@ -1,0 +1,10 @@
+set terminal png size 900,600
+set output "/root/repo/benchmarks/results/gnuplot/fig12.png"
+set title "Primary sort key performance, 10% cache size, workload BR"
+set xlabel "Day"
+set ylabel "Percent of infinite-cache HR"
+set key outside
+plot "fig12.dat" index 0 with lines title "SIZE", \
+     "fig12.dat" index 1 with lines title "ETIME", \
+     "fig12.dat" index 2 with lines title "ATIME", \
+     "fig12.dat" index 3 with lines title "NREF"

@@ -1,0 +1,7 @@
+set terminal png size 900,600
+set output "/root/repo/benchmarks/results/gnuplot/fig13.png"
+set title "Distribution of document sizes"
+set xlabel "URL size in bytes"
+set ylabel "No. of requests"
+set key outside
+plot "fig13.dat" index 0 with boxes title "requests"

@@ -1,0 +1,11 @@
+set terminal png size 900,600
+set output "/root/repo/benchmarks/results/gnuplot/fig15.png"
+set title "Secondary sort key performance vs RANDOM, 10% cache, workload G"
+set xlabel "Day"
+set ylabel "Percent of RANDOM-secondary WHR"
+set key outside
+plot "fig15.dat" index 0 with lines title "SIZE", \
+     "fig15.dat" index 1 with lines title "ETIME", \
+     "fig15.dat" index 2 with lines title "ATIME", \
+     "fig15.dat" index 3 with lines title "DAY(ATIME)", \
+     "fig15.dat" index 4 with lines title "NREF"

@@ -1,0 +1,8 @@
+set terminal png size 900,600
+set output "/root/repo/benchmarks/results/gnuplot/fig16.png"
+set title "Second-level cache performance, workload BR"
+set xlabel "Day"
+set ylabel "Percent"
+set key outside
+plot "fig16.dat" index 0 with lines title "WHR", \
+     "fig16.dat" index 1 with lines title "HR"

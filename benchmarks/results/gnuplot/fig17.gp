@@ -1,0 +1,8 @@
+set terminal png size 900,600
+set output "/root/repo/benchmarks/results/gnuplot/fig17.png"
+set title "Second-level cache performance, workload C"
+set xlabel "Day"
+set ylabel "Percent"
+set key outside
+plot "fig17.dat" index 0 with lines title "WHR", \
+     "fig17.dat" index 1 with lines title "HR"

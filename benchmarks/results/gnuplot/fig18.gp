@@ -1,0 +1,8 @@
+set terminal png size 900,600
+set output "/root/repo/benchmarks/results/gnuplot/fig18.png"
+set title "Second-level cache performance, workload G"
+set xlabel "Day"
+set ylabel "Percent"
+set key outside
+plot "fig18.dat" index 0 with lines title "WHR", \
+     "fig18.dat" index 1 with lines title "HR"

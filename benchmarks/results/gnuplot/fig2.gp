@@ -1,0 +1,8 @@
+set terminal png size 900,600
+set output "/root/repo/benchmarks/results/gnuplot/fig2.png"
+set title "Distribution of bytes transferred for each URL"
+set xlabel "URL: ranked by total bytes transferred"
+set ylabel "No. bytes"
+set key outside
+set logscale xy
+plot "fig2.dat" index 0 with points title "bytes"

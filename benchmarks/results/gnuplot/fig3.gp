@@ -1,0 +1,8 @@
+set terminal png size 900,600
+set output "/root/repo/benchmarks/results/gnuplot/fig3.png"
+set title "Maximum achievable hit rate for workload U"
+set xlabel "Day"
+set ylabel "Percent"
+set key outside
+plot "fig3.dat" index 0 with lines title "HR", \
+     "fig3.dat" index 1 with lines title "WHR"

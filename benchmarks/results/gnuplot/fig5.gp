@@ -1,0 +1,8 @@
+set terminal png size 900,600
+set output "/root/repo/benchmarks/results/gnuplot/fig5.png"
+set title "Maximum achievable hit rate for workload C"
+set xlabel "Day"
+set ylabel "Percent"
+set key outside
+plot "fig5.dat" index 0 with lines title "HR", \
+     "fig5.dat" index 1 with lines title "WHR"

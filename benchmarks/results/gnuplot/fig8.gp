@@ -1,0 +1,10 @@
+set terminal png size 900,600
+set output "/root/repo/benchmarks/results/gnuplot/fig8.png"
+set title "Primary sort key performance, 10% cache size, workload U"
+set xlabel "Day"
+set ylabel "Percent of infinite-cache HR"
+set key outside
+plot "fig8.dat" index 0 with lines title "SIZE", \
+     "fig8.dat" index 1 with lines title "ETIME", \
+     "fig8.dat" index 2 with lines title "ATIME", \
+     "fig8.dat" index 3 with lines title "NREF"

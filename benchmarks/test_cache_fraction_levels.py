@@ -1,0 +1,53 @@
+"""Table 5's second cache-size level: 50% of MaxNeeded.
+
+The paper runs Experiment 2 at both 10% and 50% of MaxNeeded.  At 50%
+every policy moves much closer to the infinite cache, shrinking the gap
+between SIZE and the rest — the policy choice matters most when the cache
+is starved.
+"""
+
+from repro.analysis.report import render_table
+from repro.core.experiments import primary_key_sweep
+
+KEYS = ("SIZE", "NREF", "ATIME", "ETIME")
+
+
+def test_cache_fraction_levels(once, traces, infinite_results, write_artifact):
+    def run_levels():
+        out = {}
+        for fraction in (0.10, 0.50):
+            out[fraction] = primary_key_sweep(
+                traces["U"], infinite_results["U"].max_used_bytes, fraction,
+            )
+        return out
+
+    levels = once(run_levels)
+    infinite_hr = infinite_results["U"].hit_rate
+
+    rows = []
+    for key in KEYS:
+        row = [key]
+        for fraction in (0.10, 0.50):
+            result = levels[fraction][key]
+            row.append(f"{result.hit_rate:.2f}")
+            row.append(f"{100 * result.hit_rate / infinite_hr:.1f}")
+        rows.append(row)
+    rows.append(["(infinite)", f"{infinite_hr:.2f}", "100.0",
+                 f"{infinite_hr:.2f}", "100.0"])
+    write_artifact("cache_fraction_levels", render_table(
+        ["key", "HR% @10%", "% of inf", "HR% @50%", "% of inf"],
+        rows,
+        title="Cache-size levels (workload U): 10% vs 50% of MaxNeeded",
+    ))
+
+    for key in KEYS:
+        small = levels[0.10][key].hit_rate
+        large = levels[0.50][key].hit_rate
+        # More cache never hurts, and 50% approaches the optimum.
+        assert large >= small, key
+        assert large > 0.9 * infinite_hr, key
+
+    # The SIZE-vs-LRU gap narrows as the cache grows.
+    gap_small = levels[0.10]["SIZE"].hit_rate - levels[0.10]["ATIME"].hit_rate
+    gap_large = levels[0.50]["SIZE"].hit_rate - levels[0.50]["ATIME"].hit_rate
+    assert gap_large < gap_small

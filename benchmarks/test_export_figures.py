@@ -1,0 +1,88 @@
+"""Export every reproduced figure as gnuplot data + scripts.
+
+Not a measurement — a packaging step: after this bench,
+``benchmarks/results/gnuplot/`` holds a ``.dat`` and ``.gp`` per figure,
+so anyone with gnuplot can redraw the paper's plots from the
+reproduction's data (``gnuplot fig8.gp`` etc.).
+"""
+
+from repro.analysis.figures import (
+    fig1_server_popularity,
+    fig2_url_bytes,
+    fig3_7_infinite_cache,
+    fig8_12_primary_keys,
+    fig13_size_histogram,
+    fig15_secondary_keys,
+    fig16_18_second_level,
+)
+from repro.analysis.gnuplot import export_figure
+from repro.core.experiments import (
+    primary_key_sweep,
+    run_two_level,
+    secondary_key_sweep,
+)
+
+
+def test_export_figures(once, traces, infinite_results, artifact_dir):
+    out_dir = artifact_dir / "gnuplot"
+
+    def export_all():
+        written = []
+        written.append(export_figure(
+            fig1_server_popularity(traces["BL"]), out_dir, logscale="xy",
+            with_style="points",
+        ))
+        written.append(export_figure(
+            fig2_url_bytes(traces["BL"]), out_dir, logscale="xy",
+            with_style="points",
+        ))
+        written.append(export_figure(
+            fig13_size_histogram(traces["BL"]), out_dir,
+            with_style="boxes",
+        ))
+        for workload in ("U", "G", "C", "BL", "BR"):
+            written.append(export_figure(
+                fig3_7_infinite_cache(
+                    infinite_results[workload], workload,
+                ),
+                out_dir,
+            ))
+            sweep = primary_key_sweep(
+                traces[workload],
+                infinite_results[workload].max_used_bytes, 0.10,
+            )
+            written.append(export_figure(
+                fig8_12_primary_keys(
+                    sweep, infinite_results[workload], workload,
+                ),
+                out_dir,
+            ))
+        secondary = secondary_key_sweep(
+            traces["G"], infinite_results["G"].max_used_bytes, 0.10,
+        )
+        written.append(export_figure(
+            fig15_secondary_keys(secondary, "G"), out_dir,
+        ))
+        for workload in ("BR", "C", "G"):
+            two = run_two_level(
+                traces[workload],
+                infinite_results[workload].max_used_bytes, 0.10,
+            )
+            written.append(export_figure(
+                fig16_18_second_level(two, workload), out_dir,
+            ))
+        return written
+
+    written = once(export_all)
+
+    assert len(written) >= 17
+    for dat, script in written:
+        assert dat.exists() and dat.stat().st_size > 0
+        assert script.exists()
+        text = script.read_text()
+        assert "plot " in text
+    # Figure ids cover the paper's range.
+    names = {dat.stem for dat, _ in written}
+    for expected in ("fig1", "fig2", "fig5", "fig8", "fig13",
+                     "fig15", "fig16"):
+        assert expected in names, expected

@@ -1,0 +1,62 @@
+"""Extension: consistency strategies (Section 5, open problems 2 & 4).
+
+Sweeps the TTL of a polling cache against always-validate and server-push
+invalidation on workload BL, producing the staleness-vs-traffic curve an
+operator tunes.  Push wins both axes — the paper's 'preemptively update
+inconsistent copies' proposal quantified.
+"""
+
+from repro.analysis.report import render_table
+from repro.core.consistency_sim import ConsistencyStrategy, simulate_consistency
+
+TTLS = (3600.0, 6 * 3600.0, 86400.0, 7 * 86400.0)
+
+
+def run_all(trace):
+    rows = []
+    always = simulate_consistency(trace, ConsistencyStrategy.ALWAYS_VALIDATE)
+    rows.append(("always-validate", always))
+    for ttl in TTLS:
+        report = simulate_consistency(trace, ConsistencyStrategy.TTL, ttl=ttl)
+        rows.append((f"TTL {ttl / 3600:.0f}h", report))
+    push = simulate_consistency(trace, ConsistencyStrategy.PUSH_INVALIDATE)
+    rows.append(("push-invalidate", push))
+    return rows
+
+
+def test_extension_consistency(once, traces, write_artifact):
+    rows = once(run_all, traces["BL"])
+
+    table = [
+        [
+            name,
+            f"{report.stale_rate:.2f}",
+            f"{report.hit_rate:.2f}",
+            report.validation_messages,
+            report.invalidations,
+            f"{report.control_messages_per_request:.3f}",
+        ]
+        for name, report in rows
+    ]
+    write_artifact("extension_consistency", render_table(
+        ["strategy", "stale serves %", "cache hit %",
+         "validations", "invalidations", "control msgs/request"],
+        table,
+        title="Consistency strategies on workload BL (infinite storage)",
+    ))
+
+    by_name = dict(rows)
+    always = by_name["always-validate"]
+    push = by_name["push-invalidate"]
+
+    # Push: zero staleness, (almost) zero control traffic.
+    assert push.stale_hits == 0
+    assert push.control_messages_per_request < 0.05
+    assert always.stale_hits == 0
+    assert always.control_messages_per_request > 0.2
+
+    # TTL trades staleness monotonically against validation traffic.
+    ttl_reports = [by_name[f"TTL {t / 3600:.0f}h"] for t in TTLS]
+    for shorter, longer in zip(ttl_reports, ttl_reports[1:]):
+        assert longer.stale_rate >= shorter.stale_rate - 1e-9
+        assert longer.validation_messages <= shorter.validation_messages

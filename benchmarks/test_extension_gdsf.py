@@ -1,0 +1,100 @@
+"""Extension: the policies this paper inspired — GreedyDual-Size / GDSF.
+
+The paper left WHR without a winner (Section 4.4: SIZE worst, nothing
+clearly best).  GreedyDual-Size (Cao & Irani 1997) and GDSF (Cherkasova
+1998) answered it by blending size, recency and frequency.  This bench
+pits them against the paper's keys on every workload: GDS/GDSF should
+match the size keys on HR while the byte-cost variant recovers WHR.
+"""
+
+from repro.analysis.report import render_table
+from repro.core import (
+    GreedyDualSize,
+    KeyPolicy,
+    RANDOM,
+    SIZE,
+    ATIME,
+    SimCache,
+    gds_byte_cost,
+    simulate,
+)
+
+WORKLOADS = ("U", "C", "G", "BR", "BL")
+
+
+def policies():
+    return [
+        ("SIZE", lambda: SimCacheFactory(KeyPolicy([SIZE, RANDOM]))),
+        ("LRU", lambda: SimCacheFactory(KeyPolicy([ATIME, RANDOM]))),
+        ("GDS", lambda: SimCacheFactory(GreedyDualSize())),
+        ("GDSF", lambda: SimCacheFactory(GreedyDualSize(with_frequency=True))),
+        ("GDSF(bytes)", lambda: SimCacheFactory(
+            GreedyDualSize(cost=gds_byte_cost, with_frequency=True),
+        )),
+    ]
+
+
+class SimCacheFactory:
+    """Builds a fresh cache per workload (stateful policies must not be
+    shared across caches)."""
+
+    def __init__(self, policy):
+        self.policy = policy
+
+    def build(self, capacity):
+        return SimCache(capacity=capacity, policy=self.policy)
+
+
+def run_all(traces, infinite_results):
+    results = {}
+    for workload in WORKLOADS:
+        trace = traces[workload]
+        capacity = max(
+            1, int(0.10 * infinite_results[workload].max_used_bytes),
+        )
+        per_policy = {}
+        for name, factory in policies():
+            per_policy[name] = simulate(
+                trace, factory().build(capacity), name=name,
+            )
+        results[workload] = per_policy
+    return results
+
+
+def test_extension_gdsf(once, traces, infinite_results, write_artifact):
+    results = once(run_all, traces, infinite_results)
+
+    rows = []
+    for workload in WORKLOADS:
+        per_policy = results[workload]
+        row = [workload]
+        for name, _ in policies():
+            result = per_policy[name]
+            row.append(f"{result.hit_rate:.1f}/{result.weighted_hit_rate:.1f}")
+        rows.append(row)
+    write_artifact("extension_gdsf", render_table(
+        ["workload"] + [name for name, _ in policies()],
+        rows,
+        title=(
+            "HR%/WHR% at 10% of MaxNeeded: the paper's keys vs the "
+            "GreedyDual family it inspired"
+        ),
+    ))
+
+    for workload in WORKLOADS:
+        per_policy = results[workload]
+        # GDS and GDSF stay competitive with SIZE on hit rate...
+        assert per_policy["GDS"].hit_rate > 0.8 * per_policy["SIZE"].hit_rate
+        assert per_policy["GDSF"].hit_rate > 0.8 * per_policy["SIZE"].hit_rate
+        # ...and everything beats LRU on at least one axis.
+        assert (
+            per_policy["GDSF"].hit_rate >= per_policy["LRU"].hit_rate - 2.0
+        ), workload
+
+    # The byte-cost variant recovers weighted hit rate on most workloads.
+    better_whr = sum(
+        results[w]["GDSF(bytes)"].weighted_hit_rate
+        > results[w]["SIZE"].weighted_hit_rate
+        for w in WORKLOADS
+    )
+    assert better_whr >= 3

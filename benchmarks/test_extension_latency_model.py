@@ -1,0 +1,63 @@
+"""Extension: end-user latency, the benefit the paper could not measure.
+
+"We can only say that if HR and WHR are high, and the proxy is not
+saturated, then the user will experience a reduction in latency" (§1).
+The DES queueing model makes that concrete: mean response time with no
+cache vs an infinite cache vs a 10%-of-MaxNeeded cache under SIZE and LRU.
+"""
+
+from repro.analysis.report import render_table
+from repro.core import ATIME, KeyPolicy, RANDOM, SIZE, SimCache
+from repro.des import LatencyParameters, estimate_latency
+
+
+def run_configs(trace, capacity):
+    params = LatencyParameters(time_compression=20.0)
+    configs = [
+        ("no cache", None),
+        ("infinite cache", SimCache(capacity=None)),
+        ("10% cache, SIZE", SimCache(capacity=capacity,
+                                     policy=KeyPolicy([SIZE, RANDOM]))),
+        ("10% cache, LRU", SimCache(capacity=capacity,
+                                    policy=KeyPolicy([ATIME, RANDOM]))),
+    ]
+    return {
+        name: estimate_latency(trace, cache, parameters=params)
+        for name, cache in configs
+    }
+
+
+def test_extension_latency_model(once, traces, infinite_results,
+                                 write_artifact):
+    trace = traces["C"]
+    capacity = max(1, int(0.10 * infinite_results["C"].max_used_bytes))
+    reports = once(run_configs, trace, capacity)
+
+    rows = [
+        [name,
+         f"{report.hit_rate:.1f}",
+         f"{1000 * report.mean_latency:.1f}",
+         f"{1000 * report.percentile(0.95):.1f}",
+         f"{100 * report.utilisation:.1f}"]
+        for name, report in reports.items()
+    ]
+    write_artifact("extension_latency_model", render_table(
+        ["configuration", "HR%", "mean latency (ms)",
+         "p95 latency (ms)", "proxy utilisation %"],
+        rows,
+        title="Latency model (workload C, DES queueing extension)",
+    ))
+
+    assert (
+        reports["infinite cache"].mean_latency
+        < reports["no cache"].mean_latency
+    )
+    assert (
+        reports["10% cache, SIZE"].mean_latency
+        < reports["no cache"].mean_latency
+    )
+    # More hits -> less time spent on the slow origin path.
+    assert (
+        reports["10% cache, SIZE"].hit_rate
+        > reports["10% cache, LRU"].hit_rate
+    )

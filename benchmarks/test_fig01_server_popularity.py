@@ -1,0 +1,29 @@
+"""Figure 1: distribution of requests per server (workload BL).
+
+Paper: ~2543 servers, most receiving <=10 requests, a Zipf-like straight
+line on log-log axes.
+"""
+
+from repro.analysis.figures import fig1_server_popularity
+from repro.analysis.report import render_series_summary
+from repro.trace.stats import server_rank_series, zipf_slope
+
+
+def test_fig01_server_popularity(once, traces, write_artifact):
+    trace = traces["BL"]
+    figure = once(fig1_server_popularity, trace)
+    series = figure.series["requests"]
+
+    top_share = series[0][1] / sum(y for _, y in series)
+    slope = zipf_slope(server_rank_series(trace))
+    lines = [
+        render_series_summary(figure),
+        f"servers referenced: {len(series)}",
+        f"busiest server share of requests: {100 * top_share:.1f}%",
+        f"log-log slope (Zipf ~ -1): {slope:.2f}",
+    ]
+    write_artifact("fig01_server_popularity", "\n".join(lines))
+
+    # Paper's shape: heavy concentration on few servers, Zipf-like decay.
+    assert -2.0 < slope < -0.4
+    assert series[0][1] > 20 * series[-1][1]

@@ -1,0 +1,59 @@
+"""Figures 3-7 and the MaxNeeded table: Experiment 1, infinite cache.
+
+Paper: HR 20% to >98% across workloads; BR over 98% for most of the trace;
+HR usually >= WHR in U, G, C; MaxNeeded = 1400/221/413/198/408 MB for
+U/C/G/BR/BL (we generate at a reduced scale, so measured MaxNeeded is
+compared against scale * published).
+"""
+
+import pytest
+
+from repro.analysis.figures import fig3_7_infinite_cache
+from repro.analysis.report import ascii_plot, render_series_summary
+from repro.analysis.tables import render_max_needed
+from repro.core.metrics import series_mean
+from repro.workloads import PROFILES
+
+PUBLISHED_MB = {"U": 1400, "C": 221, "G": 413, "BR": 198, "BL": 408}
+
+
+def test_fig03_07_infinite_cache(once, traces, infinite_results,
+                                 bench_scale, write_artifact):
+    def build_figures():
+        return {
+            key: fig3_7_infinite_cache(result, key)
+            for key, result in infinite_results.items()
+        }
+
+    figures = once(build_figures)
+
+    sections = []
+    for key in ("U", "G", "C", "BL", "BR"):
+        sections.append(render_series_summary(figures[key]))
+        sections.append(ascii_plot(figures[key]))
+    sections.append(render_max_needed(infinite_results, PUBLISHED_MB))
+    sections.append(
+        f"(measured at scale={bench_scale}; compare against "
+        f"scale * published MB)"
+    )
+    write_artifact("fig03_07_infinite_cache", "\n\n".join(sections))
+
+    # BR reaches the highest rates by far (paper: >98%).
+    br_hr = series_mean(figures["BR"].series["HR"])
+    assert br_hr > 90.0
+    for key in ("U", "G", "C", "BL"):
+        assert br_hr > series_mean(figures[key].series["HR"]), key
+
+    # HR >= WHR for the client-side workloads (paper: "usually").
+    above = sum(
+        series_mean(figures[key].series["HR"])
+        >= series_mean(figures[key].series["WHR"]) - 2.0
+        for key in ("U", "G", "C")
+    )
+    assert above >= 2
+
+    # MaxNeeded lands within a factor ~2 of scale * published.
+    for key, result in infinite_results.items():
+        measured_mb = result.max_used_bytes / 2**20
+        target_mb = PUBLISHED_MB[key] * bench_scale
+        assert 0.3 * target_mb < measured_mb < 3.0 * target_mb, key

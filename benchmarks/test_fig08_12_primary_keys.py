@@ -1,0 +1,45 @@
+"""Figures 8-12: Experiment 2, primary-key comparison at 10% of MaxNeeded.
+
+Paper: SIZE (and LOG2SIZE, not plotted) beats every other key on HR in all
+five workloads; NREF generally second; ATIME next; ETIME worst;
+DAY(ATIME) within ~5% of ETIME.
+"""
+
+from repro.analysis.figures import fig8_12_primary_keys
+from repro.analysis.report import ascii_plot, render_series_summary
+from repro.analysis.tables import render_policy_ranking
+from repro.core.experiments import primary_key_sweep
+
+WORKLOADS = ("U", "G", "C", "BL", "BR")
+
+
+def test_fig08_12_primary_keys(once, traces, infinite_results, write_artifact):
+    def run_all():
+        return {
+            key: primary_key_sweep(
+                traces[key], infinite_results[key].max_used_bytes, 0.10,
+            )
+            for key in WORKLOADS
+        }
+
+    sweeps = once(run_all)
+
+    sections = []
+    for key in WORKLOADS:
+        figure = fig8_12_primary_keys(sweeps[key], infinite_results[key], key)
+        sections.append(render_series_summary(figure))
+        sections.append(ascii_plot(figure))
+        sections.append(render_policy_ranking(
+            sweeps[key], infinite_results[key],
+            title=f"Workload {key}: primary keys at 10% of MaxNeeded",
+        ))
+    write_artifact("fig08_12_primary_keys", "\n\n".join(sections))
+
+    for key in WORKLOADS:
+        sweep = sweeps[key]
+        size_hr = max(sweep["SIZE"].hit_rate, sweep["LOG2SIZE"].hit_rate)
+        # The headline claim, per workload.
+        for other in ("ETIME", "ATIME", "DAY(ATIME)", "NREF"):
+            assert size_hr >= sweep[other].hit_rate, (key, other)
+        # ETIME at or near the bottom.
+        assert sweep["ETIME"].hit_rate <= sweep["ATIME"].hit_rate + 2.0, key

@@ -1,0 +1,29 @@
+"""Figure 13: distribution of document sizes (workload BL).
+
+Paper: the request mass concentrates at small sizes (most under a few kB),
+which is the mechanism behind SIZE's hit-rate win.
+"""
+
+from repro.analysis.figures import fig13_size_histogram
+from repro.analysis.report import ascii_plot, render_series_summary
+
+
+def test_fig13_size_histogram(once, traces, write_artifact):
+    trace = traces["BL"]
+    figure = once(fig13_size_histogram, trace, 512, 20000)
+    points = figure.series["requests"]
+
+    total = sum(y for _, y in points)
+    below_2k = sum(y for x, y in points if x < 2048)
+    below_8k = sum(y for x, y in points if x < 8192)
+    lines = [
+        render_series_summary(figure),
+        ascii_plot(figure),
+        f"requests below 2 kB: {100 * below_2k / total:.1f}%",
+        f"requests below 8 kB: {100 * below_8k / total:.1f}%",
+    ]
+    write_artifact("fig13_size_histogram", "\n".join(lines))
+
+    # The mass sits at small documents.
+    assert below_2k / total > 0.35
+    assert below_8k / total > 0.70

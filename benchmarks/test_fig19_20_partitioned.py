@@ -1,0 +1,60 @@
+"""Figures 19-20: Experiment 4, partitioned cache on workload BR.
+
+Paper: heavy audio use overwhelms even a 3/4 audio partition at 10% total
+cache size; growing the audio partition raises audio WHR and lowers
+non-audio WHR; audio WHR stays far below the infinite cache's.
+
+This experiment needs a larger trace scale than the shared fixtures:
+document sizes do not shrink with trace scale, and below ~25% scale the
+audio partition is smaller than a single ~2 MB song, degenerating every
+audio access to an uncacheable miss.  A dedicated BR trace at
+``max(bench_scale, 0.3)`` keeps partitions meaningful.
+"""
+
+from repro.analysis.figures import fig19_20_partitioned
+from repro.analysis.report import ascii_plot, render_series_summary
+from repro.core.experiments import run_infinite_cache, run_partitioned_sweep
+from repro.core.metrics import series_mean
+from repro.workloads import generate_valid
+
+from benchmarks.conftest import BENCH_SEED
+
+
+def test_fig19_20_partitioned(once, bench_scale, write_artifact):
+    scale = max(bench_scale, 0.3)
+
+    def run_all():
+        trace = generate_valid("BR", seed=BENCH_SEED, scale=scale)
+        infinite = run_infinite_cache(trace, "BR")
+        return infinite, run_partitioned_sweep(
+            trace, infinite.max_used_bytes, 0.10,
+        )
+
+    infinite_br, sweep = once(run_all)
+
+    audio_fig = fig19_20_partitioned(sweep, "audio", infinite_br)
+    other_fig = fig19_20_partitioned(sweep, "non-audio")
+    sections = [
+        render_series_summary(audio_fig),
+        ascii_plot(audio_fig),
+        render_series_summary(other_fig),
+        ascii_plot(other_fig),
+    ]
+    write_artifact("fig19_20_partitioned", "\n\n".join(sections))
+
+    audio_whr = {
+        fraction: sweep[fraction].class_metrics["audio"].weighted_hit_rate
+        for fraction in sweep
+    }
+    other_whr = {
+        fraction: sweep[fraction].class_metrics["non-audio"].weighted_hit_rate
+        for fraction in sweep
+    }
+
+    # Monotone directions (Figures 19-20).
+    assert audio_whr[0.25] <= audio_whr[0.50] <= audio_whr[0.75] + 1.0
+    assert other_whr[0.75] <= other_whr[0.50] <= other_whr[0.25] + 1.0
+
+    # Even 3/4 audio cannot approach the infinite cache's audio WHR.
+    infinite_whr = infinite_br.weighted_hit_rate
+    assert audio_whr[0.75] < 0.8 * infinite_whr

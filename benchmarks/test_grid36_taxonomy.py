@@ -1,0 +1,68 @@
+"""The full Section 1.2 grid: all 36 primary x secondary key combinations.
+
+The paper simulates every combination; its figures show primary-key
+dominance with RANDOM secondaries.  The full grid adds a nuance the paper
+does not dwell on: a *secondary* size key rescues a tie-heavy primary —
+NREF has a huge tie class at nref=1, so NREF+SIZE sorts that class by
+size and lands within a point of pure SIZE.  The dominance claim is
+therefore asserted over policies with no size key anywhere in the stack.
+"""
+
+from repro.analysis.report import render_table
+from repro.core.experiments import full_taxonomy_sweep
+
+
+def test_grid36_taxonomy(once, traces, infinite_results, write_artifact):
+    sweep = once(
+        full_taxonomy_sweep,
+        traces["BL"], infinite_results["BL"].max_used_bytes, 0.10,
+    )
+    assert len(sweep) == 36
+
+    primaries = ["SIZE", "LOG2SIZE", "ETIME", "ATIME", "DAY(ATIME)", "NREF"]
+    secondaries = primaries + ["RANDOM"]
+    rows = []
+    for primary in primaries:
+        row = [primary]
+        for secondary in secondaries:
+            result = sweep.get((primary, secondary))
+            row.append(f"{result.hit_rate:.1f}" if result else "-")
+        rows.append(row)
+    write_artifact("grid36_taxonomy", render_table(
+        ["primary \\ secondary"] + secondaries, rows,
+        title=(
+            "HR% for all 36 key combinations "
+            "(workload BL, cache = 10% of MaxNeeded)"
+        ),
+    ))
+
+    size_keys = ("SIZE", "LOG2SIZE")
+    size_primary = [
+        result for (primary, _), result in sweep.items()
+        if primary in size_keys
+    ]
+    no_size_anywhere = [
+        result for (primary, secondary), result in sweep.items()
+        if primary not in size_keys and secondary not in size_keys
+    ]
+    worst_size = min(result.hit_rate for result in size_primary)
+    best_sizeless = max(result.hit_rate for result in no_size_anywhere)
+    # Dominance: any policy led by a size key beats any policy with no
+    # size key in the stack.
+    assert worst_size > best_sizeless
+
+    # For low-tie primaries the secondary is near-irrelevant (Fig. 15's
+    # conclusion); SIZE/ETIME/ATIME rarely tie.
+    for primary in ("SIZE", "ETIME", "ATIME"):
+        rates = [
+            result.hit_rate
+            for (p, _), result in sweep.items() if p == primary
+        ]
+        assert max(rates) - min(rates) < 6.0, primary
+
+    # The tie-heavy primary: NREF + size secondary approaches pure SIZE,
+    # far ahead of NREF + RANDOM.
+    assert (
+        sweep[("NREF", "SIZE")].hit_rate
+        > sweep[("NREF", "RANDOM")].hit_rate + 5.0
+    )

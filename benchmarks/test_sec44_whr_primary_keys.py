@@ -1,0 +1,57 @@
+"""Section 4.4: primary-key comparison on *weighted* hit rate.
+
+Paper: "Instead of SIZE being the best performer, as it was with HR, it is
+clearly the worst... there is no clear performance advantage for any of
+the tested keys" (for WHR).
+"""
+
+from repro.analysis.report import render_table
+from repro.core.experiments import primary_key_sweep
+
+WORKLOADS = ("U", "G", "C", "BL", "BR")
+
+
+def test_sec44_whr_primary_keys(once, traces, infinite_results, write_artifact):
+    def run_all():
+        return {
+            key: primary_key_sweep(
+                traces[key], infinite_results[key].max_used_bytes, 0.10,
+            )
+            for key in WORKLOADS
+        }
+
+    sweeps = once(run_all)
+
+    keys = ("SIZE", "LOG2SIZE", "ETIME", "ATIME", "DAY(ATIME)", "NREF")
+    rows = []
+    for workload in WORKLOADS:
+        row = [workload]
+        row.extend(
+            f"{sweeps[workload][key].weighted_hit_rate:.1f}" for key in keys
+        )
+        rows.append(row)
+    write_artifact("sec44_whr_primary_keys", render_table(
+        ["workload"] + list(keys), rows,
+        title="WHR (%) per primary key, cache = 10% of MaxNeeded",
+    ))
+
+    # SIZE yields the lowest WHR on most workloads...
+    size_worst = 0
+    for workload in WORKLOADS:
+        sweep = sweeps[workload]
+        others = [
+            sweep[key].weighted_hit_rate
+            for key in ("ETIME", "ATIME", "NREF")
+        ]
+        size_worst += sweep["SIZE"].weighted_hit_rate <= min(others) + 1.0
+    assert size_worst >= 3
+
+    # ...and no single key wins WHR across all workloads.
+    winners = set()
+    for workload in WORKLOADS:
+        sweep = sweeps[workload]
+        winners.add(max(
+            ("ETIME", "ATIME", "NREF", "SIZE", "LOG2SIZE", "DAY(ATIME)"),
+            key=lambda name: sweep[name].weighted_hit_rate,
+        ))
+    assert len(winners) >= 2

@@ -1,0 +1,37 @@
+"""Table 4: file-type distribution by references and bytes, all workloads.
+
+Checks the signature cells: graphics/text dominate references everywhere;
+text leads references only in C; audio carries ~88% of BR's bytes; video
+is <1% of references but a large byte share in G and C.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table4
+from repro.trace import DocumentType, type_distribution
+
+
+def test_table4_type_distribution(once, traces, write_artifact):
+    text = once(render_table4, traces)
+    write_artifact("table4_type_distribution", text)
+
+    dist = {
+        key: {row.doc_type: row for row in type_distribution(trace)}
+        for key, trace in traces.items()
+    }
+    g, t, a, v = (DocumentType.GRAPHICS, DocumentType.TEXT,
+                  DocumentType.AUDIO, DocumentType.VIDEO)
+
+    # Graphics most-referenced everywhere except C, where text leads.
+    for key in ("U", "G", "BR", "BL"):
+        assert dist[key][g].pct_refs > dist[key][t].pct_refs, key
+    assert dist["C"][t].pct_refs > dist["C"][g].pct_refs
+
+    # BR: audio is a tiny share of references but dominates bytes.
+    assert dist["BR"][a].pct_refs < 6.0
+    assert dist["BR"][a].pct_bytes > 70.0
+
+    # G and C: video <1% of refs, but a large byte share (paper: 26%, 39%).
+    for key in ("G", "C"):
+        assert dist[key][v].pct_refs < 1.0, key
+        assert dist[key][v].pct_bytes > 10.0, key

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Audio partitioning: the paper's Experiment 4 scenario.
+
+Workload BR is dominated by one popular audio site (88% of bytes are
+audio).  Should the campus cache be split so songs cannot evict
+everything else?  This example sweeps the audio-partition fraction and
+also shows the unpartitioned cache for comparison — reproducing the
+paper's finding that heavy audio use overwhelms even a 3/4 audio
+partition at 10% of MaxNeeded.
+
+Run (generates BR at 30% scale so a partition can hold whole songs):
+    python examples/audio_partitioning.py
+"""
+
+from repro.analysis.report import render_table
+from repro.core import SimCache, simulate, size_policy
+from repro.core.experiments import run_infinite_cache, run_partitioned_sweep
+from repro.workloads import generate_valid
+
+
+def main() -> None:
+    print("Synthesising workload BR (remote clients, audio-heavy) at "
+          "30% scale...")
+    trace = generate_valid("BR", seed=1996, scale=0.3)
+    infinite = run_infinite_cache(trace, "BR")
+    capacity = int(0.10 * infinite.max_used_bytes)
+    audio_bytes = sum(
+        r.size for r in trace if r.media_type.value == "audio"
+    )
+    print(f"  {len(trace):,} requests; audio carries "
+          f"{100 * audio_bytes / sum(r.size for r in trace):.1f}% of bytes")
+    print(f"  cache under test: {capacity / 2**20:.1f} MB "
+          f"(10% of MaxNeeded {infinite.max_used_bytes / 2**20:.1f} MB)\n")
+
+    unpartitioned = simulate(
+        trace, SimCache(capacity=capacity, policy=size_policy()),
+        name="unpartitioned",
+    )
+
+    sweep = run_partitioned_sweep(
+        trace, infinite.max_used_bytes, 0.10,
+        audio_fractions=(0.25, 0.50, 0.75),
+    )
+    rows = []
+    for fraction in sorted(sweep):
+        result = sweep[fraction]
+        audio = result.class_metrics["audio"]
+        other = result.class_metrics["non-audio"]
+        rows.append([
+            f"{fraction:.2f} audio / {1 - fraction:.2f} other",
+            f"{audio.weighted_hit_rate:.2f}",
+            f"{other.weighted_hit_rate:.2f}",
+            f"{result.overall.weighted_hit_rate:.2f}",
+            f"{result.overall.hit_rate:.2f}",
+        ])
+    rows.append([
+        "unpartitioned",
+        "-", "-",
+        f"{unpartitioned.weighted_hit_rate:.2f}",
+        f"{unpartitioned.hit_rate:.2f}",
+    ])
+    rows.append([
+        "infinite cache",
+        "-", "-",
+        f"{infinite.weighted_hit_rate:.2f}",
+        f"{infinite.hit_rate:.2f}",
+    ])
+    print(render_table(
+        ["configuration", "audio WHR%", "non-audio WHR%",
+         "overall WHR%", "overall HR%"],
+        rows,
+        title="Partitioned cache on BR (SIZE policy inside each partition)",
+    ))
+    print("\nEven 3/4 of the cache dedicated to audio stays far below the "
+          "infinite cache's audio WHR — the paper's Figure 19.")
+
+
+if __name__ == "__main__":
+    main()

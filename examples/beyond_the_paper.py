@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Beyond the paper: GDSF, a clairvoyant baseline, and significance tests.
+
+The paper ends with SIZE winning hit rate and the weighted-hit-rate
+question open.  This example runs the tools that came later — all
+implemented in this library — on one workload:
+
+* a clairvoyant size-aware Belady baseline bounds what any online policy
+  could have achieved at the same cache size;
+* GreedyDual-Size with frequency (GDSF) closes the WHR gap the paper
+  found, without giving up SIZE's hit rate;
+* paired bootstrap confidence intervals say whether the differences are
+  real or day-to-day noise.
+
+Run:
+    python examples/beyond_the_paper.py
+"""
+
+from repro.analysis.report import render_table
+from repro.analysis.statistics import paired_daily_difference
+from repro.core import (
+    GreedyDualSize,
+    SimCache,
+    gds_byte_cost,
+    lru,
+    simulate,
+    simulate_clairvoyant,
+    size_policy,
+)
+from repro.core.experiments import max_needed_for
+from repro.workloads import generate_valid
+
+
+def main() -> None:
+    print("Synthesising workload BL at 10% scale...")
+    trace = generate_valid("BL", seed=42, scale=0.1)
+    capacity = max(1, int(0.10 * max_needed_for(trace)))
+    print(f"  {len(trace):,} requests; cache {capacity / 2**20:.1f} MB "
+          f"(10% of MaxNeeded)\n")
+
+    runs = {}
+    for name, policy in (
+        ("LRU (the 1996 default)", lru()),
+        ("SIZE (the paper's winner)", size_policy()),
+        ("GDSF (1998)", GreedyDualSize(with_frequency=True)),
+        ("GDSF, byte cost", GreedyDualSize(
+            cost=gds_byte_cost, with_frequency=True,
+        )),
+    ):
+        runs[name] = simulate(
+            trace, SimCache(capacity=capacity, policy=policy), name=name,
+        )
+    oracle = simulate_clairvoyant(trace, capacity)
+    rows = [
+        [name, f"{r.hit_rate:.2f}", f"{r.weighted_hit_rate:.2f}"]
+        for name, r in runs.items()
+    ]
+    rows.append([
+        "clairvoyant MIN+size (offline)",
+        f"{oracle.hit_rate:.2f}", f"{oracle.weighted_hit_rate:.2f}",
+    ])
+    print(render_table(
+        ["policy", "HR%", "WHR%"], rows,
+        title="Thirty years of eviction policy on one 1995 workload",
+    ))
+
+    print("\nPaired bootstrap (daily HR differences, 95% CI):")
+    baseline = runs["LRU (the 1996 default)"]
+    for name in ("SIZE (the paper's winner)", "GDSF (1998)"):
+        comparison = paired_daily_difference(
+            runs[name].metrics, baseline.metrics, resamples=1000,
+        )
+        print(f"  {name} vs LRU: {comparison}")
+
+    gdsf = runs["GDSF (1998)"]
+    size = runs["SIZE (the paper's winner)"]
+    print(
+        f"\nGDSF vs SIZE: HR {gdsf.hit_rate:.1f} vs {size.hit_rate:.1f}, "
+        f"WHR {gdsf.weighted_hit_rate:.1f} vs "
+        f"{size.weighted_hit_rate:.1f} — frequency folds the paper's "
+        f"second-best key into its winner."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Latency study: the caching benefit the paper could not measure.
+
+The paper's traces lacked timing data, so it could only argue that high
+hit rates imply lower end-user latency "if the proxy is not saturated".
+This example runs the discrete-event queueing model over workload C under
+several cache configurations and increasing load (time compression),
+showing both effects: hits avoid the slow origin path, and an unsaturated
+proxy keeps queueing delay negligible until load approaches saturation.
+
+Run:
+    python examples/latency_study.py
+"""
+
+from repro.analysis.report import render_table
+from repro.core import ATIME, KeyPolicy, RANDOM, SIZE, SimCache
+from repro.core.experiments import max_needed_for
+from repro.des import LatencyParameters, estimate_latency
+from repro.workloads import generate_valid
+
+
+def main() -> None:
+    trace = generate_valid("C", seed=4, scale=0.05)
+    capacity = max(1, int(0.10 * max_needed_for(trace)))
+    print(f"workload C at 5% scale: {len(trace):,} requests, "
+          f"cache {capacity / 2**20:.1f} MB\n")
+
+    rows = []
+    for label, cache_factory in (
+        ("no cache", lambda: None),
+        ("10% cache, LRU", lambda: SimCache(
+            capacity=capacity, policy=KeyPolicy([ATIME, RANDOM]))),
+        ("10% cache, SIZE", lambda: SimCache(
+            capacity=capacity, policy=KeyPolicy([SIZE, RANDOM]))),
+        ("infinite cache", lambda: SimCache(capacity=None)),
+    ):
+        for compression in (20.0, 2000.0):
+            params = LatencyParameters(time_compression=compression)
+            report = estimate_latency(trace, cache_factory(), params)
+            rows.append([
+                label,
+                f"{compression:.0f}x",
+                f"{report.hit_rate:.1f}",
+                f"{1000 * report.mean_latency:.1f}",
+                f"{1000 * report.percentile(0.95):.1f}",
+                f"{100 * report.utilisation:.1f}",
+            ])
+    print(render_table(
+        ["configuration", "load", "HR%", "mean latency ms",
+         "p95 ms", "utilisation %"],
+        rows,
+        title="Proxy latency model (DES extension): caching vs load",
+    ))
+    print("\nHigher hit rates cut the origin round trips out of the mean; "
+          "under heavy load the cache also keeps the proxy itself out of "
+          "saturation.")
+
+
+if __name__ == "__main__":
+    main()

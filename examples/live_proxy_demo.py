@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Live proxy demo: the paper's removal policies running in a real server.
+
+Starts a toy origin server and the caching proxy on localhost, replays a
+small Zipf-popular reference stream through real sockets, and reports the
+proxy's hit rate, the store's occupancy, and what got evicted — with the
+cache deliberately sized so the SIZE policy has to work.
+
+Also demonstrates the consistency machinery: one document is edited at
+the origin mid-run, and the proxy's revalidation turns the stale copy
+into a conditional GET.
+
+Run:
+    python examples/live_proxy_demo.py
+"""
+
+import random
+import socket
+
+from repro.core import size_policy
+from repro.httpnet import HttpResponse
+from repro.proxy import (
+    CachingProxy,
+    ConsistencyEstimator,
+    OriginServer,
+    ProxyStore,
+    SyntheticSite,
+)
+from repro.workloads import ZipfSampler
+
+
+def fetch(address, url, label=""):
+    raw = f"GET {url} HTTP/1.0\r\n\r\n".encode()
+    with socket.create_connection(address, timeout=5.0) as connection:
+        connection.sendall(raw)
+        connection.shutdown(socket.SHUT_WR)
+        data = bytearray()
+        while True:
+            chunk = connection.recv(65536)
+            if not chunk:
+                break
+            data.extend(chunk)
+    response = HttpResponse.parse(bytes(data))
+    return response
+
+
+def main() -> None:
+    site = SyntheticSite(base_size=2_000, size_spread=30_000)
+    origin = OriginServer(site=site).start()
+    store = ProxyStore(capacity=120_000, policy=size_policy())
+    clock = [1_000_000_000.0]
+    proxy = CachingProxy(
+        store,
+        resolver=lambda host: origin.address,
+        estimator=ConsistencyEstimator(default_ttl=600.0, lm_factor=0.01,
+                                       min_ttl=600.0, max_ttl=600.0),
+        clock=lambda: clock[0],
+    ).start()
+    print(f"origin at {origin.address}, proxy at {proxy.address}, "
+          f"store capacity {store.capacity // 1000} kB (SIZE policy)\n")
+
+    rng = random.Random(3)
+    sampler = ZipfSampler(12, exponent=1.0, rng=rng)
+    urls = [f"http://www.cs.vt.edu/course{i}/notes.html" for i in range(12)]
+
+    try:
+        for step in range(60):
+            url = urls[sampler.sample()]
+            response = fetch(proxy.address, url)
+            tag = response.headers.get("x-cache", "?")
+            if step < 12 or tag != "HIT":
+                print(f"  [{step:02d}] {tag:11s} "
+                      f"{len(response.body):6d} B  {url.split('/')[-2]}")
+            clock[0] += 5.0
+
+        # Pick two documents that are still cached: one to edit at the
+        # origin (full refetch) and one to leave alone (304 revalidation).
+        cached_urls = [url for url in urls if url in store]
+        edited, untouched = cached_urls[0], cached_urls[1]
+        print(f"\nEditing {edited.split('/')[-2]} at the origin and "
+              f"letting every cached copy go stale...")
+        site.touch("/" + edited.split("/", 3)[-1], clock[0])
+        clock[0] += 3600.0  # past the 600 s freshness lifetime
+        # Probe the unedited copy first: re-caching the edited document's
+        # new version could evict it from the small store.
+        response = fetch(proxy.address, untouched)
+        print(f"  unedited document: {response.headers.get('x-cache'):11s} "
+              f"(origin sent 304; copy served from cache)")
+        response = fetch(proxy.address, edited)
+        print(f"  edited document:   {response.headers.get('x-cache'):11s} "
+              f"(origin sent the new version)")
+
+        print(f"\nproxy: {proxy.stats.requests} requests, "
+              f"hit rate {proxy.stats.hit_rate:.1f}% "
+              f"({proxy.stats.hits} fresh hits + "
+              f"{proxy.stats.revalidation_hits} revalidated)")
+        print(f"store: {len(store)} documents, "
+              f"{store.used_bytes // 1000} kB used, "
+              f"{store.stats.evictions} evictions "
+              f"(largest documents left first)")
+    finally:
+        proxy.stop()
+        origin.stop()
+
+
+if __name__ == "__main__":
+    main()

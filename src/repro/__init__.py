@@ -1,0 +1,46 @@
+"""repro: a reproduction of Williams et al., "Removal Policies in Network
+Caches for World-Wide Web Documents" (SIGCOMM 1996).
+
+The package is organised as the paper's system plus every substrate it
+depends on:
+
+* :mod:`repro.core` -- the contribution: the sorting-key taxonomy of
+  removal policies, the trace-driven cache simulator, two-level and
+  partitioned caches, the experiment runners for the paper's four
+  experiments, and the Section 5 extensions (periodic removal, type and
+  latency keys, TTL-aware removal).
+* :mod:`repro.trace` -- trace records, common-log-format IO, Section 1.1
+  validation, workload characterisation.
+* :mod:`repro.workloads` -- synthetic generators for the five Virginia
+  Tech workloads (U, C, G, BR, BL), calibrated to every published
+  characteristic.
+* :mod:`repro.httpnet` -- the tcpdump/filter collection pipeline: HTTP/1.0
+  messages, TCP flow reassembly, sniffer, CLF emitter.
+* :mod:`repro.proxy` -- a runnable caching proxy (store, consistency
+  estimation, socket server, toy origin) driven by the same policies.
+* :mod:`repro.des` -- discrete-event engine and the proxy latency model.
+* :mod:`repro.analysis` -- table/figure regeneration and claim checking.
+
+Sixty-second start::
+
+    from repro.workloads import generate_valid
+    from repro.core import SimCache, size_policy, simulate
+    from repro.core.experiments import max_needed_for
+
+    trace = generate_valid("BL", seed=1, scale=0.1)
+    capacity = int(0.1 * max_needed_for(trace))
+    result = simulate(trace, SimCache(capacity, policy=size_policy()))
+    print(f"HR {result.hit_rate:.1f}%  WHR {result.weighted_hit_rate:.1f}%")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "trace",
+    "workloads",
+    "httpnet",
+    "proxy",
+    "des",
+    "analysis",
+]

@@ -1,0 +1,44 @@
+"""Analysis and reporting: regenerate the paper's tables and figures.
+
+* :mod:`repro.analysis.figures` -- builders producing the data series
+  behind every figure (1-20) of the paper.
+* :mod:`repro.analysis.tables` -- Table 4, the MaxNeeded table, and
+  experiment summary tables.
+* :mod:`repro.analysis.report` -- plain-text rendering used by the
+  benchmark harness and examples.
+* :mod:`repro.analysis.compare` -- the paper's qualitative claims as
+  machine-checkable expectations, for EXPERIMENTS.md.
+"""
+
+from repro.analysis.figures import FigureSeries
+from repro.analysis.report import render_series_summary, render_table
+from repro.analysis.compare import Claim, ClaimCheck, check_claims
+from repro.analysis.gnuplot import export_figure, write_dat, write_script
+from repro.analysis.statistics import (
+    PairedComparison,
+    bootstrap_ci,
+    paired_daily_difference,
+)
+from repro.analysis.sweeps import (
+    capacity_sweep,
+    miss_ratio_curve,
+    sampled_miss_ratio_curve,
+)
+
+__all__ = [
+    "FigureSeries",
+    "render_series_summary",
+    "render_table",
+    "Claim",
+    "ClaimCheck",
+    "check_claims",
+    "export_figure",
+    "write_dat",
+    "write_script",
+    "PairedComparison",
+    "bootstrap_ci",
+    "paired_daily_difference",
+    "capacity_sweep",
+    "miss_ratio_curve",
+    "sampled_miss_ratio_curve",
+]

@@ -1,0 +1,119 @@
+"""The paper's qualitative claims as machine-checkable expectations.
+
+Absolute numbers cannot transfer from the authors' traces to synthetic
+stand-ins, but the *claims* — orderings, signs, crossovers — can.  Each
+:class:`Claim` captures one sentence of the paper's results; the benchmark
+harness evaluates them and EXPERIMENTS.md records the outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List
+
+__all__ = ["Claim", "ClaimCheck", "check_claims", "PAPER_CLAIMS"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One of the paper's results, as a predicate over measurements.
+
+    Attributes:
+        claim_id: short stable identifier (referenced from EXPERIMENTS.md).
+        statement: the paper's claim, paraphrased.
+        source: where in the paper the claim is made.
+    """
+
+    claim_id: str
+    statement: str
+    source: str
+
+
+@dataclass
+class ClaimCheck:
+    """Outcome of evaluating one claim against a measurement set."""
+
+    claim: Claim
+    passed: bool
+    detail: str = ""
+
+
+#: The claims the benchmark harness checks.  Keys into the measurement
+#: dict used by ``check_claims`` are documented per claim.
+PAPER_CLAIMS: Dict[str, Claim] = {
+    claim.claim_id: claim
+    for claim in [
+        Claim(
+            "size-best-hr",
+            "Replacement based on SIZE or LOG2SIZE outperforms every other "
+            "primary key on hit rate, in every workload",
+            "Section 4.3 / Conclusions",
+        ),
+        Claim(
+            "nref-second",
+            "NREF (LFU) ranks second-best on hit rate, ahead of ATIME (LRU)",
+            "Conclusions ('SIZE first, then NREF, then ATIME')",
+        ),
+        Claim(
+            "etime-worst",
+            "ETIME (FIFO) performs worst on hit rate",
+            "Conclusions ('ETIME, as expected, performed worst')",
+        ),
+        Claim(
+            "size-worst-whr",
+            "SIZE yields lower WHR than the recency/frequency keys",
+            "Section 4.4",
+        ),
+        Claim(
+            "secondary-insignificant",
+            "No secondary key moves WHR significantly from a RANDOM "
+            "secondary (about 1% on average)",
+            "Section 4.5 / Figure 15",
+        ),
+        Claim(
+            "br-hr-98",
+            "Workload BR reaches about 98% infinite-cache hit rate",
+            "Section 4.1",
+        ),
+        Claim(
+            "l2-whr-exceeds-hr",
+            "A second-level cache behind a SIZE-policy L1 shows WHR well "
+            "above HR (large documents overflow to L2)",
+            "Section 4.6 / Figures 16-18",
+        ),
+        Claim(
+            "audio-partition-insufficient",
+            "Even a 3/4 audio partition cannot match the infinite cache's "
+            "audio WHR on workload BR",
+            "Section 4.7 / Figure 19",
+        ),
+        Claim(
+            "partition-monotonic",
+            "Growing the audio partition raises audio WHR and lowers "
+            "non-audio WHR",
+            "Section 4.7 / Figures 19-20",
+        ),
+    ]
+}
+
+
+def check_claims(
+    measurements: Dict[str, Callable[[], "ClaimCheckResult"]],
+) -> List[ClaimCheck]:
+    """Evaluate claim predicates.
+
+    Args:
+        measurements: claim id -> zero-argument callable returning
+            ``(passed, detail)``.
+
+    Unknown claim ids raise; claims with no supplied predicate are skipped.
+    """
+    checks: List[ClaimCheck] = []
+    for claim_id, predicate in measurements.items():
+        try:
+            claim = PAPER_CLAIMS[claim_id]
+        except KeyError:
+            raise KeyError(f"unknown claim id {claim_id!r}") from None
+        passed, detail = predicate()
+        checks.append(ClaimCheck(claim=claim, passed=passed, detail=detail))
+    return checks

@@ -1,0 +1,114 @@
+"""Capacity sweeps and miss-ratio curves.
+
+The paper evaluates two cache sizes (10% and 50% of MaxNeeded); a full
+**miss-ratio curve** (MRC) — miss ratio as a function of cache size — is
+the standard modern view of the same question and shows directly where a
+policy's advantage opens and closes.
+
+:func:`miss_ratio_curve` computes the exact curve by re-simulating per
+size; :func:`sampled_miss_ratio_curve` estimates it from a spatial URL
+sample (see :mod:`repro.trace.sampling`) at a fraction of the cost,
+scaling the cache by the sample rate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cache import SimCache
+from repro.core.policy import RemovalPolicy
+from repro.core.simulator import SimulationResult, simulate
+from repro.trace.record import Request
+from repro.trace.sampling import sample_by_url
+
+__all__ = [
+    "capacity_sweep",
+    "miss_ratio_curve",
+    "sampled_miss_ratio_curve",
+]
+
+#: Default sweep levels, as fractions of MaxNeeded (log-ish spacing
+#: around the paper's 10% and 50% points).
+DEFAULT_FRACTIONS = (0.02, 0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.0)
+
+
+def capacity_sweep(
+    trace: Sequence[Request],
+    policy_factory: Callable[[], RemovalPolicy],
+    max_needed: int,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    seed: int = 0,
+) -> List[Tuple[float, SimulationResult]]:
+    """Simulate one policy at several cache sizes.
+
+    Returns ``(fraction, result)`` pairs, ascending by fraction.  A fresh
+    policy instance is built per size (stateful policies must not be
+    shared between caches).
+    """
+    if max_needed <= 0:
+        raise ValueError("max_needed must be positive")
+    results = []
+    for fraction in sorted(fractions):
+        if fraction <= 0:
+            raise ValueError("fractions must be positive")
+        capacity = max(1, int(fraction * max_needed))
+        cache = SimCache(capacity=capacity, policy=policy_factory(), seed=seed)
+        results.append((fraction, simulate(trace, cache)))
+    return results
+
+
+def miss_ratio_curve(
+    trace: Sequence[Request],
+    policy_factory: Callable[[], RemovalPolicy],
+    max_needed: int,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    weighted: bool = False,
+    seed: int = 0,
+) -> List[Tuple[float, float]]:
+    """The exact miss-ratio curve: ``(fraction of MaxNeeded, miss%)``.
+
+    ``weighted=True`` yields the byte miss-ratio curve instead.
+    """
+    sweep = capacity_sweep(
+        trace, policy_factory, max_needed, fractions, seed=seed,
+    )
+    curve = []
+    for fraction, result in sweep:
+        rate = (
+            result.weighted_hit_rate if weighted else result.hit_rate
+        )
+        curve.append((fraction, 100.0 - rate))
+    return curve
+
+
+def sampled_miss_ratio_curve(
+    trace: Sequence[Request],
+    policy_factory: Callable[[], RemovalPolicy],
+    max_needed: int,
+    sample_rate: float = 0.25,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    weighted: bool = False,
+    seed: int = 0,
+    salt: int = 0,
+) -> List[Tuple[float, float]]:
+    """Estimate the miss-ratio curve from a spatial URL sample.
+
+    The sampled trace keeps ``sample_rate`` of the URL space; each sweep
+    point's cache is scaled by the same rate, so the estimate targets the
+    *full* trace's curve (the SHARDS construction).
+    """
+    sampled = list(sample_by_url(trace, sample_rate, salt=salt))
+    if not sampled:
+        raise ValueError(
+            "the sample is empty; raise sample_rate or change salt"
+        )
+    curve = []
+    for fraction in sorted(fractions):
+        capacity = max(1, int(fraction * max_needed * sample_rate))
+        cache = SimCache(capacity=capacity, policy=policy_factory(), seed=seed)
+        result = simulate(sampled, cache)
+        rate = (
+            result.weighted_hit_rate if weighted else result.hit_rate
+        )
+        curve.append((fraction, 100.0 - rate))
+    return curve

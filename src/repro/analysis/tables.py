@@ -1,0 +1,131 @@
+"""The paper's tables as data + text renderings."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.report import render_table
+from repro.core.simulator import SimulationResult
+from repro.trace.record import Request
+from repro.trace.stats import type_distribution
+
+__all__ = [
+    "table4_rows",
+    "render_table4",
+    "max_needed_rows",
+    "render_max_needed",
+    "policy_ranking_rows",
+    "render_policy_ranking",
+]
+
+
+def _column_order(traces: Dict[str, Sequence[Request]]) -> List[str]:
+    """Paper workloads in Table 4 order first, then any other keys."""
+    paper_order = [k for k in ("U", "G", "C", "BR", "BL") if k in traces]
+    extras = [k for k in traces if k not in paper_order]
+    return paper_order + extras
+
+
+def table4_rows(
+    traces: Dict[str, Sequence[Request]],
+) -> List[List[str]]:
+    """Table 4: per-workload file-type distribution rows.
+
+    One row per media type; two columns (%refs, %bytes) per workload, in
+    the paper's column order U, G, C, BR, BL, followed by any other keys
+    supplied (e.g. ad-hoc traces from the CLI).
+    """
+    order = _column_order(traces)
+    distributions = {
+        key: {row.doc_type.value: row for row in type_distribution(traces[key])}
+        for key in order
+    }
+    type_names = ["graphics", "text", "audio", "video", "cgi", "unknown"]
+    rows = []
+    for type_name in type_names:
+        row = [type_name]
+        for key in order:
+            share = distributions[key][type_name]
+            row.append(f"{share.pct_refs:.2f}")
+            row.append(f"{share.pct_bytes:.2f}")
+        rows.append(row)
+    return rows
+
+
+def render_table4(traces: Dict[str, Sequence[Request]]) -> str:
+    """Render Table 4 as aligned text for the supplied traces."""
+    order = _column_order(traces)
+    headers = ["type"]
+    for key in order:
+        headers.extend([f"{key} %refs", f"{key} %bytes"])
+    return render_table(
+        headers, table4_rows(traces),
+        title="Table 4: file type distributions (%references / %bytes)",
+    )
+
+
+def max_needed_rows(
+    results: Dict[str, SimulationResult],
+    published_mb: Dict[str, int] = None,
+) -> List[List[str]]:
+    """The in-text MaxNeeded table: measured vs published cache sizes."""
+    published_mb = published_mb or {}
+    rows = []
+    for key in sorted(results):
+        result = results[key]
+        measured = result.max_used_bytes / 2**20
+        row = [key, f"{measured:.1f}"]
+        if key in published_mb:
+            row.append(str(published_mb[key]))
+        rows.append(row)
+    return rows
+
+
+def render_max_needed(
+    results: Dict[str, SimulationResult],
+    published_mb: Dict[str, int] = None,
+) -> str:
+    """Render the MaxNeeded table, optionally beside published values."""
+    headers = ["workload", "measured MaxNeeded (MB)"]
+    if published_mb:
+        headers.append("paper (MB)")
+    return render_table(
+        headers, max_needed_rows(results, published_mb),
+        title="Cache size needed for no replacement (Experiment 1)",
+    )
+
+
+def policy_ranking_rows(
+    results: Dict[str, SimulationResult],
+    infinite: SimulationResult = None,
+) -> List[List[str]]:
+    """Experiment 2 summary: policies ranked by HR."""
+    ordered = sorted(
+        results.items(), key=lambda item: -item[1].hit_rate
+    )
+    rows = []
+    for rank, (name, result) in enumerate(ordered, start=1):
+        row = [
+            str(rank),
+            name,
+            f"{result.hit_rate:.2f}",
+            f"{result.weighted_hit_rate:.2f}",
+        ]
+        if infinite is not None and infinite.hit_rate:
+            row.append(f"{100 * result.hit_rate / infinite.hit_rate:.1f}")
+        rows.append(row)
+    return rows
+
+
+def render_policy_ranking(
+    results: Dict[str, SimulationResult],
+    infinite: SimulationResult = None,
+    title: str = "Removal policies ranked by hit rate",
+) -> str:
+    """Render an HR-ranked policy table (Experiment 2 summaries)."""
+    headers = ["rank", "policy", "HR%", "WHR%"]
+    if infinite is not None:
+        headers.append("% of infinite HR")
+    return render_table(
+        headers, policy_ranking_rows(results, infinite), title=title,
+    )

@@ -1,0 +1,558 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate``     synthesise a workload and write a common-log-format file
+* ``characterize`` summarise a CLF trace (Section 2.2 statistics)
+* ``simulate``     drive a cache over a CLF trace and report HR/WHR
+* ``experiment``   run one of the paper's four experiments on a workload
+* ``mrc``          miss-ratio curves for one or more policies
+* ``clone``        calibrate a profile from a real log, synthesise a stand-in
+* ``report``       full reproduction run with the claims checklist
+* ``proxy``        start the live caching proxy
+* ``origin``       start the toy origin server
+
+Examples::
+
+    python -m repro generate BL --scale 0.1 --out bl.log
+    python -m repro characterize bl.log
+    python -m repro simulate bl.log --policy SIZE --fraction 0.1
+    python -m repro simulate bl.log --policy LRU --capacity 4MB
+    python -m repro mrc bl.log --policy SIZE --policy GDSF
+    python -m repro experiment 2 --workload BL --scale 0.05
+    python -m repro report --out report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import render_table
+from repro.analysis.tables import render_policy_ranking, render_table4
+from repro.core import SimCache, simulate
+from repro.core.experiments import (
+    max_needed_for,
+    primary_key_sweep,
+    run_infinite_cache,
+    run_partitioned_sweep,
+    run_two_level,
+    secondary_key_sweep,
+)
+from repro.core.literature import literature_policies
+from repro.core.policy import RemovalPolicy, policy_from_names
+from repro.trace import (
+    TraceValidator,
+    read_clf_file,
+    summarize,
+    write_clf_file,
+)
+from repro.trace.stats import server_rank_series, zipf_slope
+from repro.workloads import PROFILES, generate
+
+__all__ = ["main", "parse_capacity", "parse_policy"]
+
+_CAPACITY_RE = re.compile(
+    r"^(?P<number>\d+(?:\.\d+)?)\s*(?P<unit>[kmgt]?i?b?)?$", re.IGNORECASE,
+)
+_UNIT_FACTORS = {
+    "": 1, "b": 1,
+    "k": 10**3, "kb": 10**3, "kib": 2**10,
+    "m": 10**6, "mb": 10**6, "mib": 2**20,
+    "g": 10**9, "gb": 10**9, "gib": 2**30,
+    "t": 10**12, "tb": 10**12, "tib": 2**40,
+}
+
+
+def parse_capacity(text: str) -> int:
+    """Parse a capacity like ``512``, ``64kB``, ``10MB`` or ``1GiB``."""
+    match = _CAPACITY_RE.match(text.strip())
+    if match is None:
+        raise argparse.ArgumentTypeError(f"unparseable capacity {text!r}")
+    unit = (match.group("unit") or "").lower()
+    try:
+        factor = _UNIT_FACTORS[unit]
+    except KeyError:
+        raise argparse.ArgumentTypeError(
+            f"unknown capacity unit {unit!r}"
+        ) from None
+    value = int(float(match.group("number")) * factor)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("capacity must be positive")
+    return value
+
+
+def parse_policy(text: str) -> RemovalPolicy:
+    """Parse a policy: a literature name (``LRU``, ``LRU-MIN``,
+    ``Pitkow/Recker``, ``Hyper-G``...), an adaptive policy (``GDS``,
+    ``GDSF``, ``GDSF-BYTES``), or a comma-separated key stack (``SIZE``,
+    ``SIZE,ATIME``, ``LOG2SIZE,NREF``)."""
+    from repro.core.adaptive import GreedyDualSize, gds_byte_cost
+
+    by_name = {
+        policy.name.lower(): policy for policy in literature_policies()
+    }
+    lowered = text.strip().lower()
+    if lowered in by_name:
+        return by_name[lowered]
+    adaptive = {
+        "gds": lambda: GreedyDualSize(),
+        "gdsf": lambda: GreedyDualSize(with_frequency=True),
+        "gds-bytes": lambda: GreedyDualSize(cost=gds_byte_cost),
+        "gdsf-bytes": lambda: GreedyDualSize(
+            cost=gds_byte_cost, with_frequency=True,
+        ),
+    }
+    if lowered in adaptive:
+        return adaptive[lowered]()
+    try:
+        return policy_from_names(*[part.strip() for part in text.split(",")])
+    except KeyError as error:
+        names = sorted(by_name)
+        raise argparse.ArgumentTypeError(
+            f"{error.args[0]} (or use a literature policy: {names})"
+        ) from None
+
+
+def _load_valid_trace(path: str, epoch: float):
+    validator = TraceValidator()
+    valid = validator.validate(read_clf_file(path, epoch=epoch))
+    return valid, validator.stats
+
+
+# -- command implementations -------------------------------------------------
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    generated = generate(args.workload, seed=args.seed, scale=args.scale)
+    count = write_clf_file(
+        args.out, generated.raw, epoch=args.epoch, augmented=args.augmented,
+    )
+    valid = len(generated.valid())
+    print(f"wrote {count} raw log lines ({valid} valid requests) to {args.out}")
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    valid, stats = _load_valid_trace(args.trace, args.epoch)
+    print(render_table(
+        ["counter", "value"],
+        [[key, value] for key, value in stats.as_dict().items()],
+        title="Validation (Section 1.1)",
+    ))
+    summary = summarize(valid)
+    print()
+    print(render_table(
+        ["measure", "value"],
+        [
+            ["valid requests", f"{summary.requests:,}"],
+            ["bytes transferred", f"{summary.total_gigabytes:.3f} GB"],
+            ["unique URLs", f"{summary.unique_urls:,}"],
+            ["unique servers", f"{summary.unique_servers:,}"],
+            ["unique-document footprint", f"{summary.unique_megabytes:.1f} MB"],
+            ["duration", f"{summary.duration_days} days"],
+            ["mean requests/day", f"{summary.mean_requests_per_day:.0f}"],
+        ],
+        title="Workload summary",
+    ))
+    print()
+    print(render_table4({"trace": valid}))
+    if summary.unique_servers >= 3:
+        slope = zipf_slope(server_rank_series(valid))
+        print(f"\nserver popularity log-log slope: {slope:.2f} (Zipf ~ -1)")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    valid, _ = _load_valid_trace(args.trace, args.epoch)
+    if not valid:
+        print("trace contains no valid requests", file=sys.stderr)
+        return 1
+    infinite = run_infinite_cache(valid, "infinite")
+    if args.capacity is not None:
+        capacity: Optional[int] = args.capacity
+    elif args.fraction is not None:
+        capacity = max(1, int(args.fraction * infinite.max_used_bytes))
+    else:
+        capacity = None
+
+    rows = [[
+        "infinite",
+        f"{infinite.hit_rate:.2f}",
+        f"{infinite.weighted_hit_rate:.2f}",
+        f"{infinite.max_used_bytes / 2**20:.1f}",
+        0,
+    ]]
+    if capacity is not None:
+        for policy_text in args.policy or ["SIZE"]:
+            policy = parse_policy(policy_text)
+            result = simulate(
+                valid,
+                SimCache(capacity=capacity, policy=policy, seed=args.seed),
+                name=policy.name,
+            )
+            rows.append([
+                f"{policy.name} @ {capacity / 2**20:.1f} MB",
+                f"{result.hit_rate:.2f}",
+                f"{result.weighted_hit_rate:.2f}",
+                f"{result.max_used_bytes / 2**20:.1f}",
+                result.cache.eviction_count,
+            ])
+    print(render_table(
+        ["configuration", "HR%", "WHR%", "peak MB", "evictions"],
+        rows,
+        title=f"Simulation of {args.trace} ({len(valid):,} valid requests)",
+    ))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    trace = generate(
+        args.workload, seed=args.seed, scale=args.scale,
+    ).valid()
+    infinite = run_infinite_cache(trace, args.workload)
+    print(
+        f"workload {args.workload} at scale {args.scale}: "
+        f"{len(trace):,} requests, infinite HR {infinite.hit_rate:.1f}% "
+        f"WHR {infinite.weighted_hit_rate:.1f}%, "
+        f"MaxNeeded {infinite.max_used_bytes / 2**20:.1f} MB\n"
+    )
+    if args.number == 1:
+        smoothed = infinite.metrics.smoothed_hr()
+        rows = [
+            [day, f"{hr:.1f}", f"{whr:.1f}"]
+            for (day, hr), (_, whr) in zip(
+                smoothed, infinite.metrics.smoothed_whr(),
+            )
+        ][:: max(1, len(smoothed) // 20)]
+        print(render_table(
+            ["day", "HR% (7-day avg)", "WHR% (7-day avg)"], rows,
+            title="Experiment 1: infinite cache",
+        ))
+    elif args.number == 2:
+        sweep = primary_key_sweep(
+            trace, infinite.max_used_bytes, args.fraction, seed=args.seed,
+        )
+        print(render_policy_ranking(
+            sweep, infinite,
+            title=(
+                f"Experiment 2: primary keys at "
+                f"{100 * args.fraction:.0f}% of MaxNeeded"
+            ),
+        ))
+        secondary = secondary_key_sweep(
+            trace, infinite.max_used_bytes, args.fraction, seed=args.seed,
+        )
+        baseline = secondary["RANDOM"].weighted_hit_rate
+        print()
+        print(render_table(
+            ["secondary key", "WHR%", "% of RANDOM"],
+            [
+                [name, f"{result.weighted_hit_rate:.2f}",
+                 f"{100 * result.weighted_hit_rate / baseline:.1f}"
+                 if baseline else "-"]
+                for name, result in secondary.items()
+            ],
+            title="Experiment 2: secondary keys (primary = LOG2SIZE)",
+        ))
+    elif args.number == 3:
+        result = run_two_level(
+            trace, infinite.max_used_bytes, args.fraction, seed=args.seed,
+        )
+        print(render_table(
+            ["level", "HR% (all requests)", "WHR% (all requests)"],
+            [
+                ["L1 (finite, SIZE)",
+                 f"{result.l1_metrics.hit_rate:.2f}",
+                 f"{result.l1_metrics.weighted_hit_rate:.2f}"],
+                ["L2 (infinite)",
+                 f"{result.l2_metrics.hit_rate:.2f}",
+                 f"{result.l2_metrics.weighted_hit_rate:.2f}"],
+            ],
+            title=(
+                f"Experiment 3: two-level cache, L1 = "
+                f"{100 * args.fraction:.0f}% of MaxNeeded"
+            ),
+        ))
+    else:
+        sweep = run_partitioned_sweep(
+            trace, infinite.max_used_bytes, args.fraction, seed=args.seed,
+        )
+        rows = []
+        for fraction in sorted(sweep):
+            result = sweep[fraction]
+            rows.append([
+                f"{fraction:.2f}",
+                f"{result.class_metrics['audio'].weighted_hit_rate:.2f}",
+                f"{result.class_metrics['non-audio'].weighted_hit_rate:.2f}",
+                f"{result.overall.weighted_hit_rate:.2f}",
+            ])
+        print(render_table(
+            ["audio fraction", "audio WHR%", "non-audio WHR%",
+             "overall WHR%"],
+            rows,
+            title="Experiment 4: partitioned cache",
+        ))
+    return 0
+
+
+def cmd_proxy(args: argparse.Namespace) -> int:
+    from repro.proxy import CachingProxy, ConsistencyEstimator, ProxyStore
+
+    store = ProxyStore(
+        capacity=args.capacity, policy=parse_policy(args.policy),
+    )
+    resolver = None
+    if args.origin:
+        host, _, port = args.origin.partition(":")
+        address = (host, int(port or 80))
+        resolver = lambda _: address  # noqa: E731 - tiny closure
+    proxy = CachingProxy(
+        store,
+        resolver=resolver,
+        estimator=ConsistencyEstimator(default_ttl=args.ttl),
+        host=args.host,
+        port=args.port,
+    ).start()
+    print(f"caching proxy on {proxy.address[0]}:{proxy.address[1]} "
+          f"({args.capacity / 2**20:.1f} MB, policy {store._cache.policy.name})")
+    try:
+        import time
+        while True:
+            time.sleep(5.0)
+            print(f"  requests={proxy.stats.requests} "
+                  f"HR={proxy.stats.hit_rate:.1f}% "
+                  f"stored={len(store)} used={store.used_bytes // 1024} kB")
+    except KeyboardInterrupt:
+        pass
+    finally:
+        proxy.stop()
+    return 0
+
+
+def cmd_mrc(args: argparse.Namespace) -> int:
+    """Print miss-ratio curves for one or more policies over a trace."""
+    from repro.analysis.sweeps import miss_ratio_curve
+    from repro.core.experiments import max_needed_for
+
+    valid, _ = _load_valid_trace(args.trace, args.epoch)
+    if not valid:
+        print("trace contains no valid requests", file=sys.stderr)
+        return 1
+    max_needed = max_needed_for(valid)
+    fractions = tuple(args.fractions)
+    curves = {}
+    for policy_text in args.policy or ["SIZE", "LRU"]:
+        # A fresh policy per point is built inside the sweep; pass a
+        # factory so stateful policies (GDS/GDSF) are never shared.
+        curves[policy_text] = dict(miss_ratio_curve(
+            valid,
+            lambda text=policy_text: parse_policy(text),
+            max_needed,
+            fractions,
+            weighted=args.weighted,
+            seed=args.seed,
+        ))
+    headers = ["fraction of MaxNeeded"] + list(curves)
+    rows = []
+    for fraction in sorted(fractions):
+        row = [f"{fraction:.2f}"]
+        row.extend(f"{curves[name][fraction]:.2f}" for name in curves)
+        rows.append(row)
+    kind = "byte miss ratio" if args.weighted else "miss ratio"
+    print(render_table(
+        headers, rows,
+        title=(
+            f"{kind} (%) vs cache size "
+            f"(MaxNeeded = {max_needed / 2**20:.1f} MB)"
+        ),
+    ))
+    return 0
+
+
+def cmd_clone(args: argparse.Namespace) -> int:
+    """Calibrate a profile from a real trace and synthesise a stand-in."""
+    from repro.workloads.calibrate import profile_from_trace
+    from repro.workloads.generator import WorkloadGenerator
+
+    valid, _ = _load_valid_trace(args.trace, args.epoch)
+    if not valid:
+        print("trace contains no valid requests", file=sys.stderr)
+        return 1
+    profile = profile_from_trace(valid, key=args.key)
+    generated = WorkloadGenerator(
+        profile, seed=args.seed, scale=args.scale,
+    ).generate()
+    count = write_clf_file(args.out, generated.raw, epoch=args.epoch)
+    clone_valid = len(generated.valid())
+    print(
+        f"calibrated profile from {len(valid):,} valid requests "
+        f"({profile.duration_days} days, "
+        f"{profile.total_bytes / 2**20:.1f} MB); "
+        f"wrote {count} synthetic lines ({clone_valid:,} valid, "
+        f"scale {args.scale}) to {args.out}"
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.reproduce import full_report
+
+    text = full_report(
+        scale=args.scale, seed=args.seed, fraction=args.fraction,
+    )
+    if args.out:
+        from pathlib import Path
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote reproduction report to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_origin(args: argparse.Namespace) -> int:
+    from repro.proxy import OriginServer
+
+    origin = OriginServer(host=args.host, port=args.port).start()
+    print(f"origin server on {origin.address[0]}:{origin.address[1]}")
+    try:
+        import time
+        while True:
+            time.sleep(5.0)
+            print(f"  requests served: {origin.request_count}")
+    except KeyboardInterrupt:
+        pass
+    finally:
+        origin.stop()
+    return 0
+
+
+# -- parser ---------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the full ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Removal Policies in Network Caches for "
+            "World-Wide Web Documents' (SIGCOMM 1996)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    gen = commands.add_parser(
+        "generate", help="synthesise a workload as a CLF file",
+    )
+    gen.add_argument("workload", choices=sorted(PROFILES))
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--scale", type=float, default=0.1)
+    gen.add_argument("--epoch", type=float, default=800_000_000.0,
+                     help="wall-clock epoch of trace start")
+    gen.add_argument("--augmented", action="store_true",
+                     help="append the Last-Modified column")
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(func=cmd_generate)
+
+    character = commands.add_parser(
+        "characterize", help="summarise a CLF trace",
+    )
+    character.add_argument("trace")
+    character.add_argument("--epoch", type=float, default=800_000_000.0)
+    character.set_defaults(func=cmd_characterize)
+
+    sim = commands.add_parser(
+        "simulate", help="simulate caches over a CLF trace",
+    )
+    sim.add_argument("trace")
+    sim.add_argument("--epoch", type=float, default=800_000_000.0)
+    sim.add_argument("--policy", action="append",
+                     help="policy name or key stack (repeatable)")
+    group = sim.add_mutually_exclusive_group()
+    group.add_argument("--capacity", type=parse_capacity,
+                       help="cache size, e.g. 10MB")
+    group.add_argument("--fraction", type=float,
+                       help="cache size as a fraction of MaxNeeded")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.set_defaults(func=cmd_simulate)
+
+    experiment = commands.add_parser(
+        "experiment", help="run one of the paper's experiments",
+    )
+    experiment.add_argument("number", type=int, choices=(1, 2, 3, 4))
+    experiment.add_argument("--workload", default="BL",
+                            choices=sorted(PROFILES))
+    experiment.add_argument("--scale", type=float, default=0.05)
+    experiment.add_argument("--seed", type=int, default=1996)
+    experiment.add_argument("--fraction", type=float, default=0.10)
+    experiment.set_defaults(func=cmd_experiment)
+
+    proxy = commands.add_parser("proxy", help="run the live caching proxy")
+    proxy.add_argument("--capacity", type=parse_capacity, default=64 * 2**20)
+    proxy.add_argument("--policy", default="SIZE")
+    proxy.add_argument("--ttl", type=float, default=3600.0)
+    proxy.add_argument("--host", default="127.0.0.1")
+    proxy.add_argument("--port", type=int, default=8080)
+    proxy.add_argument("--origin", default="",
+                       help="route every request to this host:port")
+    proxy.set_defaults(func=cmd_proxy)
+
+    origin = commands.add_parser("origin", help="run the toy origin server")
+    origin.add_argument("--host", default="127.0.0.1")
+    origin.add_argument("--port", type=int, default=8081)
+    origin.set_defaults(func=cmd_origin)
+
+    mrc = commands.add_parser(
+        "mrc", help="miss-ratio curves over a CLF trace",
+    )
+    mrc.add_argument("trace")
+    mrc.add_argument("--epoch", type=float, default=800_000_000.0)
+    mrc.add_argument("--policy", action="append",
+                     help="policy name or key stack (repeatable)")
+    mrc.add_argument("--fractions", type=float, nargs="+",
+                     default=[0.05, 0.10, 0.25, 0.50, 1.0])
+    mrc.add_argument("--weighted", action="store_true",
+                     help="byte miss ratio instead of request miss ratio")
+    mrc.add_argument("--seed", type=int, default=0)
+    mrc.set_defaults(func=cmd_mrc)
+
+    clone = commands.add_parser(
+        "clone",
+        help=(
+            "calibrate a profile from a CLF trace and synthesise a "
+            "statistically similar stand-in"
+        ),
+    )
+    clone.add_argument("trace")
+    clone.add_argument("--epoch", type=float, default=800_000_000.0)
+    clone.add_argument("--key", default="CAL")
+    clone.add_argument("--seed", type=int, default=0)
+    clone.add_argument("--scale", type=float, default=1.0)
+    clone.add_argument("--out", required=True)
+    clone.set_defaults(func=cmd_clone)
+
+    report = commands.add_parser(
+        "report",
+        help="run the full reproduction and write a markdown report",
+    )
+    report.add_argument("--scale", type=float, default=0.05)
+    report.add_argument("--seed", type=int, default=1996)
+    report.add_argument("--fraction", type=float, default=0.10)
+    report.add_argument("--out", default="",
+                        help="output path (stdout when omitted)")
+    report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    sys.exit(main())

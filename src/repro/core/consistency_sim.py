@@ -1,0 +1,170 @@
+"""Consistency-strategy simulation (Section 5, open problems 2 and 4).
+
+The paper's removal study sidesteps consistency ("various algorithms not
+considered here are used to estimate consistency") but its future-work
+section raises it twice: the interaction of removal with expiration
+mechanisms, and servers that "preemptively update inconsistent document
+copies".  This module simulates the three classical strategies over a
+trace whose document modifications appear as size changes:
+
+* **always-validate** — every repeat access sends a conditional GET: no
+  stale documents ever served, one validation message per repeat access;
+* **TTL(T)** — a copy validated less than ``T`` seconds ago is served
+  directly (possibly stale); older copies are revalidated;
+* **push-invalidate** — the origin notifies the cache whenever a cached
+  document changes: no stale serves, no validation traffic, one
+  invalidation message per change to a cached copy.
+
+Response variables: stale serves, validation messages, invalidation
+messages, and origin transfers — the staleness/traffic trade-off curve a
+cache operator actually tunes (this is Squid's refresh_pattern decision,
+two decades early).
+
+Storage is modelled as infinite (consistency and removal are orthogonal;
+the removal experiments hold consistency fixed, this holds removal
+fixed).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.trace.record import Request
+
+__all__ = ["ConsistencyStrategy", "ConsistencyReport", "simulate_consistency"]
+
+
+class ConsistencyStrategy(enum.Enum):
+    """How a cache keeps copies consistent with origins."""
+
+    ALWAYS_VALIDATE = "always-validate"
+    TTL = "ttl"
+    PUSH_INVALIDATE = "push-invalidate"
+
+
+@dataclass
+class ConsistencyReport:
+    """Outcome of one consistency-strategy run."""
+
+    strategy: ConsistencyStrategy
+    ttl: Optional[float] = None
+    requests: int = 0
+    #: Served from cache with a copy identical to the origin's current
+    #: version.
+    fresh_hits: int = 0
+    #: Served from cache although the origin's version had changed.
+    stale_hits: int = 0
+    #: Full transfers from the origin (first fetches + change refetches).
+    origin_transfers: int = 0
+    #: Conditional GETs that returned 304 (validation round trips).
+    validations_not_modified: int = 0
+    #: Conditional GETs that returned the new version.
+    validations_modified: int = 0
+    #: Server-to-cache invalidation messages (push strategy only).
+    invalidations: int = 0
+
+    @property
+    def validation_messages(self) -> int:
+        return self.validations_not_modified + self.validations_modified
+
+    @property
+    def stale_rate(self) -> float:
+        """Percent of all requests served stale."""
+        if not self.requests:
+            return 0.0
+        return 100.0 * self.stale_hits / self.requests
+
+    @property
+    def control_messages_per_request(self) -> float:
+        """Validation + invalidation messages per client request."""
+        if not self.requests:
+            return 0.0
+        return (self.validation_messages + self.invalidations) / self.requests
+
+    @property
+    def hit_rate(self) -> float:
+        """Percent of requests served from cache (fresh or stale)."""
+        if not self.requests:
+            return 0.0
+        return 100.0 * (self.fresh_hits + self.stale_hits) / self.requests
+
+
+def simulate_consistency(
+    trace: Iterable[Request],
+    strategy: ConsistencyStrategy,
+    ttl: float = 86400.0,
+) -> ConsistencyReport:
+    """Run one consistency strategy over a valid trace.
+
+    Document modifications are taken from the trace itself: a request
+    whose size differs from the URL's previous size means the origin's
+    copy changed at some point before that request.  Under TTL the cache
+    may keep serving its old copy (a stale hit) until the copy's TTL
+    expires; the size mismatch is only discovered at the next validation.
+
+    Args:
+        trace: validated request stream.
+        strategy: the consistency mechanism to simulate.
+        ttl: freshness lifetime for :attr:`ConsistencyStrategy.TTL`.
+    """
+    if strategy is ConsistencyStrategy.TTL and ttl <= 0:
+        raise ValueError("ttl must be positive")
+    report = ConsistencyReport(
+        strategy=strategy,
+        ttl=ttl if strategy is ConsistencyStrategy.TTL else None,
+    )
+    # url -> (cached_size, last_validated_at)
+    cached: Dict[str, Tuple[int, float]] = {}
+
+    for request in trace:
+        report.requests += 1
+        now = request.timestamp
+        held = cached.get(request.url)
+
+        if held is None:
+            report.origin_transfers += 1
+            cached[request.url] = (request.size, now)
+            continue
+
+        cached_size, validated_at = held
+        changed = cached_size != request.size
+
+        if strategy is ConsistencyStrategy.ALWAYS_VALIDATE:
+            if changed:
+                report.validations_modified += 1
+                report.origin_transfers += 1
+            else:
+                report.validations_not_modified += 1
+                report.fresh_hits += 1
+            cached[request.url] = (request.size, now)
+
+        elif strategy is ConsistencyStrategy.TTL:
+            if now - validated_at <= ttl:
+                # Served straight from cache, right or wrong.
+                if changed:
+                    report.stale_hits += 1
+                    # The stale copy stays; size in cache unchanged.
+                else:
+                    report.fresh_hits += 1
+            else:
+                if changed:
+                    report.validations_modified += 1
+                    report.origin_transfers += 1
+                else:
+                    report.validations_not_modified += 1
+                    report.fresh_hits += 1
+                cached[request.url] = (request.size, now)
+
+        else:  # PUSH_INVALIDATE
+            if changed:
+                # The origin pushed an invalidation when the document
+                # changed; this access is a plain miss + refetch.
+                report.invalidations += 1
+                report.origin_transfers += 1
+            else:
+                report.fresh_hits += 1
+            cached[request.url] = (request.size, now)
+
+    return report

@@ -1,0 +1,146 @@
+"""Removal policies from the literature (Table 3 of the paper).
+
+Policies expressible as static key sequences are built on
+:class:`~repro.core.policy.KeyPolicy`:
+
+* **FIFO** — sort by ETIME, oldest entry removed first.
+* **LRU** — sort by ATIME, least recently used removed first.
+* **LFU** — sort by NREF, least referenced removed first.
+* **Hyper-G** — NREF, then ATIME, then SIZE (largest first).  (The real
+  Hyper-G server first checks a "is this a Hyper-G document" flag; the
+  paper's traces contain none, and neither do ours.)
+
+Two policies need more context than a per-entry sort value and implement
+:class:`~repro.core.policy.DynamicPolicy`:
+
+* **LRU-MIN** (Abrams et al. 1995): prefer evicting documents at least as
+  large as the incoming one; halve the threshold until candidates exist;
+  pick the least recently used candidate.
+* **Pitkow/Recker** (1994): if any cached document was last accessed before
+  today, evict the one with the oldest DAY(ATIME); otherwise evict the
+  largest document.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.entry import CacheEntry
+from repro.core.keys import ATIME, ETIME, NREF, SIZE
+from repro.core.policy import DynamicPolicy, KeyPolicy
+
+__all__ = [
+    "fifo",
+    "lru",
+    "lfu",
+    "hyper_g",
+    "size_policy",
+    "LRUMin",
+    "PitkowRecker",
+    "literature_policies",
+]
+
+
+def fifo() -> KeyPolicy:
+    """First-in first-out: remove the oldest cache entry."""
+    return KeyPolicy([ETIME], name="FIFO")
+
+
+def lru() -> KeyPolicy:
+    """Least recently used: remove the entry idle the longest."""
+    return KeyPolicy([ATIME], name="LRU")
+
+
+def lfu() -> KeyPolicy:
+    """Least frequently used: remove the entry with fewest references."""
+    return KeyPolicy([NREF], name="LFU")
+
+
+def hyper_g() -> KeyPolicy:
+    """The Hyper-G server's policy: LFU, ties by LRU, then largest size."""
+    return KeyPolicy([NREF, ATIME, SIZE], name="Hyper-G")
+
+
+def size_policy() -> KeyPolicy:
+    """Remove-largest-first — the paper's winning policy."""
+    return KeyPolicy([SIZE], name="SIZE")
+
+
+class LRUMin(DynamicPolicy):
+    """LRU-MIN: evict similar-or-larger documents first, by LRU.
+
+    Let ``T`` start at the incoming document's size.  If any cached
+    documents have size >= ``T``, evict the least recently used of them.
+    Otherwise halve ``T`` and repeat — so large files tend to leave first,
+    with LRU deciding among candidates of similar magnitude.
+    """
+
+    name = "LRU-MIN"
+
+    def choose_victim(
+        self,
+        entries: Sequence[CacheEntry],
+        incoming_size: int,
+        now: float,
+    ) -> CacheEntry:
+        threshold = float(max(1, incoming_size))
+        while True:
+            candidates = [e for e in entries if e.size >= threshold]
+            if candidates:
+                return min(
+                    candidates, key=lambda e: (e.atime, e.random_stamp)
+                )
+            if threshold <= 1.0:
+                # Every size is >= 1, so candidates above was non-empty
+                # unless entries is empty, which the cache guards against.
+                return min(
+                    entries, key=lambda e: (e.atime, e.random_stamp)
+                )
+            threshold /= 2.0
+
+    def describe(self) -> str:
+        return (
+            "evict documents >= incoming size by LRU, halving the size "
+            "threshold until candidates exist (LRU-MIN)"
+        )
+
+
+class PitkowRecker(DynamicPolicy):
+    """Pitkow/Recker: evict days-old documents first, else the largest.
+
+    If every cached document has been accessed today, remove the largest
+    document (SIZE, remove-largest); otherwise remove the document whose
+    last access day is furthest in the past (DAY(ATIME), remove-smallest).
+    The end-of-day periodic sweep the original proposal also runs is
+    modelled separately by :mod:`repro.core.periodic`.
+    """
+
+    name = "Pitkow/Recker"
+
+    def choose_victim(
+        self,
+        entries: Sequence[CacheEntry],
+        incoming_size: int,
+        now: float,
+    ) -> CacheEntry:
+        today = int(now // 86400)
+        stale = [e for e in entries if e.atime_day != today]
+        if stale:
+            return min(
+                stale, key=lambda e: (e.atime_day, e.random_stamp)
+            )
+        return max(entries, key=lambda e: (e.size, e.random_stamp))
+
+    def describe(self) -> str:
+        return (
+            "evict the oldest-day document when any document was last "
+            "accessed before today, else the largest (Pitkow/Recker)"
+        )
+
+
+def literature_policies() -> List[object]:
+    """Fresh instances of every literature policy, for sweeps."""
+    return [
+        fifo(), lru(), lfu(), hyper_g(), size_policy(),
+        LRUMin(), PitkowRecker(),
+    ]

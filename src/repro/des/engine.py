@@ -1,0 +1,103 @@
+"""A minimal discrete-event simulation core.
+
+Events are ``(time, priority, seq, callback)`` entries in a heap; the loop
+pops them in time order and invokes the callbacks, which may schedule
+further events.  This is the classic "event world view" the paper's
+Appendix A simulator used (after Schruben's event graphs), reduced to what
+the latency model needs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["Event", "EventLoop"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled callback (exposed for introspection/cancellation)."""
+
+    time: float
+    priority: int
+    seq: int
+
+    def __lt__(self, other: "Event") -> bool:  # pragma: no cover - trivial
+        return (self.time, self.priority, self.seq) < (
+            other.time, other.priority, other.seq
+        )
+
+
+class EventLoop:
+    """A deterministic event scheduler.
+
+    Events at equal times fire in (priority, scheduling order).  Time never
+    runs backwards: scheduling an event before ``now`` raises.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+        self._heap: List[Tuple[float, int, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._cancelled: set = set()
+        self.processed = 0
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback`` at absolute time ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time}; simulation time is {self.now}"
+            )
+        self._seq += 1
+        event = Event(time=time, priority=priority, seq=self._seq)
+        heapq.heappush(self._heap, (time, priority, self._seq, callback))
+        return event
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self.now + delay, callback, priority)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (lazy: skipped when popped)."""
+        self._cancelled.add(event.seq)
+
+    def step(self) -> bool:
+        """Process the next event; returns False when none remain."""
+        while self._heap:
+            time, priority, seq, callback = heapq.heappop(self._heap)
+            if seq in self._cancelled:
+                self._cancelled.discard(seq)
+                continue
+            self.now = time
+            self.processed += 1
+            callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run events until the queue drains or time passes ``until``."""
+        while self._heap:
+            next_time = self._heap[0][0]
+            if until is not None and next_time > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)

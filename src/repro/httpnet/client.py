@@ -1,0 +1,57 @@
+"""A minimal blocking HTTP/1.0 client.
+
+Used by the proxy's tests, the examples, and the trace replay harness to
+fetch through (or around) the caching proxy.  HTTP/1.0 semantics: one
+request per connection, response terminated by connection close.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, Optional, Tuple
+
+from repro.httpnet.message import HttpRequest, HttpResponse
+
+__all__ = ["fetch", "request"]
+
+
+def request(
+    address: Tuple[str, int],
+    message: HttpRequest,
+    timeout: float = 5.0,
+    max_response_bytes: int = 64 * 2**20,
+) -> HttpResponse:
+    """Send one request to ``address`` and read the full response.
+
+    Raises:
+        OSError: on connection failures or timeout.
+        HttpMessageError: when the response bytes are not HTTP.
+        ValueError: when the response exceeds ``max_response_bytes``.
+    """
+    with socket.create_connection(address, timeout=timeout) as connection:
+        connection.sendall(message.serialize())
+        connection.shutdown(socket.SHUT_WR)
+        data = bytearray()
+        while True:
+            chunk = connection.recv(65536)
+            if not chunk:
+                break
+            data.extend(chunk)
+            if len(data) > max_response_bytes:
+                raise ValueError(
+                    f"response exceeded {max_response_bytes} bytes"
+                )
+    return HttpResponse.parse(bytes(data))
+
+
+def fetch(
+    address: Tuple[str, int],
+    url: str,
+    headers: Optional[Dict[str, str]] = None,
+    timeout: float = 5.0,
+) -> HttpResponse:
+    """GET ``url`` via the server at ``address`` (proxy-style request)."""
+    message = HttpRequest(
+        method="GET", url=url, headers=dict(headers or {}),
+    )
+    return request(address, message, timeout=timeout)

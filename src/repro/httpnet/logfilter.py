@@ -1,0 +1,51 @@
+"""Transactions to common-log-format lines / trace records.
+
+The filter half of the paper's collection pipeline (the ``chitra`` filter):
+decoded HTTP transactions become common-log-format lines "augmented by
+additional fields representing header fields not present in common format
+logs" — here, the Last-Modified epoch the paper used to estimate how often
+a same-size document had actually changed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.httpnet.sniffer import Transaction
+from repro.trace.clf import format_clf_line
+from repro.trace.record import Request
+
+__all__ = ["transaction_to_request", "transactions_to_clf"]
+
+
+def transaction_to_request(
+    transaction: Transaction, epoch: float = 0.0
+) -> Request:
+    """Convert one sniffed transaction into a trace request record."""
+    timestamp = transaction.timestamp - epoch
+    if timestamp < 0:
+        raise ValueError(
+            f"transaction at {transaction.timestamp} precedes epoch {epoch}"
+        )
+    return Request(
+        timestamp=timestamp,
+        url=transaction.url,
+        size=transaction.size,
+        status=transaction.status,
+        client=transaction.client,
+        last_modified=transaction.last_modified,
+    )
+
+
+def transactions_to_clf(
+    transactions: Iterable[Transaction],
+    epoch: float = 0.0,
+    augmented: bool = True,
+) -> Iterator[str]:
+    """Render sniffed transactions as (augmented) CLF lines."""
+    for transaction in transactions:
+        request = transaction_to_request(transaction, epoch=epoch)
+        yield format_clf_line(
+            request, epoch=epoch, method=transaction.method,
+            augmented=augmented,
+        )

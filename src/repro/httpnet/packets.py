@@ -1,0 +1,228 @@
+"""TCP segments, flows, and in-order reassembly.
+
+A deliberately small model of what tcpdump hands the paper's filter: each
+:class:`TcpSegment` carries addressing, a sequence number, SYN/FIN flags and
+a payload.  :class:`FlowAssembler` reconstructs each direction's byte stream
+from segments that may arrive out of order or duplicated (the situations a
+real capture on a busy Ethernet produces).
+
+:func:`packetize` is the inverse — it turns an (url, response) exchange into
+a plausible segment sequence, so the whole collection pipeline can be
+exercised without real traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.httpnet.message import HttpRequest, HttpResponse
+
+__all__ = ["Flow", "TcpSegment", "FlowAssembler", "packetize"]
+
+#: Maximum segment size used by the synthetic packetiser — typical mid-90s
+#: Ethernet MSS.
+DEFAULT_MSS = 1460
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One direction of a TCP conversation."""
+
+    src: str
+    sport: int
+    dst: str
+    dport: int
+
+    @property
+    def reverse(self) -> "Flow":
+        """The opposite direction of the same conversation."""
+        return Flow(self.dst, self.dport, self.src, self.sport)
+
+    @property
+    def connection(self) -> Tuple:
+        """Direction-agnostic connection identity."""
+        ends = sorted([(self.src, self.sport), (self.dst, self.dport)])
+        return tuple(ends)
+
+
+@dataclass(frozen=True)
+class TcpSegment:
+    """One captured TCP segment (the fields the filter needs)."""
+
+    flow: Flow
+    seq: int
+    payload: bytes = b""
+    syn: bool = False
+    fin: bool = False
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.seq < 0:
+            raise ValueError("sequence number must be non-negative")
+
+
+class _DirectionState:
+    """Reassembly state for one flow direction."""
+
+    def __init__(self, isn: int) -> None:
+        self.next_seq = isn
+        self.buffer: Dict[int, bytes] = {}
+        self.data = bytearray()
+        self.finished = False
+        self.fin_seq: Optional[int] = None
+        self.first_timestamp: Optional[float] = None
+        self.last_timestamp: Optional[float] = None
+
+    @property
+    def complete(self) -> bool:
+        """FIN seen and every byte up to it reassembled (no gaps)."""
+        if not self.finished or self.buffer:
+            return False
+        return self.fin_seq is None or self.next_seq >= self.fin_seq
+
+    def add(self, segment: TcpSegment) -> None:
+        if self.first_timestamp is None:
+            self.first_timestamp = segment.timestamp
+        self.last_timestamp = segment.timestamp
+        if segment.fin:
+            self.finished = True
+            self.fin_seq = segment.seq + len(segment.payload)
+        if not segment.payload:
+            return
+        seq = segment.seq
+        if seq + len(segment.payload) <= self.next_seq:
+            return  # pure duplicate
+        self.buffer[seq] = segment.payload
+        self._drain()
+
+    def _drain(self) -> None:
+        while self.next_seq in self.buffer:
+            payload = self.buffer.pop(self.next_seq)
+            self.data.extend(payload)
+            self.next_seq += len(payload)
+
+
+class FlowAssembler:
+    """Reassembles segments into per-direction byte streams.
+
+    Feed segments in capture order; retrieve each direction's stream with
+    :meth:`stream`.  Segments of a direction must be preceded by that
+    direction's SYN (which fixes the initial sequence number), as a real
+    connection-establishing capture guarantees.
+    """
+
+    def __init__(self) -> None:
+        self._directions: Dict[Flow, _DirectionState] = {}
+
+    def feed(self, segment: TcpSegment) -> None:
+        """Add one captured segment."""
+        state = self._directions.get(segment.flow)
+        if state is None:
+            if not segment.syn:
+                # Mid-stream capture start: accept, anchoring at this seq.
+                state = _DirectionState(segment.seq)
+            else:
+                state = _DirectionState(segment.seq + 1)
+            self._directions[segment.flow] = state
+            if segment.syn:
+                state.add(TcpSegment(
+                    flow=segment.flow, seq=segment.seq + 1,
+                    payload=segment.payload, fin=segment.fin,
+                    timestamp=segment.timestamp,
+                ))
+                return
+        state.add(segment)
+
+    def feed_many(self, segments: Iterable[TcpSegment]) -> None:
+        for segment in segments:
+            self.feed(segment)
+
+    def flows(self) -> List[Flow]:
+        """All directions seen so far."""
+        return list(self._directions)
+
+    def stream(self, flow: Flow) -> bytes:
+        """The reassembled in-order bytes of one direction."""
+        state = self._directions.get(flow)
+        return bytes(state.data) if state is not None else b""
+
+    def is_complete(self, flow: Flow) -> bool:
+        """True once the direction has seen its FIN with no gaps before it."""
+        state = self._directions.get(flow)
+        return state is not None and state.complete
+
+    def timestamps(self, flow: Flow) -> Tuple[Optional[float], Optional[float]]:
+        """(first, last) capture timestamps of a direction."""
+        state = self._directions.get(flow)
+        if state is None:
+            return None, None
+        return state.first_timestamp, state.last_timestamp
+
+
+def packetize(
+    client: str,
+    server: str,
+    request: HttpRequest,
+    response: HttpResponse,
+    sport: int = 40000,
+    dport: int = 80,
+    timestamp: float = 0.0,
+    mss: int = DEFAULT_MSS,
+    rng: Optional[random.Random] = None,
+    shuffle: bool = False,
+    duplicate_rate: float = 0.0,
+) -> List[TcpSegment]:
+    """Turn one HTTP exchange into a captured segment sequence.
+
+    Args:
+        client, server: endpoint addresses.
+        request, response: the exchange to encode.
+        sport, dport: TCP ports (``dport`` 80 is what the capture filter
+            selects on).
+        timestamp: capture time of the first segment; later segments are
+            spaced a few milliseconds apart.
+        mss: maximum payload bytes per segment.
+        rng: randomness for ``shuffle``/``duplicate_rate``.
+        shuffle: locally reorder data segments (exercises reassembly).
+        duplicate_rate: probability of re-emitting a data segment
+            (exercises duplicate suppression).
+    """
+    if mss <= 0:
+        raise ValueError("mss must be positive")
+    rng = rng if rng is not None else random.Random(0)
+    forward = Flow(client, sport, server, dport)
+    backward = forward.reverse
+    segments: List[TcpSegment] = []
+    clock = timestamp
+
+    def emit_stream(flow: Flow, data: bytes, isn: int) -> None:
+        nonlocal clock
+        segments.append(TcpSegment(
+            flow=flow, seq=isn, syn=True, timestamp=clock,
+        ))
+        clock += 0.002
+        seq = isn + 1
+        data_segments = []
+        for offset in range(0, len(data), mss):
+            chunk = data[offset: offset + mss]
+            data_segments.append(TcpSegment(
+                flow=flow, seq=seq, payload=chunk, timestamp=clock,
+            ))
+            seq += len(chunk)
+            clock += 0.002
+        if shuffle and len(data_segments) > 1:
+            rng.shuffle(data_segments)
+        for segment in data_segments:
+            segments.append(segment)
+            if duplicate_rate and rng.random() < duplicate_rate:
+                segments.append(segment)
+        segments.append(TcpSegment(
+            flow=flow, seq=seq, fin=True, timestamp=clock,
+        ))
+        clock += 0.002
+
+    emit_stream(forward, request.serialize(), isn=rng.randrange(1, 10**6))
+    emit_stream(backward, response.serialize(), isn=rng.randrange(1, 10**6))
+    return segments

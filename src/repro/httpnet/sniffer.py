@@ -1,0 +1,117 @@
+"""Passive HTTP sniffing: port-80 segments to HTTP transactions.
+
+The tcpdump side of the paper's collection pipeline.  The sniffer accepts
+every captured segment whose connection has TCP port 80 at either endpoint,
+reassembles both directions of each conversation, parses the request and
+response, and emits a :class:`Transaction` per completed ("non-aborted")
+exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.httpnet.message import (
+    HttpMessageError,
+    HttpRequest,
+    HttpResponse,
+)
+from repro.httpnet.packets import Flow, FlowAssembler, TcpSegment
+
+__all__ = ["Transaction", "Sniffer"]
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One completed HTTP exchange observed on the wire."""
+
+    client: str
+    server: str
+    url: str
+    method: str
+    status: int
+    size: int
+    timestamp: float
+    last_modified: Optional[float] = None
+    content_type: str = ""
+
+
+class Sniffer:
+    """Reassembles port-``port`` traffic into HTTP transactions.
+
+    Feed captured segments in any order per direction;
+    :meth:`transactions` parses every conversation whose two directions
+    both completed.  Aborted conversations (missing FIN or unparseable
+    messages) are dropped and counted, matching the filter's "non-aborted
+    document requests" behaviour.
+    """
+
+    def __init__(self, port: int = 80) -> None:
+        self.port = port
+        self._assembler = FlowAssembler()
+        self.dropped_non_http = 0
+        self.dropped_aborted = 0
+        self.dropped_unparseable = 0
+
+    def feed(self, segment: TcpSegment) -> None:
+        """Add one captured segment; non-port-80 traffic is ignored."""
+        flow = segment.flow
+        if self.port not in (flow.sport, flow.dport):
+            self.dropped_non_http += 1
+            return
+        self._assembler.feed(segment)
+
+    def feed_many(self, segments: Iterable[TcpSegment]) -> None:
+        for segment in segments:
+            self.feed(segment)
+
+    def transactions(self) -> List[Transaction]:
+        """Parse all completed conversations, in request-time order."""
+        results: List[Transaction] = []
+        for flow in self._assembler.flows():
+            if flow.dport != self.port:
+                continue  # handle each conversation once, client side
+            reverse = flow.reverse
+            if not (
+                self._assembler.is_complete(flow)
+                and self._assembler.is_complete(reverse)
+            ):
+                self.dropped_aborted += 1
+                continue
+            transaction = self._parse_pair(flow, reverse)
+            if transaction is not None:
+                results.append(transaction)
+        results.sort(key=lambda t: t.timestamp)
+        return results
+
+    def _parse_pair(
+        self, forward: Flow, backward: Flow
+    ) -> Optional[Transaction]:
+        try:
+            request = HttpRequest.parse(self._assembler.stream(forward))
+            response = HttpResponse.parse(self._assembler.stream(backward))
+        except HttpMessageError:
+            self.dropped_unparseable += 1
+            return None
+        first_ts, _ = self._assembler.timestamps(forward)
+        url = request.url
+        if url.startswith("/"):
+            # Origin-form request: rebuild the absolute URL from the Host
+            # header or the server address, as the filter did.
+            host = request.headers.get("host", forward.dst)
+            url = f"http://{host}{url}"
+        size = response.content_length
+        if size is None:
+            size = len(response.body)
+        return Transaction(
+            client=forward.src,
+            server=forward.dst,
+            url=url,
+            method=request.method,
+            status=response.status,
+            size=size,
+            timestamp=first_ts if first_ts is not None else 0.0,
+            last_modified=response.last_modified,
+            content_type=response.content_type,
+        )

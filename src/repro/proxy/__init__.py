@@ -1,0 +1,33 @@
+"""Operational proxy substrate: a runnable HTTP/1.0 caching proxy.
+
+Where :mod:`repro.core` *simulates* caches over traces, this subpackage
+implements the object the paper models: a proxy server that stores document
+bodies, estimates copy consistency (Section 1's cases (1)-(3)), and evicts
+with the same pluggable removal policies — demonstrating the paper's
+Section 1.3 argument that a maintained sorted list makes on-demand removal
+cheap in a live server.
+
+* :mod:`repro.proxy.consistency` -- freshness estimation and conditional
+  GET decisions.
+* :mod:`repro.proxy.store` -- a thread-safe document store driven by any
+  :mod:`repro.core` removal policy.
+* :mod:`repro.proxy.origin` -- a toy origin server for demos and tests.
+* :mod:`repro.proxy.server` -- the caching proxy itself.
+"""
+
+from repro.proxy.consistency import ConsistencyEstimator, Freshness
+from repro.proxy.store import CachedDocument, ProxyStore, StoreStats
+from repro.proxy.origin import OriginServer, SyntheticSite
+from repro.proxy.server import CachingProxy, ProxyStats
+
+__all__ = [
+    "ConsistencyEstimator",
+    "Freshness",
+    "CachedDocument",
+    "ProxyStore",
+    "StoreStats",
+    "OriginServer",
+    "SyntheticSite",
+    "CachingProxy",
+    "ProxyStats",
+]

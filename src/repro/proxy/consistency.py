@@ -1,0 +1,96 @@
+"""Copy-consistency estimation (the paper's Section 1 cases).
+
+When a proxy holds a copy, it must decide whether the copy is still
+consistent with the origin: case (1) — considered consistent, serve it; case
+(2) — considered inconsistent, revalidate with a conditional GET.  HTTP/1.0
+gives no reliable mechanism, so proxies of the era used heuristics; the
+standard one (adopted by CERN/Harvest and later Squid) is the
+*last-modified factor*: a document that has been stable for a long time is
+trusted for longer.
+
+The estimator implements::
+
+    fresh for  min(max_ttl, max(min_ttl, lm_factor * (fetched - modified)))
+
+seconds after fetch, falling back to ``default_ttl`` when no Last-Modified
+is known, and honouring an explicit ``Expires`` when present.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Freshness", "ConsistencyEstimator"]
+
+
+class Freshness(enum.Enum):
+    """The estimator's verdict on a cached copy."""
+
+    FRESH = "fresh"            # case (1): serve the copy
+    STALE = "stale"            # case (2): revalidate with conditional GET
+    UNCACHEABLE = "uncacheable"
+
+
+@dataclass(frozen=True)
+class ConsistencyEstimator:
+    """Heuristic freshness rules for cached copies.
+
+    Args:
+        lm_factor: fraction of the copy's age-at-fetch it stays fresh for
+            (Squid's classic default is 0.1-0.2).
+        min_ttl: lower bound on heuristic freshness, seconds.
+        max_ttl: upper bound on heuristic freshness, seconds.
+        default_ttl: freshness when the origin sent no Last-Modified.
+    """
+
+    lm_factor: float = 0.2
+    min_ttl: float = 60.0
+    max_ttl: float = 7 * 86400.0
+    default_ttl: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.lm_factor < 0:
+            raise ValueError("lm_factor must be non-negative")
+        if not 0 <= self.min_ttl <= self.max_ttl:
+            raise ValueError("require 0 <= min_ttl <= max_ttl")
+
+    def freshness_lifetime(
+        self,
+        fetched_at: float,
+        last_modified: Optional[float] = None,
+        expires: Optional[float] = None,
+    ) -> float:
+        """Seconds after ``fetched_at`` the copy is considered fresh."""
+        if expires is not None:
+            return max(0.0, expires - fetched_at)
+        if last_modified is not None and last_modified <= fetched_at:
+            heuristic = self.lm_factor * (fetched_at - last_modified)
+            return min(self.max_ttl, max(self.min_ttl, heuristic))
+        return self.default_ttl
+
+    def evaluate(
+        self,
+        now: float,
+        fetched_at: float,
+        last_modified: Optional[float] = None,
+        expires: Optional[float] = None,
+    ) -> Freshness:
+        """Classify a cached copy at time ``now``."""
+        lifetime = self.freshness_lifetime(fetched_at, last_modified, expires)
+        if now - fetched_at <= lifetime:
+            return Freshness.FRESH
+        return Freshness.STALE
+
+    @staticmethod
+    def revalidated(
+        copy_last_modified: Optional[float],
+        origin_last_modified: Optional[float],
+    ) -> bool:
+        """Outcome of a conditional GET: is the copy still the current
+        version?  Unknown modification times are treated as changed, the
+        conservative choice."""
+        if copy_last_modified is None or origin_last_modified is None:
+            return False
+        return origin_last_modified <= copy_last_modified

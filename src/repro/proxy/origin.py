@@ -1,0 +1,191 @@
+"""A toy HTTP/1.0 origin server for demos and integration tests.
+
+Serves a deterministic synthetic site: each path maps to a stable document
+whose size and type derive from the URL (so repeated fetches are
+byte-identical, like the static documents the paper's caches hold).
+Supports conditional GET (``If-Modified-Since`` -> ``304 Not Modified``),
+which the proxy's consistency estimator exercises.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.httpnet.message import (
+    HttpMessageError,
+    HttpRequest,
+    HttpResponse,
+    format_http_date,
+)
+
+__all__ = ["SyntheticSite", "OriginServer"]
+
+_CONTENT_TYPES = {
+    "html": "text/html",
+    "txt": "text/plain",
+    "gif": "image/gif",
+    "jpg": "image/jpeg",
+    "au": "audio/basic",
+    "mpg": "video/mpeg",
+}
+
+
+@dataclass
+class SyntheticSite:
+    """Deterministic document universe behind an origin server.
+
+    Args:
+        base_size: smallest document size in bytes.
+        size_spread: sizes vary in ``[base_size, base_size + size_spread)``
+            as a stable function of the path.
+        last_modified_epoch: Last-Modified stamped on every document;
+            bump per-path entries in :attr:`modified_overrides` to simulate
+            edits.
+    """
+
+    base_size: int = 256
+    size_spread: int = 8192
+    last_modified_epoch: float = 800_000_000.0
+
+    def __post_init__(self) -> None:
+        self.modified_overrides: Dict[str, float] = {}
+
+    def last_modified(self, path: str) -> float:
+        return self.modified_overrides.get(path, self.last_modified_epoch)
+
+    def touch(self, path: str, when: float) -> None:
+        """Simulate an edit to one document at time ``when``."""
+        self.modified_overrides[path] = when
+
+    def document(self, path: str) -> Tuple[bytes, str]:
+        """The (body, content type) for a path; stable across calls unless
+        the document was touched."""
+        stamp = self.last_modified(path)
+        digest = zlib.crc32(f"{path}@{stamp}".encode("utf-8"))
+        size = self.base_size + digest % self.size_spread
+        block = f"{path}:{digest:08x};".encode("ascii")
+        body = (block * (size // len(block) + 1))[:size]
+        extension = path.rsplit(".", 1)[-1] if "." in path else "html"
+        return body, _CONTENT_TYPES.get(extension, "application/octet-stream")
+
+
+class OriginServer:
+    """A threaded HTTP/1.0 server over a :class:`SyntheticSite`.
+
+    Use as a context manager::
+
+        with OriginServer() as origin:
+            ... connect to origin.address ...
+    """
+
+    def __init__(
+        self,
+        site: Optional[SyntheticSite] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.site = site if site is not None else SyntheticSite()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(32)
+        self.address: Tuple[str, int] = self._listener.getsockname()
+        self._running = False
+        self._thread: Optional[threading.Thread] = None
+        self.request_count = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "OriginServer":
+        self._running = True
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+    def __enter__(self) -> "OriginServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- serving ------------------------------------------------------------------
+
+    def _serve(self) -> None:
+        while self._running:
+            try:
+                connection, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            worker = threading.Thread(
+                target=self._handle, args=(connection,), daemon=True,
+            )
+            worker.start()
+
+    def _handle(self, connection: socket.socket) -> None:
+        with connection:
+            try:
+                data = _read_request(connection)
+                request = HttpRequest.parse(data)
+            except (HttpMessageError, OSError):
+                return
+            self.request_count += 1
+            response = self.respond(request)
+            try:
+                connection.sendall(response.serialize())
+            except OSError:  # pragma: no cover - client went away
+                pass
+
+    def respond(self, request: HttpRequest) -> HttpResponse:
+        """Build the response for a parsed request (also used directly by
+        unit tests, no sockets involved)."""
+        path = request.url
+        if path.startswith("http://"):
+            path = "/" + path.split("/", 3)[-1]
+        if request.method not in ("GET", "HEAD"):
+            return HttpResponse(status=501)
+        modified = self.site.last_modified(path)
+        since = request.if_modified_since
+        if since is not None and modified <= since:
+            return HttpResponse(
+                status=304,
+                headers={"Last-Modified": format_http_date(modified)},
+            )
+        body, content_type = self.site.document(path)
+        if request.method == "HEAD":
+            body = b""
+        return HttpResponse(
+            status=200,
+            headers={
+                "Content-Type": content_type,
+                "Last-Modified": format_http_date(modified),
+                "Server": "repro-origin/1.0",
+            },
+            body=body,
+        )
+
+
+def _read_request(connection: socket.socket, limit: int = 1 << 20) -> bytes:
+    """Read until the end of a GET/HEAD request head."""
+    connection.settimeout(5.0)
+    chunks = bytearray()
+    while b"\r\n\r\n" not in chunks and b"\n\n" not in chunks:
+        chunk = connection.recv(4096)
+        if not chunk:
+            break
+        chunks.extend(chunk)
+        if len(chunks) > limit:
+            raise HttpMessageError("request head too large")
+    return bytes(chunks)

@@ -1,0 +1,324 @@
+"""The caching proxy server.
+
+A threaded HTTP/1.0 proxy implementing the paper's three cases for a client
+request (Section 1):
+
+1. fresh cached copy -> serve it (**hit**);
+2. stale cached copy -> conditional GET to the origin; ``304`` refreshes
+   the copy and serves it (**hit**), anything else replaces it (**miss**);
+3. no copy -> fetch from the origin, cache if cacheable, serve (**miss**).
+
+Eviction is whatever removal policy the :class:`~repro.proxy.store.ProxyStore`
+was built with — by default SIZE, the paper's recommendation.  Responses
+carry an ``X-Cache`` header (``HIT``/``REVALIDATED``/``MISS``) so clients
+and tests can observe the path taken.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.httpnet.message import (
+    HttpMessageError,
+    HttpRequest,
+    HttpResponse,
+    format_http_date,
+)
+from repro.proxy.consistency import ConsistencyEstimator, Freshness
+from repro.proxy.origin import _read_request
+from repro.proxy.store import CachedDocument, ProxyStore
+
+__all__ = ["ProxyStats", "CachingProxy"]
+
+#: Resolves a URL's host to a (address, port) the proxy should connect to.
+#: Tests and demos point every host at a local toy origin.
+Resolver = Callable[[str], Tuple[str, int]]
+
+
+@dataclass
+class ProxyStats:
+    """Counters describing proxy behaviour since start."""
+
+    requests: int = 0
+    hits: int = 0
+    revalidations: int = 0
+    revalidation_hits: int = 0
+    misses: int = 0
+    errors: int = 0
+    bytes_from_cache: int = 0
+    bytes_from_origin: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """HR in percent, counting revalidated copies as hits (the paper's
+        case (2) hit)."""
+        if not self.requests:
+            return 0.0
+        return 100.0 * (self.hits + self.revalidation_hits) / self.requests
+
+
+class CachingProxy:
+    """A runnable HTTP/1.0 caching proxy.
+
+    Args:
+        store: the document store (capacity + removal policy).
+        resolver: maps a requested host to the (address, port) to fetch
+            from; defaults to connecting to the host itself.
+        estimator: freshness heuristics for cached copies.
+        host, port: listen address (port 0 picks a free port).
+        clock: time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        store: ProxyStore,
+        resolver: Optional[Resolver] = None,
+        estimator: Optional[ConsistencyEstimator] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        clock=_time.time,
+        access_log=None,
+    ) -> None:
+        self.store = store
+        self.resolver = resolver if resolver is not None else self._default_resolver
+        self.estimator = estimator if estimator is not None else ConsistencyEstimator()
+        self.stats = ProxyStats()
+        self._clock = clock
+        #: Optional writable text stream receiving one common-log-format
+        #: line per proxied request — so a running proxy produces exactly
+        #: the trace format the simulator consumes.
+        self.access_log = access_log
+        self._log_lock = threading.Lock()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self.address: Tuple[str, int] = self._listener.getsockname()
+        self._running = False
+        self._thread: Optional[threading.Thread] = None
+
+    @staticmethod
+    def _default_resolver(host: str) -> Tuple[str, int]:
+        name, _, port = host.partition(":")
+        return name, int(port) if port else 80
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> "CachingProxy":
+        self._running = True
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+    def __enter__(self) -> "CachingProxy":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _serve(self) -> None:
+        while self._running:
+            try:
+                connection, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._handle_connection, args=(connection,),
+                daemon=True,
+            ).start()
+
+    def _handle_connection(self, connection: socket.socket) -> None:
+        with connection:
+            try:
+                peer = connection.getpeername()[0]
+            except OSError:  # pragma: no cover - racing disconnect
+                peer = "-"
+            try:
+                request = HttpRequest.parse(_read_request(connection))
+            except (HttpMessageError, OSError):
+                self.stats.errors += 1
+                return
+            response = self.handle(request, client=peer)
+            try:
+                connection.sendall(response.serialize())
+            except OSError:  # pragma: no cover
+                pass
+
+    # -- the proxy decision procedure -------------------------------------------------
+
+    def handle(self, request: HttpRequest, client: str = "-") -> HttpResponse:
+        """Process one proxied request (socket-free core, used by tests)."""
+        self.stats.requests += 1
+        response = self._dispatch(request)
+        self._log_access(request, response, client)
+        return response
+
+    def _dispatch(self, request: HttpRequest) -> HttpResponse:
+        if not request.url.startswith("http://"):
+            self.stats.errors += 1
+            return HttpResponse(status=400)
+        if request.method in ("HEAD", "POST"):
+            # Pass through uncached: HEAD carries no cacheable body and
+            # POST responses are dynamic by definition (Section 1: only
+            # static documents are cacheable).
+            try:
+                response = self._forward(request)
+            except OSError:
+                self.stats.errors += 1
+                return HttpResponse(status=504)
+            self.stats.misses += 1
+            return self._tag(response, "PASS")
+        if request.method != "GET":
+            self.stats.errors += 1
+            return HttpResponse(status=501)
+        now = self._clock()
+        cached = self.store.get(request.url, now=now)
+        if cached is not None:
+            verdict = self.estimator.evaluate(
+                now, cached.fetched_at, cached.last_modified, cached.expires,
+            )
+            if verdict is Freshness.FRESH:
+                self.stats.hits += 1
+                self.stats.bytes_from_cache += cached.size
+                return self._respond_from(cached, "HIT")
+            return self._revalidate(request, cached, now)
+        return self._fetch_and_cache(request, now)
+
+    def _log_access(
+        self, request: HttpRequest, response: HttpResponse, client: str
+    ) -> None:
+        if self.access_log is None:
+            return
+        from repro.trace.clf import format_clf_line
+        from repro.trace.record import Request as TraceRequest
+
+        record = TraceRequest(
+            timestamp=max(0.0, self._clock()),
+            url=request.url,
+            size=len(response.body),
+            status=response.status,
+            client=client or "-",
+        )
+        line = format_clf_line(record, epoch=0.0, method=request.method)
+        with self._log_lock:
+            self.access_log.write(line + "\n")
+
+    # -- cases (2) and (3) -------------------------------------------------------------
+
+    def _revalidate(
+        self, request: HttpRequest, cached: CachedDocument, now: float
+    ) -> HttpResponse:
+        self.stats.revalidations += 1
+        conditional = HttpRequest(
+            method="GET",
+            url=request.url,
+            headers=dict(request.headers),
+        )
+        if cached.last_modified is not None:
+            conditional.headers["If-Modified-Since"] = format_http_date(
+                cached.last_modified
+            )
+        try:
+            origin_response = self._forward(conditional)
+        except OSError:
+            self.stats.errors += 1
+            return HttpResponse(status=504)
+        if origin_response.status == 304:
+            # Copy confirmed consistent: refresh and serve it (a hit).
+            self.stats.revalidation_hits += 1
+            self.stats.bytes_from_cache += cached.size
+            refreshed = CachedDocument(
+                url=cached.url,
+                body=cached.body,
+                status=cached.status,
+                content_type=cached.content_type,
+                fetched_at=now,
+                last_modified=cached.last_modified,
+                expires=cached.expires,
+            )
+            self.store.put(refreshed, now=now)
+            return self._respond_from(refreshed, "REVALIDATED")
+        # Document changed (or revalidation unsupported): treat as miss.
+        self.stats.misses += 1
+        self.store.invalidate(request.url)
+        self._maybe_cache(request.url, origin_response, now)
+        return self._tag(origin_response, "MISS")
+
+    def _fetch_and_cache(self, request: HttpRequest, now: float) -> HttpResponse:
+        try:
+            origin_response = self._forward(request)
+        except OSError:
+            self.stats.errors += 1
+            return HttpResponse(status=504)
+        self.stats.misses += 1
+        self._maybe_cache(request.url, origin_response, now)
+        return self._tag(origin_response, "MISS")
+
+    def _maybe_cache(
+        self, url: str, response: HttpResponse, now: float
+    ) -> None:
+        if response.status != 200 or not response.body:
+            return
+        if "?" in url:
+            return  # dynamically created documents cannot be cached (§1)
+        self.stats.bytes_from_origin += len(response.body)
+        expires = None
+        expires_header = response.headers.get("expires") or response.headers.get("Expires")
+        if expires_header:
+            try:
+                from repro.httpnet.message import parse_http_date
+                expires = parse_http_date(expires_header)
+            except HttpMessageError:
+                expires = None
+        self.store.put(CachedDocument(
+            url=url,
+            body=response.body,
+            status=response.status,
+            content_type=response.content_type,
+            fetched_at=now,
+            last_modified=response.last_modified,
+            expires=expires,
+        ), now=now)
+
+    # -- plumbing -----------------------------------------------------------------------
+
+    def _forward(self, request: HttpRequest) -> HttpResponse:
+        """Send a request to the origin and read the full response."""
+        host = urlsplit(request.url).netloc
+        address = self.resolver(host)
+        with socket.create_connection(address, timeout=5.0) as upstream:
+            upstream.sendall(request.serialize())
+            data = bytearray()
+            upstream.settimeout(5.0)
+            while True:
+                chunk = upstream.recv(65536)
+                if not chunk:
+                    break
+                data.extend(chunk)
+        return HttpResponse.parse(bytes(data))
+
+    @staticmethod
+    def _respond_from(cached: CachedDocument, tag: str) -> HttpResponse:
+        headers = {"Content-Type": cached.content_type, "X-Cache": tag}
+        if cached.last_modified is not None:
+            headers["Last-Modified"] = format_http_date(cached.last_modified)
+        return HttpResponse(status=200, headers=headers, body=cached.body)
+
+    @staticmethod
+    def _tag(response: HttpResponse, tag: str) -> HttpResponse:
+        response.headers["X-Cache"] = tag
+        return response

@@ -1,0 +1,170 @@
+"""A thread-safe document store with policy-driven eviction.
+
+:class:`ProxyStore` is the operational counterpart of the simulator's
+:class:`~repro.core.cache.SimCache`: it actually holds response bodies, is
+safe to use from the proxy's per-connection threads, and delegates every
+eviction decision to the same removal policies the simulation studies — so
+the SIZE result carries straight into a running proxy.
+
+Internally the store *is* a ``SimCache`` (for metadata, occupancy and the
+sorted eviction index) plus a body table kept in lock-step through the
+cache's eviction callback.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.cache import SimCache
+from repro.core.policy import RemovalPolicy
+from repro.trace.record import Request
+
+__all__ = ["CachedDocument", "StoreStats", "ProxyStore"]
+
+
+@dataclass
+class CachedDocument:
+    """A stored response body plus the metadata the proxy needs."""
+
+    url: str
+    body: bytes
+    status: int = 200
+    content_type: str = "application/octet-stream"
+    fetched_at: float = 0.0
+    last_modified: Optional[float] = None
+    expires: Optional[float] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.body)
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss accounting for a running store."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    bytes_served_from_cache: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """HR in percent over lookups so far."""
+        total = self.hits + self.misses
+        return 100.0 * self.hits / total if total else 0.0
+
+
+class ProxyStore:
+    """Byte-capacity document store with pluggable removal policy.
+
+    Args:
+        capacity: store size in bytes.
+        policy: any :mod:`repro.core` removal policy; defaults to SIZE,
+            the paper's recommendation.
+        seed: tie-break seed for the eviction order.
+        clock: time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: Optional[RemovalPolicy] = None,
+        seed: int = 0,
+        clock=_time.monotonic,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._lock = threading.Lock()
+        self._bodies: Dict[str, CachedDocument] = {}
+        self._clock = clock
+        self.stats = StoreStats()
+        self._cache = SimCache(
+            capacity=capacity,
+            policy=policy,
+            seed=seed,
+            on_evict=self._drop_body,
+        )
+
+    def _drop_body(self, entry) -> None:
+        self._bodies.pop(entry.url, None)
+        self.stats.evictions += 1
+
+    # -- public API -------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._cache.capacity
+
+    @property
+    def used_bytes(self) -> int:
+        return self._cache.used_bytes
+
+    def __len__(self) -> int:
+        return len(self._bodies)
+
+    def __contains__(self, url: str) -> bool:
+        with self._lock:
+            return url in self._bodies
+
+    def get(self, url: str, now: Optional[float] = None) -> Optional[CachedDocument]:
+        """Look a document up, updating recency/frequency on a hit."""
+        with self._lock:
+            document = self._bodies.get(url)
+            if document is None:
+                self.stats.misses += 1
+                return None
+            now = self._clock() if now is None else now
+            # Drive the metadata cache through its hit path so ATIME/NREF
+            # (and any mutable-key index) stay correct.
+            self._cache.access(
+                Request(timestamp=max(0.0, now), url=url, size=document.size)
+            )
+            self.stats.hits += 1
+            self.stats.bytes_served_from_cache += document.size
+            return document
+
+    def put(self, document: CachedDocument, now: Optional[float] = None) -> bool:
+        """Insert (or replace) a document; returns False when it cannot fit.
+
+        Replacement happens when the URL is already stored with a different
+        body — the live analogue of the simulator's modified-document miss.
+        """
+        if not document.body:
+            return False
+        with self._lock:
+            now = self._clock() if now is None else now
+            existing = self._bodies.get(document.url)
+            if existing is not None:
+                self._cache.remove(document.url)
+                self._bodies.pop(document.url, None)
+            result = self._cache.access(
+                Request(
+                    timestamp=max(0.0, now),
+                    url=document.url,
+                    size=document.size,
+                )
+            )
+            if document.url not in self._cache:
+                return False  # larger than the whole store
+            self._bodies[document.url] = document
+            self.stats.insertions += 1
+            return True
+
+    def invalidate(self, url: str) -> bool:
+        """Drop a URL (failed revalidation); returns whether it was held."""
+        with self._lock:
+            if url not in self._bodies:
+                return False
+            self._cache.remove(url)
+            self._bodies.pop(url, None)
+            return True
+
+    def snapshot(self) -> Dict[str, int]:
+        """URL -> size view of current contents (diagnostics)."""
+        with self._lock:
+            return {url: doc.size for url, doc in self._bodies.items()}

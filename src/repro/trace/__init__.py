@@ -1,0 +1,92 @@
+"""Trace substrate: request records, common log format IO, validation, stats.
+
+The paper's simulator consumes traces of World-Wide Web document requests
+collected either from CERN proxy logs or from a tcpdump-based backbone
+monitor, both normalised to the NCSA/CERN "common log format" (CLF),
+optionally augmented with extra HTTP header fields (Last-Modified,
+Content-Type).  This subpackage provides:
+
+* :mod:`repro.trace.record` -- the in-memory request/record types every other
+  subsystem consumes.
+* :mod:`repro.trace.clf` -- parsing and emission of (augmented) common log
+  format lines.
+* :mod:`repro.trace.validation` -- the paper's Section 1.1 rules deciding
+  which raw requests form the *valid* trace driving the simulation.
+* :mod:`repro.trace.reader` / :mod:`repro.trace.writer` -- streaming file IO.
+* :mod:`repro.trace.stats` -- workload characterisation used by the paper's
+  Section 2.2 (Table 4, Figures 1, 2, 13 and 14).
+"""
+
+from repro.trace.record import (
+    DocumentType,
+    Request,
+    TraceMetadata,
+    classify_extension,
+    classify_url,
+)
+from repro.trace.clf import (
+    CLFError,
+    format_clf_line,
+    parse_clf_line,
+    parse_clf_time,
+)
+from repro.trace.validation import TraceValidator, ValidationStats
+from repro.trace.reader import read_clf_file, read_clf_lines
+from repro.trace.writer import write_clf_file, write_clf_lines
+from repro.trace.stats import (
+    WorkloadSummary,
+    interreference_scatter,
+    server_rank_series,
+    size_histogram,
+    summarize,
+    type_distribution,
+    url_bytes_rank_series,
+)
+from repro.trace.sampling import sample_by_url, url_sample_rate_hash
+from repro.trace.tools import (
+    anonymize_clients,
+    filter_clients,
+    filter_days,
+    filter_servers,
+    filter_types,
+    merge_traces,
+    rebase_timestamps,
+    split_by_day,
+    split_by_type,
+)
+
+__all__ = [
+    "DocumentType",
+    "Request",
+    "TraceMetadata",
+    "classify_extension",
+    "classify_url",
+    "CLFError",
+    "format_clf_line",
+    "parse_clf_line",
+    "parse_clf_time",
+    "TraceValidator",
+    "ValidationStats",
+    "read_clf_file",
+    "read_clf_lines",
+    "write_clf_file",
+    "write_clf_lines",
+    "WorkloadSummary",
+    "interreference_scatter",
+    "server_rank_series",
+    "size_histogram",
+    "summarize",
+    "type_distribution",
+    "url_bytes_rank_series",
+    "anonymize_clients",
+    "filter_clients",
+    "filter_days",
+    "filter_servers",
+    "filter_types",
+    "merge_traces",
+    "rebase_timestamps",
+    "split_by_day",
+    "split_by_type",
+    "sample_by_url",
+    "url_sample_rate_hash",
+]

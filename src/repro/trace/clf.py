@@ -1,0 +1,158 @@
+"""Common log format (CLF) parsing and emission.
+
+The NCSA/CERN common log format is::
+
+    host ident authuser [DD/Mon/YYYY:HH:MM:SS zone] "METHOD url HTTP/v" status bytes
+
+The paper's tcpdump filter produces CLF "augmented by additional fields
+representing header fields not present in common format logs"; we support an
+optional trailing ``last_modified`` epoch column for that purpose (workloads
+BR and BL carried Last-Modified, which the paper used to estimate how often a
+same-size document had actually changed).
+
+Timestamps are converted to seconds relative to an epoch supplied by the
+caller, because the simulator operates on trace-relative time.
+"""
+
+from __future__ import annotations
+
+import calendar
+import re
+import time as _time
+from typing import Optional
+
+from repro.trace.record import Request
+
+__all__ = ["CLFError", "parse_clf_line", "format_clf_line", "parse_clf_time"]
+
+
+class CLFError(ValueError):
+    """Raised when a log line cannot be parsed as common log format."""
+
+
+_CLF_RE = re.compile(
+    r'^(?P<host>\S+)\s+(?P<ident>\S+)\s+(?P<user>\S+)\s+'
+    r'\[(?P<time>[^\]]+)\]\s+'
+    r'"(?P<request>[^"]*)"\s+'
+    r'(?P<status>\d{3}|-)\s+'
+    r'(?P<bytes>\d+|-)'
+    r'(?:\s+(?P<lastmod>\d+(?:\.\d+)?|-))?'
+    r'\s*$'
+)
+
+_MONTHS = {
+    "Jan": 1, "Feb": 2, "Mar": 3, "Apr": 4, "May": 5, "Jun": 6,
+    "Jul": 7, "Aug": 8, "Sep": 9, "Oct": 10, "Nov": 11, "Dec": 12,
+}
+_MONTH_NAMES = {v: k for k, v in _MONTHS.items()}
+
+_TIME_RE = re.compile(
+    r"^(?P<day>\d{2})/(?P<mon>[A-Z][a-z]{2})/(?P<year>\d{4}):"
+    r"(?P<hh>\d{2}):(?P<mm>\d{2}):(?P<ss>\d{2})\s*(?P<zone>[+-]\d{4})?$"
+)
+
+
+def parse_clf_time(text: str) -> float:
+    """Parse a CLF timestamp (``01/Jul/1995:00:00:01 -0400``) to Unix epoch."""
+    match = _TIME_RE.match(text.strip())
+    if match is None:
+        raise CLFError(f"unparseable CLF timestamp: {text!r}")
+    month = _MONTHS.get(match.group("mon"))
+    if month is None:
+        raise CLFError(f"unknown month in CLF timestamp: {text!r}")
+    seconds = calendar.timegm((
+        int(match.group("year")), month, int(match.group("day")),
+        int(match.group("hh")), int(match.group("mm")), int(match.group("ss")),
+        0, 0, 0,
+    ))
+    zone = match.group("zone")
+    if zone:
+        offset = int(zone[1:3]) * 3600 + int(zone[3:5]) * 60
+        if zone[0] == "+":
+            seconds -= offset
+        else:
+            seconds += offset
+    return float(seconds)
+
+
+def format_clf_time(epoch: float) -> str:
+    """Format a Unix epoch as a CLF timestamp in UTC."""
+    tm = _time.gmtime(epoch)
+    return (
+        f"{tm.tm_mday:02d}/{_MONTH_NAMES[tm.tm_mon]}/{tm.tm_year:04d}:"
+        f"{tm.tm_hour:02d}:{tm.tm_min:02d}:{tm.tm_sec:02d} +0000"
+    )
+
+
+def parse_clf_line(line: str, epoch: float = 0.0) -> Request:
+    """Parse one CLF line into a :class:`~repro.trace.record.Request`.
+
+    Args:
+        line: the raw log line, with or without the augmented trailing
+            Last-Modified column.
+        epoch: Unix epoch of trace start; the resulting request timestamp is
+            ``max(0, wall_time - epoch)``.
+
+    Raises:
+        CLFError: if the line is not parseable, the request field is not a
+            ``METHOD URL [HTTP/x]`` triple, or fields are out of range.
+    """
+    match = _CLF_RE.match(line)
+    if match is None:
+        raise CLFError(f"unparseable CLF line: {line!r}")
+    request_field = match.group("request").split()
+    if len(request_field) < 2:
+        raise CLFError(f"malformed request field in CLF line: {line!r}")
+    url = request_field[1]
+    wall = parse_clf_time(match.group("time"))
+    status_text = match.group("status")
+    status = 0 if status_text == "-" else int(status_text)
+    bytes_text = match.group("bytes")
+    size = 0 if bytes_text == "-" else int(bytes_text)
+    lastmod_text = match.group("lastmod")
+    last_modified: Optional[float] = None
+    if lastmod_text and lastmod_text != "-":
+        last_modified = float(lastmod_text)
+    timestamp = wall - epoch
+    if timestamp < 0:
+        raise CLFError(
+            f"request at {wall} precedes trace epoch {epoch}: {line!r}"
+        )
+    return Request(
+        timestamp=timestamp,
+        url=url,
+        size=size,
+        status=status,
+        client=match.group("host"),
+        last_modified=last_modified,
+    )
+
+
+def format_clf_line(
+    request: Request,
+    epoch: float = 0.0,
+    method: str = "GET",
+    augmented: bool = False,
+) -> str:
+    """Render a request as a CLF line.
+
+    Args:
+        request: the request to serialise.
+        epoch: Unix epoch of trace start, added to the trace-relative
+            timestamp to recover wall time.
+        method: HTTP method to place in the request field.
+        augmented: when true, append the Last-Modified epoch column used by
+            the paper's tcpdump filter output (``-`` when absent).
+    """
+    when = format_clf_time(epoch + request.timestamp)
+    status = request.status if request.status else "-"
+    line = (
+        f'{request.client or "-"} - - [{when}] '
+        f'"{method} {request.url} HTTP/1.0" {status} {request.size}'
+    )
+    if augmented:
+        if request.last_modified is None:
+            line += " -"
+        else:
+            line += f" {request.last_modified:.0f}"
+    return line

@@ -1,0 +1,48 @@
+"""Streaming readers for common-log-format trace files."""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.trace.clf import CLFError, parse_clf_line
+from repro.trace.record import Request
+
+__all__ = ["read_clf_lines", "read_clf_file"]
+
+
+def read_clf_lines(
+    lines: Iterable[str],
+    epoch: float = 0.0,
+    skip_malformed: bool = True,
+) -> Iterator[Request]:
+    """Parse an iterable of CLF lines into requests.
+
+    Blank lines and ``#`` comments are ignored.  Malformed lines are skipped
+    when ``skip_malformed`` is true (the behaviour a robust log consumer
+    needs) and raise :class:`~repro.trace.clf.CLFError` otherwise.
+    """
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            yield parse_clf_line(stripped, epoch=epoch)
+        except CLFError:
+            if not skip_malformed:
+                raise
+
+
+def read_clf_file(
+    path: Union[str, Path],
+    epoch: float = 0.0,
+    skip_malformed: bool = True,
+) -> Iterator[Request]:
+    """Stream requests from a CLF file; ``.gz`` files are decompressed."""
+    path = Path(path)
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "rt", encoding="utf-8", errors="replace") as handle:
+        yield from read_clf_lines(
+            handle, epoch=epoch, skip_malformed=skip_malformed
+        )

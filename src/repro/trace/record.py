@@ -1,0 +1,187 @@
+"""Request records and document-type classification.
+
+A *document* in the paper is any item retrieved by a URL.  The simulator only
+needs a handful of fields per request; everything else carried by a log line
+(identities, protocol version, raw header fields) is preserved on the record
+for the collection-pipeline substrate but ignored by the cache simulation.
+
+Document types follow the grouping of Table 4 of the paper: ``graphics``,
+``text`` (text/HTML), ``audio``, ``video``, ``cgi`` (dynamically generated)
+and ``unknown``.  Types are derived from the filename extension exactly as the
+paper describes ("files ending in .gif, .jpg, .jpeg, etc. are considered
+graphics"); URLs whose extension fits no category are ``unknown``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+from urllib.parse import urlsplit
+
+
+class DocumentType(enum.Enum):
+    """Media-type categories used throughout the paper (Table 4)."""
+
+    GRAPHICS = "graphics"
+    TEXT = "text"
+    AUDIO = "audio"
+    VIDEO = "video"
+    CGI = "cgi"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Filename extensions for each category, mirroring mid-1990s web content.
+_EXTENSION_TABLE = {
+    DocumentType.GRAPHICS: (
+        "gif", "jpg", "jpeg", "jpe", "xbm", "xpm", "png", "bmp", "pbm",
+        "pgm", "ppm", "rgb", "tif", "tiff", "ico",
+    ),
+    DocumentType.TEXT: (
+        "html", "htm", "txt", "text", "ps", "tex", "dvi", "doc", "rtf",
+        "pdf", "md",
+    ),
+    DocumentType.AUDIO: (
+        "au", "snd", "wav", "aif", "aiff", "aifc", "mp2", "mpa", "ra",
+        "ram", "mid", "midi", "mp3",
+    ),
+    DocumentType.VIDEO: (
+        "mpg", "mpeg", "mpe", "mov", "qt", "avi", "movie", "fli",
+    ),
+}
+
+_EXTENSION_TO_TYPE = {
+    ext: doc_type
+    for doc_type, extensions in _EXTENSION_TABLE.items()
+    for ext in extensions
+}
+
+#: Path substrings that mark a document as dynamically generated (CGI).
+_CGI_MARKERS = ("/cgi-bin/", "/htbin/", "/cgi/")
+
+
+def classify_extension(extension: str) -> DocumentType:
+    """Map a bare filename extension (no dot) to a :class:`DocumentType`."""
+    return _EXTENSION_TO_TYPE.get(extension.lower(), DocumentType.UNKNOWN)
+
+
+def classify_url(url: str) -> DocumentType:
+    """Classify a URL into the paper's Table 4 categories.
+
+    A URL is CGI if it carries a query string, ends in a known CGI
+    extension, or lives under a conventional CGI directory.  Otherwise the
+    category is derived from the final path component's extension; paths
+    without an extension (including directory URLs ending in ``/``) are
+    treated as text, matching how mid-90s servers returned ``index.html``.
+    """
+    parts = urlsplit(url)
+    path = parts.path or "/"
+    if parts.query or path.endswith((".cgi", ".pl")):
+        return DocumentType.CGI
+    lowered = path.lower()
+    if any(marker in lowered for marker in _CGI_MARKERS):
+        return DocumentType.CGI
+    final = lowered.rsplit("/", 1)[-1]
+    if "." not in final:
+        return DocumentType.TEXT
+    extension = final.rsplit(".", 1)[-1]
+    if not extension:
+        return DocumentType.TEXT
+    if extension in ("cgi", "pl"):
+        return DocumentType.CGI
+    return _EXTENSION_TO_TYPE.get(extension, DocumentType.UNKNOWN)
+
+
+def server_of_url(url: str) -> str:
+    """Return the host (server) component of a URL, lower-cased.
+
+    URLs without a scheme are treated as server-relative and yield ``""``.
+    """
+    parts = urlsplit(url)
+    return (parts.netloc or "").lower()
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request for a URL, as consumed by the simulator.
+
+    Attributes:
+        timestamp: seconds since the start of the trace epoch (float so that
+            sub-second synthetic inter-arrivals are representable).
+        url: the requested URL.  Matching in the cache is by exact URL string.
+        size: document size in bytes as reported by the log (the response
+            body length).  ``0`` encodes "size unknown" per Section 1.1.
+        status: HTTP status code returned to the client.
+        client: requesting host (dotted quad or name); used only by the
+            collection pipeline and workload characterisation.
+        doc_type: the Table 4 media category, precomputed when known.
+        last_modified: Last-Modified timestamp when the augmented log carries
+            it (workloads BR/BL); ``None`` otherwise.
+    """
+
+    timestamp: float
+    url: str
+    size: int
+    status: int = 200
+    client: str = "-"
+    doc_type: Optional[DocumentType] = None
+    last_modified: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"size must be non-negative, got {self.size}")
+        if self.timestamp < 0:
+            raise ValueError(
+                f"timestamp must be non-negative, got {self.timestamp}"
+            )
+
+    @property
+    def media_type(self) -> DocumentType:
+        """The document's category, classifying the URL on demand."""
+        if self.doc_type is not None:
+            return self.doc_type
+        return classify_url(self.url)
+
+    @property
+    def server(self) -> str:
+        """The server (host) named by the URL."""
+        return server_of_url(self.url)
+
+    @property
+    def day(self) -> int:
+        """Zero-based day index of the request within the trace."""
+        return int(self.timestamp // 86400)
+
+    def with_size(self, size: int) -> "Request":
+        """Return a copy of this request carrying a different size.
+
+        Used by validation when a size-0 request inherits the URL's last
+        known size (Section 1.1).
+        """
+        return Request(
+            timestamp=self.timestamp,
+            url=self.url,
+            size=size,
+            status=self.status,
+            client=self.client,
+            doc_type=self.doc_type,
+            last_modified=self.last_modified,
+        )
+
+
+@dataclass
+class TraceMetadata:
+    """Descriptive header accompanying a trace.
+
+    Not used by the simulator itself; carried so that generated traces are
+    self-describing and reports can label output with the workload name.
+    """
+
+    name: str = ""
+    description: str = ""
+    start_epoch: float = 0.0
+    duration_days: int = 0
+    extra: dict = field(default_factory=dict)

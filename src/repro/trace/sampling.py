@@ -1,0 +1,54 @@
+"""Spatial trace sampling (the SHARDS idea, reduced to essentials).
+
+Uniformly sampling *requests* from a trace destroys re-reference
+structure; sampling *URLs* preserves it — every request for a kept URL is
+kept, so each sampled document's reference pattern is intact.  Simulating
+the sampled trace against a cache scaled by the same rate then
+approximates the full trace's hit ratio at a fraction of the cost
+(Waldspurger et al.'s SHARDS, applied to this simulator).
+
+The hash is salted and stable across processes, so samples are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.trace.record import Request
+
+__all__ = ["url_sample_rate_hash", "sample_by_url"]
+
+_HASH_SPACE = 2**32
+
+
+def url_sample_rate_hash(url: str, salt: int = 0) -> float:
+    """The URL's stable position in [0, 1): kept iff below the rate."""
+    digest = zlib.crc32(f"{salt}:{url}".encode("utf-8"))
+    return digest / _HASH_SPACE
+
+
+def sample_by_url(
+    trace: Iterable[Request],
+    rate: float,
+    salt: int = 0,
+) -> Iterator[Request]:
+    """Yield the requests whose URL falls in the sampled fraction.
+
+    Args:
+        trace: the (valid) request stream.
+        rate: fraction of the URL space to keep, in (0, 1].
+        salt: varies which URLs are kept, for repeated estimates.
+
+    Raises:
+        ValueError: for a rate outside (0, 1].
+    """
+    if not 0.0 < rate <= 1.0:
+        raise ValueError(f"rate must be in (0, 1], got {rate}")
+    if rate == 1.0:
+        yield from trace
+        return
+    for request in trace:
+        if url_sample_rate_hash(request.url, salt) < rate:
+            yield request

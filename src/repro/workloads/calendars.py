@@ -1,0 +1,181 @@
+"""Activity calendars: how request volume varies across and within days.
+
+The paper's hit-rate figures (3-7) show strong temporal structure that the
+synthetic traces must reproduce for the moving-average curves to have the
+right shape:
+
+* Workload U (190 days) spans spring, a summer break (hit-rate dip near day
+  65), and a fall-semester start near day 155 with a surge of new users and
+  roughly 2.5x the request rate.
+* Workload C was collected in a classroom meeting four days a week, so three
+  days of most weeks have *zero* requests (the source of the horizontal
+  segments in Figure 5).
+* Workloads BR and BL show weekday/weekend alternation typical of a
+  department backbone.
+
+A calendar assigns a non-negative *weight* to each day; the generator
+distributes the workload's request budget across days proportionally, and
+draws intra-day offsets from a diurnal (campus working-hours) profile.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+__all__ = [
+    "ActivityCalendar",
+    "weekday_calendar",
+    "classroom_calendar",
+    "semester_calendar",
+    "flat_calendar",
+    "diurnal_offset",
+]
+
+
+@dataclass
+class ActivityCalendar:
+    """Per-day activity weights over a trace of ``len(weights)`` days."""
+
+    weights: List[float]
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("calendar must cover at least one day")
+        if any(w < 0 for w in self.weights):
+            raise ValueError("day weights must be non-negative")
+        if not any(w > 0 for w in self.weights):
+            raise ValueError("calendar must have at least one active day")
+
+    @property
+    def days(self) -> int:
+        return len(self.weights)
+
+    def allocate(self, total_requests: int) -> List[int]:
+        """Split a request budget across days proportionally to weight.
+
+        Uses largest-remainder rounding so the counts sum exactly to
+        ``total_requests`` and zero-weight days receive zero requests.
+        """
+        if total_requests < 0:
+            raise ValueError("total_requests must be non-negative")
+        total_weight = sum(self.weights)
+        quotas = [w / total_weight * total_requests for w in self.weights]
+        counts = [int(q) for q in quotas]
+        shortfall = total_requests - sum(counts)
+        remainders = sorted(
+            range(len(quotas)),
+            key=lambda i: quotas[i] - counts[i],
+            reverse=True,
+        )
+        for i in remainders[:shortfall]:
+            counts[i] += 1
+        return counts
+
+    def active_days(self) -> List[int]:
+        """Indices of days with non-zero weight (the *recorded* days)."""
+        return [i for i, w in enumerate(self.weights) if w > 0]
+
+
+def diurnal_offset(rng: random.Random) -> float:
+    """Seconds-into-day offset following a campus working-hours profile.
+
+    A truncated-normal bump centred mid-afternoon: most activity between
+    09:00 and 23:00, a thin overnight tail.
+    """
+    while True:
+        offset = rng.gauss(15.5 * 3600, 4.5 * 3600)
+        if 0.0 <= offset < 86400.0:
+            return offset
+
+
+def flat_calendar(days: int) -> ActivityCalendar:
+    """Uniform weight every day."""
+    return ActivityCalendar([1.0] * days)
+
+
+def weekday_calendar(
+    days: int,
+    weekend_factor: float = 0.45,
+    start_weekday: int = 0,
+    jitter: float = 0.15,
+    rng: Optional[random.Random] = None,
+) -> ActivityCalendar:
+    """Weekday/weekend alternation with mild day-to-day noise.
+
+    Args:
+        days: trace length.
+        weekend_factor: weekend weight relative to a weekday.
+        start_weekday: weekday (0=Mon) of trace day 0.
+        jitter: multiplicative uniform noise amplitude.
+        rng: randomness source for the jitter (seeded default when omitted).
+    """
+    source = rng if rng is not None else random.Random(1)
+    weights = []
+    for day in range(days):
+        weekday = (start_weekday + day) % 7
+        base = weekend_factor if weekday >= 5 else 1.0
+        noise = 1.0 + jitter * (2.0 * source.random() - 1.0)
+        weights.append(base * noise)
+    return ActivityCalendar(weights)
+
+
+def classroom_calendar(
+    days: int,
+    meeting_weekdays: Sequence[int] = (0, 1, 2, 3),
+    start_weekday: int = 0,
+    skipped_meetings: Sequence[int] = (),
+) -> ActivityCalendar:
+    """Class-session calendar: requests only on meeting days.
+
+    Args:
+        days: trace length.
+        meeting_weekdays: weekdays (0=Mon) on which the class meets; the
+            paper's workload C met four days each week.
+        start_weekday: weekday of trace day 0.
+        skipped_meetings: day indices that would be meetings but were field
+            trips / cancellations (weight zero), per Figure 5's caption.
+    """
+    skipped = set(skipped_meetings)
+    weights = []
+    for day in range(days):
+        weekday = (start_weekday + day) % 7
+        meets = weekday in meeting_weekdays and day not in skipped
+        weights.append(1.0 if meets else 0.0)
+    return ActivityCalendar(weights)
+
+
+def semester_calendar(
+    days: int,
+    break_start: int,
+    break_end: int,
+    surge_start: int,
+    break_factor: float = 0.15,
+    surge_factor: float = 2.5,
+    weekend_factor: float = 0.5,
+    start_weekday: int = 0,
+    rng: Optional[random.Random] = None,
+) -> ActivityCalendar:
+    """Workload-U style calendar: spring term, summer break, fall surge.
+
+    Weights are a weekday/weekend pattern modulated by a ``break_factor``
+    trough over ``[break_start, break_end)`` and a ``surge_factor`` plateau
+    from ``surge_start`` on (the fall-semester request-rate jump the paper
+    reports for workload U).
+    """
+    if not 0 <= break_start <= break_end <= days:
+        raise ValueError("break interval must lie within the trace")
+    if not 0 <= surge_start <= days:
+        raise ValueError("surge_start must lie within the trace")
+    base = weekday_calendar(
+        days, weekend_factor=weekend_factor,
+        start_weekday=start_weekday, rng=rng,
+    )
+    weights = list(base.weights)
+    for day in range(days):
+        if break_start <= day < break_end:
+            weights[day] *= break_factor
+        elif day >= surge_start:
+            weights[day] *= surge_factor
+    return ActivityCalendar(weights)

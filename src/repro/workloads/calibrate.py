@@ -1,0 +1,128 @@
+"""Calibrate a workload profile from an observed trace.
+
+The reproduction's generator was calibrated by hand to the paper's
+published numbers; this module automates the same procedure for any
+validated trace: measure the headline volumes, the media-type mix, the
+unique-document footprint, the popularity skew and the within-day
+locality, and assemble a :class:`~repro.workloads.profiles.WorkloadProfile`
+that generates statistically similar synthetic traffic.
+
+Typical uses: synthesising shareable stand-ins for logs that cannot leave
+an organisation, and scaling an observed workload up or down for capacity
+planning (``generate(profile, scale=4.0)``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.trace.record import Request
+from repro.trace.stats import server_rank_series, summarize, type_distribution, zipf_slope
+from repro.workloads.calendars import ActivityCalendar
+from repro.workloads.custom import make_profile
+from repro.workloads.profiles import WorkloadProfile
+
+__all__ = ["measure_same_day_locality", "profile_from_trace"]
+
+
+def measure_same_day_locality(trace: Sequence[Request]) -> float:
+    """Fraction of requests re-referencing a URL already seen that day.
+
+    This is the generator's ``same_day_locality`` knob measured directly:
+    the probability that a request's URL already occurred earlier on the
+    same trace day.
+    """
+    seen_today: set = set()
+    current_day = -1
+    repeats = 0
+    total = 0
+    for request in trace:
+        if request.day != current_day:
+            current_day = request.day
+            seen_today = set()
+        total += 1
+        if request.url in seen_today:
+            repeats += 1
+        seen_today.add(request.url)
+    return repeats / total if total else 0.0
+
+
+def _measured_calendar(trace: Sequence[Request], days: int):
+    """A calendar factory replaying the trace's own daily volumes."""
+    volumes = [0.0] * days
+    for request in trace:
+        if request.day < days:
+            volumes[request.day] += 1.0
+    if not any(volumes):
+        volumes = [1.0] * days
+
+    def factory(requested_days: int, rng: random.Random) -> ActivityCalendar:
+        if requested_days == days:
+            weights = list(volumes)
+        elif requested_days < days:
+            weights = volumes[:requested_days]
+        else:
+            weights = volumes + [max(volumes)] * (requested_days - days)
+        if not any(weights):
+            weights = [1.0] * len(weights)
+        return ActivityCalendar(weights)
+
+    return factory
+
+
+def profile_from_trace(
+    trace: Sequence[Request],
+    key: str = "CAL",
+    name: str = "",
+    replay_calendar: bool = True,
+    **overrides,
+) -> WorkloadProfile:
+    """Build a workload profile matching an observed *valid* trace.
+
+    Args:
+        trace: the validated request stream to imitate.
+        key: identifier for the synthetic workload.
+        name: display name.
+        replay_calendar: when true, the synthetic trace reproduces the
+            observed per-day request volumes exactly; otherwise a generic
+            weekday calendar is used.
+        **overrides: any :class:`WorkloadProfile` field to force.
+
+    Raises:
+        ValueError: for an empty trace.
+    """
+    trace = list(trace)
+    if not trace:
+        raise ValueError("cannot calibrate from an empty trace")
+    summary = summarize(trace)
+
+    type_mix: Dict[str, Tuple[float, float]] = {}
+    for row in type_distribution(trace):
+        if row.refs > 0:
+            type_mix[row.doc_type.value] = (row.pct_refs, max(row.pct_bytes, 1e-6))
+
+    try:
+        slope = zipf_slope(server_rank_series(trace))
+        zipf_exponent = min(1.3, max(0.5, -slope))
+    except ValueError:
+        zipf_exponent = 0.9
+
+    parameters = dict(
+        key=key,
+        name=name or f"calibrated from {summary.requests} requests",
+        requests=summary.requests,
+        duration_days=summary.duration_days,
+        mean_request_size=summary.total_bytes / summary.requests,
+        type_mix=type_mix,
+        max_needed_bytes=max(1, summary.unique_bytes),
+        zipf_exponent=zipf_exponent,
+        server_count=max(2, summary.unique_servers),
+        same_day_locality=min(0.6, measure_same_day_locality(trace)),
+    )
+    if replay_calendar:
+        parameters["calendar_factory"] = _measured_calendar(
+            trace, summary.duration_days,
+        )
+    parameters.update(overrides)
+    return make_profile(**parameters)

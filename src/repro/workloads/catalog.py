@@ -1,0 +1,179 @@
+"""URL catalogs: the universe of documents a synthetic workload references.
+
+A catalog holds, per media type, an ordered list of documents (most popular
+first).  Each document has a stable URL, a home server, and a *current* size
+that modification events may change over the life of the trace — the paper
+measured that 0.5%-4.1% of re-referenced URLs had changed size, and its hit
+definition (URL *and* size match) makes those modifications misses.
+
+Servers are assigned to documents by a Zipf draw so that a few servers host
+the popular documents, reproducing the request-per-server concentration of
+Figure 1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.trace.record import DocumentType
+from repro.workloads.sizes import SizeModel
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = ["Document", "Catalog", "build_catalog"]
+
+#: Representative filename extension per media type.
+_EXTENSION_FOR_TYPE = {
+    DocumentType.GRAPHICS: "gif",
+    DocumentType.TEXT: "html",
+    DocumentType.AUDIO: "au",
+    DocumentType.VIDEO: "mpg",
+    DocumentType.CGI: "cgi",
+    DocumentType.UNKNOWN: "zip",
+}
+
+
+@dataclass
+class Document:
+    """One document in the synthetic universe."""
+
+    url: str
+    server: str
+    doc_type: DocumentType
+    size: int
+    generation: int = 0
+    times_modified: int = 0
+
+    def modify(self, new_size: int) -> None:
+        """Record a modification event changing the document's size."""
+        if new_size < 1:
+            raise ValueError("modified size must be positive")
+        self.size = new_size
+        self.times_modified += 1
+
+
+@dataclass
+class Catalog:
+    """The document universe, grouped by media type in popularity order."""
+
+    by_type: Dict[DocumentType, List[Document]] = field(default_factory=dict)
+    servers: List[str] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Total number of documents across all types."""
+        return sum(len(docs) for docs in self.by_type.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of current document sizes (upper bound on MaxNeeded)."""
+        return sum(
+            doc.size for docs in self.by_type.values() for doc in docs
+        )
+
+    def documents(self) -> List[Document]:
+        """All documents, in no particular order."""
+        return [doc for docs in self.by_type.values() for doc in docs]
+
+
+def _server_names(count: int, domain: str) -> List[str]:
+    """Server hostnames; the first few live in the home domain, the rest
+    spread over synthetic external domains (matching the BL observation that
+    13 of the top 20 servers were outside vt.edu)."""
+    names = []
+    for index in range(count):
+        if index < max(1, count // 4):
+            names.append(f"server{index}.{domain}")
+        else:
+            names.append(f"www{index}.ext{index % 97}.example.com")
+    return names
+
+
+def _correlated_size_assignment(
+    sizes: List[int], correlation: float, rng: random.Random
+) -> List[int]:
+    """Order sizes so that popular ranks (low indices) tend to be small.
+
+    The paper's Figure 14 shows the re-reference mass concentrated at small
+    document sizes: popular documents are mostly small ones (users avoid
+    slow downloads; designers keep inline images small).  ``correlation``
+    blends between a fully size-sorted assignment (1.0) and an independent
+    shuffle (0.0) by ranking each ascending-sorted position with Gaussian
+    noise proportional to ``1 - correlation``.
+    """
+    if not 0.0 <= correlation <= 1.0:
+        raise ValueError("correlation must be in [0, 1]")
+    count = len(sizes)
+    ordered = sorted(sizes)
+    if correlation >= 1.0 or count < 2:
+        return ordered
+    disorder = (1.0 - correlation) * count
+    noisy_positions = sorted(
+        range(count), key=lambda i: i + rng.gauss(0.0, disorder)
+    )
+    result = [0] * count
+    for position, size_index in enumerate(noisy_positions):
+        result[position] = ordered[size_index]
+    return result
+
+
+def build_catalog(
+    type_counts: Dict[DocumentType, int],
+    size_models: Dict[DocumentType, SizeModel],
+    rng: random.Random,
+    server_count: int = 100,
+    server_zipf_exponent: float = 1.0,
+    domain: str = "cs.vt.edu",
+    generation: int = 0,
+    url_prefix: str = "",
+    size_rank_correlation: float = 0.0,
+) -> Catalog:
+    """Construct a catalog.
+
+    Args:
+        type_counts: number of documents per media type.
+        size_models: calibrated size distribution per media type; must cover
+            every type in ``type_counts``.
+        rng: randomness source for sizes and server assignment.
+        server_count: number of distinct servers in the universe.
+        server_zipf_exponent: concentration of documents onto servers.
+        domain: home domain for internal servers.
+        generation: generation tag stamped on every document (used by the
+            workload-U fall-semester user-population shift).
+        url_prefix: extra path component distinguishing generations so URLs
+            never collide across catalogs.
+        size_rank_correlation: 0 = document size independent of popularity;
+            1 = the most popular document of each type is also the
+            smallest.  See :func:`_correlated_size_assignment`.
+    """
+    if server_count <= 0:
+        raise ValueError("server_count must be positive")
+    servers = _server_names(server_count, domain)
+    server_sampler = ZipfSampler(server_count, server_zipf_exponent, rng=rng)
+    by_type: Dict[DocumentType, List[Document]] = {}
+    for doc_type, count in type_counts.items():
+        if count < 0:
+            raise ValueError(f"negative document count for {doc_type}")
+        if count == 0:
+            continue
+        model = size_models[doc_type]
+        extension = _EXTENSION_FOR_TYPE[doc_type]
+        sizes = [model.sample(rng) for _ in range(count)]
+        sizes = _correlated_size_assignment(
+            sizes, size_rank_correlation, rng
+        )
+        documents = []
+        for index in range(count):
+            server = servers[server_sampler.sample(rng)]
+            path = f"{url_prefix}{doc_type.value}/doc{generation}_{index}"
+            url = f"http://{server}/{path}.{extension}"
+            documents.append(Document(
+                url=url,
+                server=server,
+                doc_type=doc_type,
+                size=sizes[index],
+                generation=generation,
+            ))
+        by_type[doc_type] = documents
+    return Catalog(by_type=by_type, servers=servers)

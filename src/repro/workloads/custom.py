@@ -1,0 +1,132 @@
+"""Builder for user-defined workload profiles.
+
+The five built-in profiles reproduce the paper's traces; downstream users
+studying their own environments need the same machinery with their own
+numbers.  :func:`make_profile` assembles a
+:class:`~repro.workloads.profiles.WorkloadProfile` from the quantities an
+operator actually knows — request volume, duration, mean document size,
+type mix — and fills in defensible defaults for the rest.
+
+Example::
+
+    from repro.workloads.custom import make_profile
+    from repro.workloads import generate_valid
+
+    profile = make_profile(
+        key="LAB",
+        requests=50_000,
+        duration_days=30,
+        mean_request_size=11_000,
+        type_mix={"graphics": (60, 45), "text": (38, 35),
+                  "video": (2, 20)},
+    )
+    trace = generate_valid(profile, seed=1)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.trace.record import DocumentType
+from repro.workloads.calendars import ActivityCalendar, weekday_calendar
+from repro.workloads.profiles import TypeShareTarget, WorkloadProfile
+
+__all__ = ["make_profile"]
+
+
+def _normalise_mix(
+    type_mix: Dict[str, Tuple[float, float]],
+) -> Tuple[TypeShareTarget, ...]:
+    """Turn ``{"graphics": (refs%, bytes%), ...}`` into calibrated targets.
+
+    Both the reference and byte shares are renormalised to sum to 100, so
+    callers can pass raw counts or rough percentages.
+    """
+    if not type_mix:
+        raise ValueError("type_mix must name at least one media type")
+    targets = []
+    total_refs = sum(refs for refs, _ in type_mix.values())
+    total_bytes = sum(bytes_ for _, bytes_ in type_mix.values())
+    if total_refs <= 0 or total_bytes <= 0:
+        raise ValueError("type_mix shares must be positive overall")
+    for name, (refs, bytes_) in type_mix.items():
+        if refs < 0 or bytes_ < 0:
+            raise ValueError(f"negative share for {name!r}")
+        doc_type = DocumentType(name)
+        targets.append(TypeShareTarget(
+            doc_type=doc_type,
+            pct_refs=100.0 * refs / total_refs,
+            pct_bytes=100.0 * bytes_ / total_bytes,
+        ))
+    return tuple(targets)
+
+
+def make_profile(
+    key: str,
+    requests: int,
+    duration_days: int,
+    mean_request_size: float,
+    type_mix: Dict[str, Tuple[float, float]],
+    max_needed_bytes: Optional[int] = None,
+    zipf_exponent: float = 0.9,
+    server_count: int = 200,
+    client_count: int = 50,
+    domain: str = "example.edu",
+    same_day_locality: float = 0.15,
+    calendar_factory=None,
+    name: str = "",
+    description: str = "",
+    **overrides,
+) -> WorkloadProfile:
+    """Assemble a workload profile from operator-level quantities.
+
+    Args:
+        key: short identifier (used in URL namespacing and reports).
+        requests: valid requests over the whole trace.
+        duration_days: trace length in days.
+        mean_request_size: mean bytes per request.
+        type_mix: ``{type_name: (refs_share, bytes_share)}``; shares are
+            renormalised, so counts are fine.
+        max_needed_bytes: unique-document footprint target; defaults to
+            40% of total bytes (a mid-range value for the paper's traces).
+        zipf_exponent: URL popularity skew.
+        server_count, client_count, domain: universe shape.
+        same_day_locality: probability of re-referencing a same-day URL.
+        calendar_factory: ``f(days, rng) -> ActivityCalendar``; a weekday
+            calendar when omitted.
+        name, description: labels for reports.
+        **overrides: any further :class:`WorkloadProfile` field.
+
+    Raises:
+        ValueError: on non-positive volumes or invalid shares.
+    """
+    if requests <= 0:
+        raise ValueError("requests must be positive")
+    if duration_days <= 0:
+        raise ValueError("duration_days must be positive")
+    if mean_request_size <= 0:
+        raise ValueError("mean_request_size must be positive")
+    total_bytes = int(requests * mean_request_size)
+    if max_needed_bytes is None:
+        max_needed_bytes = int(0.4 * total_bytes)
+    if calendar_factory is None:
+        def calendar_factory(days: int, rng: random.Random) -> ActivityCalendar:
+            return weekday_calendar(days, rng=rng)
+    return WorkloadProfile(
+        key=key,
+        name=name or key,
+        description=description or f"custom workload {key}",
+        duration_days=duration_days,
+        requests=requests,
+        total_bytes=total_bytes,
+        max_needed_bytes=max_needed_bytes,
+        type_mix=_normalise_mix(type_mix),
+        calendar_factory=calendar_factory,
+        zipf_exponent=zipf_exponent,
+        server_count=server_count,
+        client_count=client_count,
+        domain=domain,
+        same_day_locality=same_day_locality,
+        **overrides,
+    )

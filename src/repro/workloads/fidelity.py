@@ -1,0 +1,119 @@
+"""Fidelity checks: how closely does a generated trace match its profile?
+
+Used by the test suite and by calibration loops to quantify generator
+error in one place: volume deviations, the L1 distance between target and
+realised type mixes, the unique-footprint ratio, and the popularity
+slope.  A :class:`FidelityReport` renders as a one-screen summary and
+exposes an overall pass/fail against tolerances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.trace.record import Request
+from repro.trace.stats import (
+    server_rank_series,
+    summarize,
+    type_distribution,
+    zipf_slope,
+)
+from repro.workloads.profiles import WorkloadProfile
+
+__all__ = ["FidelityReport", "check_fidelity"]
+
+
+@dataclass
+class FidelityReport:
+    """Deviations of one generated trace from its profile's targets."""
+
+    profile_key: str
+    scale: float
+    #: Relative error of the valid request count.
+    request_error: float = 0.0
+    #: Relative error of total bytes transferred.
+    bytes_error: float = 0.0
+    #: L1 distance between target and realised reference shares (0-200).
+    refs_mix_l1: float = 0.0
+    #: L1 distance between target and realised byte shares (0-200).
+    bytes_mix_l1: float = 0.0
+    #: Realised unique footprint / (scale * max_needed target).
+    footprint_ratio: float = 0.0
+    #: Realised trace duration / profile duration.
+    duration_ratio: float = 0.0
+    #: log-log slope of the server popularity curve (NaN-free: 0 when
+    #: unfittable).
+    popularity_slope: float = 0.0
+
+    def acceptable(
+        self,
+        volume_tolerance: float = 0.05,
+        mix_tolerance: float = 25.0,
+        footprint_band: Sequence[float] = (0.3, 3.0),
+    ) -> bool:
+        """Overall verdict against (generous, scale-aware) tolerances."""
+        low, high = footprint_band
+        return (
+            abs(self.request_error) <= volume_tolerance
+            and self.refs_mix_l1 <= mix_tolerance
+            and low <= self.footprint_ratio <= high
+            and self.duration_ratio <= 1.0 + 1e-9
+        )
+
+    def summary(self) -> str:
+        """One-screen text rendering."""
+        lines = [
+            f"fidelity of generated {self.profile_key} (scale {self.scale}):",
+            f"  requests error      {100 * self.request_error:+.2f}%",
+            f"  bytes error         {100 * self.bytes_error:+.2f}%",
+            f"  refs-mix L1         {self.refs_mix_l1:.2f} points",
+            f"  bytes-mix L1        {self.bytes_mix_l1:.2f} points",
+            f"  footprint ratio     {self.footprint_ratio:.2f}x of target",
+            f"  duration ratio      {self.duration_ratio:.2f}",
+            f"  popularity slope    {self.popularity_slope:.2f}",
+        ]
+        return "\n".join(lines)
+
+
+def check_fidelity(
+    trace: Sequence[Request],
+    profile: WorkloadProfile,
+    scale: float = 1.0,
+) -> FidelityReport:
+    """Measure a generated (valid) trace against its profile's targets."""
+    if not trace:
+        raise ValueError("cannot assess an empty trace")
+    summary = summarize(trace)
+    target_requests = profile.requests * scale
+    target_bytes = profile.total_bytes * scale
+    target_footprint = profile.max_needed_bytes * scale
+
+    realised_mix = {
+        row.doc_type: row for row in type_distribution(trace)
+    }
+    refs_l1 = 0.0
+    bytes_l1 = 0.0
+    for target in profile.type_mix:
+        realised = realised_mix.get(target.doc_type)
+        realised_refs = realised.pct_refs if realised else 0.0
+        realised_bytes = realised.pct_bytes if realised else 0.0
+        refs_l1 += abs(target.pct_refs - realised_refs)
+        bytes_l1 += abs(target.pct_bytes - realised_bytes)
+
+    try:
+        slope = zipf_slope(server_rank_series(trace))
+    except ValueError:
+        slope = 0.0
+
+    return FidelityReport(
+        profile_key=profile.key,
+        scale=scale,
+        request_error=(summary.requests - target_requests) / target_requests,
+        bytes_error=(summary.total_bytes - target_bytes) / target_bytes,
+        refs_mix_l1=refs_l1,
+        bytes_mix_l1=bytes_l1,
+        footprint_ratio=summary.unique_bytes / target_footprint,
+        duration_ratio=summary.duration_days / profile.duration_days,
+        popularity_slope=slope,
+    )

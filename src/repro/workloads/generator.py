@@ -1,0 +1,321 @@
+"""Synthetic trace generation calibrated to the paper's workload profiles.
+
+The generator reproduces, per workload, every published characteristic the
+cache simulation is sensitive to:
+
+* headline volume: valid request count, duration, bytes transferred;
+* Table 4 media-type mix by references *and* bytes (via per-type calibrated
+  size models);
+* Zipf URL/server popularity (Figures 1-2) and the size skew of Figure 13;
+* the unique-document footprint (≈ MaxNeeded of Experiment 1);
+* temporal structure: activity calendars, within-day locality, end-of-term
+  review behaviour, workload U's fall-semester user-population shift;
+* document modifications (URL re-referenced with a different size) at the
+  paper's measured 0.5%-4.1% rate, and the Section 1.1 log artifacts
+  (non-200 lines, size-0 lines) so validation is exercised end to end.
+
+Generation is fully deterministic given ``(profile, seed, scale)``.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.trace.record import DocumentType, Request, TraceMetadata
+from repro.trace.validation import TraceValidator
+from repro.workloads.calendars import diurnal_offset
+from repro.workloads.catalog import Catalog, Document, build_catalog
+from repro.workloads.profiles import PROFILES, WorkloadProfile, profile as lookup_profile
+from repro.workloads.sizes import SizeModel, model_for_mean
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = ["GeneratedTrace", "WorkloadGenerator", "generate", "generate_valid"]
+
+
+@dataclass
+class GeneratedTrace:
+    """A synthesised workload: the raw log plus provenance."""
+
+    profile: WorkloadProfile
+    seed: int
+    scale: float
+    raw: List[Request]
+    catalog: Catalog
+    metadata: TraceMetadata
+
+    def valid(self) -> List[Request]:
+        """The validated trace (Section 1.1 rules applied)."""
+        return TraceValidator().validate(self.raw)
+
+
+class WorkloadGenerator:
+    """Synthesises a trace for one workload profile.
+
+    Args:
+        profile: the workload to synthesise (see
+            :mod:`repro.workloads.profiles`).
+        seed: randomness seed; identical ``(profile, seed, scale)`` triples
+            produce identical traces.
+        scale: multiplies the request count and the document universe
+            (hence MaxNeeded) while preserving per-URL concentration;
+            tests and benchmarks use small scales for speed.
+    """
+
+    def __init__(
+        self,
+        profile: Union[WorkloadProfile, str],
+        seed: int = 0,
+        scale: float = 1.0,
+    ) -> None:
+        if isinstance(profile, str):
+            profile = lookup_profile(profile)
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.profile = profile
+        self.seed = seed
+        self.scale = scale
+        # zlib.crc32 is stable across processes (str hash() is salted, which
+        # would make traces irreproducible run to run).
+        key_hash = zlib.crc32(profile.key.encode("utf-8"))
+        self._rng = random.Random((key_hash ^ seed) & 0xFFFFFFFF)
+
+    # -- catalog construction ------------------------------------------------
+
+    def _size_models(self) -> Dict[DocumentType, SizeModel]:
+        models = {}
+        for target in self.profile.type_mix:
+            if target.pct_refs > 0:
+                mean = target.mean_size(self.profile.mean_request_size)
+                models[target.doc_type] = model_for_mean(
+                    target.doc_type.value, mean
+                )
+        return models
+
+    def _type_counts(self, budget_bytes: float) -> Dict[DocumentType, int]:
+        """Document counts per type so that the unique-document footprint
+        approximates ``budget_bytes`` split by the Table 4 byte shares."""
+        counts = {}
+        for target in self.profile.type_mix:
+            if target.pct_refs <= 0:
+                continue
+            mean = target.mean_size(self.profile.mean_request_size)
+            share = budget_bytes * target.pct_bytes / 100.0
+            counts[target.doc_type] = max(1, round(share / mean))
+        return counts
+
+    def _build_catalogs(self) -> Tuple[Catalog, Optional[Catalog]]:
+        models = self._size_models()
+        budget = (
+            self.profile.max_needed_bytes
+            * self.scale
+            * self.profile.catalog_inflation
+        )
+        primary = build_catalog(
+            self._type_counts(budget),
+            models,
+            rng=self._rng,
+            server_count=self.profile.server_count,
+            server_zipf_exponent=self.profile.server_zipf_exponent,
+            domain=self.profile.domain,
+            generation=0,
+            # Namespace URLs by workload so distinct workloads never emit
+            # the same URL with different sizes (which would fake
+            # cross-workload document sharing in multi-cache experiments).
+            url_prefix=f"{self.profile.key.lower()}/",
+            size_rank_correlation=self.profile.size_rank_correlation,
+        )
+        secondary = None
+        if self.profile.new_generation_day is not None:
+            secondary_budget = budget * self.profile.new_generation_scale
+            secondary = build_catalog(
+                self._type_counts(secondary_budget),
+                models,
+                rng=self._rng,
+                server_count=self.profile.server_count,
+                server_zipf_exponent=self.profile.server_zipf_exponent,
+                domain=self.profile.domain,
+                generation=1,
+                url_prefix=f"{self.profile.key.lower()}/fall/",
+                size_rank_correlation=self.profile.size_rank_correlation,
+            )
+        return primary, secondary
+
+    # -- request synthesis ---------------------------------------------------
+
+    def generate(self) -> GeneratedTrace:
+        """Synthesise the full raw trace (including invalid log lines)."""
+        rng = self._rng
+        prof = self.profile
+        primary, secondary = self._build_catalogs()
+        models = self._size_models()
+        request_target = max(1, round(prof.requests * self.scale))
+        calendar = prof.calendar_factory(prof.duration_days, rng)
+        per_day = calendar.allocate(request_target)
+
+        type_population = [
+            t.doc_type for t in prof.type_mix if t.pct_refs > 0
+        ]
+        type_weights = [t.pct_refs for t in prof.type_mix if t.pct_refs > 0]
+        samplers = {
+            0: self._samplers_for(primary, rng),
+        }
+        if secondary is not None:
+            samplers[1] = self._samplers_for(secondary, rng)
+
+        review_start_day: Optional[int] = None
+        if prof.review_start_frac is not None:
+            review_start_day = int(prof.review_start_frac * prof.duration_days)
+
+        seen_urls: set = set()
+        nonzero_logged: set = set()
+        history: List[Document] = []
+        raw: List[Request] = []
+        clients = self._client_pool()
+
+        for day, count in enumerate(per_day):
+            day_requests: List[Request] = []
+            today_refs: List[Document] = []
+            in_review = review_start_day is not None and day >= review_start_day
+            for _ in range(count):
+                doc = self._pick_document(
+                    rng, day, today_refs, history, in_review,
+                    primary, secondary, samplers,
+                    type_population, type_weights,
+                )
+                rereference = doc.url in seen_urls
+                if rereference and rng.random() < prof.modification_rate:
+                    doc.modify(models[doc.doc_type].sample(rng))
+                seen_urls.add(doc.url)
+                today_refs.append(doc)
+                history.append(doc)
+                timestamp = day * 86400.0 + diurnal_offset(rng)
+                log_zero = (
+                    doc.url in nonzero_logged
+                    and rng.random() < prof.zero_size_rate
+                )
+                size = 0 if log_zero else doc.size
+                if size:
+                    nonzero_logged.add(doc.url)
+                day_requests.append(Request(
+                    timestamp=timestamp,
+                    url=doc.url,
+                    size=size,
+                    status=200,
+                    client=rng.choice(clients),
+                    doc_type=doc.doc_type,
+                ))
+                if rng.random() < prof.invalid_status_rate:
+                    day_requests.append(self._invalid_line(
+                        rng, day, doc, clients,
+                    ))
+            day_requests.sort(key=lambda r: r.timestamp)
+            raw.extend(day_requests)
+
+        metadata = TraceMetadata(
+            name=prof.key,
+            description=prof.description,
+            duration_days=prof.duration_days,
+            extra={"seed": self.seed, "scale": self.scale},
+        )
+        return GeneratedTrace(
+            profile=prof,
+            seed=self.seed,
+            scale=self.scale,
+            raw=raw,
+            catalog=primary,
+            metadata=metadata,
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    def _samplers_for(
+        self, catalog: Catalog, rng: random.Random
+    ) -> Dict[DocumentType, ZipfSampler]:
+        return {
+            doc_type: ZipfSampler(
+                len(docs), exponent=self.profile.zipf_exponent, rng=rng
+            )
+            for doc_type, docs in catalog.by_type.items()
+        }
+
+    def _pick_document(
+        self,
+        rng: random.Random,
+        day: int,
+        today_refs: Sequence[Document],
+        history: Sequence[Document],
+        in_review: bool,
+        primary: Catalog,
+        secondary: Optional[Catalog],
+        samplers: Dict[int, Dict[DocumentType, ZipfSampler]],
+        type_population: Sequence[DocumentType],
+        type_weights: Sequence[float],
+    ) -> Document:
+        prof = self.profile
+        if today_refs and rng.random() < prof.same_day_locality:
+            return rng.choice(today_refs)
+        if in_review and history and rng.random() < prof.review_boost:
+            # Uniform over past *references* weights documents by their
+            # historical reference count -- the NREF-correlated review
+            # behaviour the paper observed for workloads C and G.
+            return rng.choice(history)
+        catalog, generation = primary, 0
+        if (
+            secondary is not None
+            and prof.new_generation_day is not None
+            and day >= prof.new_generation_day
+            and rng.random() < prof.new_generation_share
+        ):
+            catalog, generation = secondary, 1
+        doc_type = rng.choices(type_population, weights=type_weights, k=1)[0]
+        if doc_type not in catalog.by_type:
+            doc_type = next(iter(catalog.by_type))
+        index = samplers[generation][doc_type].sample(rng)
+        return catalog.by_type[doc_type][index]
+
+    def _client_pool(self) -> List[str]:
+        prof = self.profile
+        if prof.key == "BR":
+            return [f"remote{i}.client{i % 211}.net"
+                    for i in range(prof.client_count)]
+        return [f"client{i}.{prof.domain}" for i in range(prof.client_count)]
+
+    @staticmethod
+    def _invalid_line(
+        rng: random.Random,
+        day: int,
+        doc: Document,
+        clients: Sequence[str],
+    ) -> Request:
+        """A raw log line validation must discard (non-200 status)."""
+        status = rng.choice((304, 403, 404, 500))
+        return Request(
+            timestamp=day * 86400.0 + diurnal_offset(rng),
+            url=doc.url,
+            size=0 if status == 304 else doc.size,
+            status=status,
+            client=rng.choice(clients),
+            doc_type=doc.doc_type,
+        )
+
+
+def generate(
+    profile: Union[WorkloadProfile, str],
+    seed: int = 0,
+    scale: float = 1.0,
+) -> GeneratedTrace:
+    """Synthesise one workload's raw trace."""
+    return WorkloadGenerator(profile, seed=seed, scale=scale).generate()
+
+
+def generate_valid(
+    profile: Union[WorkloadProfile, str],
+    seed: int = 0,
+    scale: float = 1.0,
+) -> List[Request]:
+    """Synthesise one workload and return the validated trace the
+    simulator consumes."""
+    return generate(profile, seed=seed, scale=scale).valid()

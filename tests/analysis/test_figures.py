@@ -1,0 +1,105 @@
+"""Tests for figure series builders."""
+
+import pytest
+
+from repro.analysis.figures import (
+    fig1_server_popularity,
+    fig2_url_bytes,
+    fig3_7_infinite_cache,
+    fig8_12_primary_keys,
+    fig13_size_histogram,
+    fig14_interreference,
+    fig15_secondary_keys,
+    fig16_18_second_level,
+    fig19_20_partitioned,
+)
+from repro.core.experiments import (
+    max_needed_for,
+    primary_key_sweep,
+    run_infinite_cache,
+    run_partitioned_sweep,
+    run_two_level,
+    secondary_key_sweep,
+)
+from repro.workloads import generate_valid
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_valid("C", seed=33, scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def infinite(trace):
+    return run_infinite_cache(trace, "C")
+
+
+class TestCharacterisationFigures:
+    def test_fig1(self, trace):
+        figure = fig1_server_popularity(trace)
+        assert figure.figure_id == "fig1"
+        points = figure.series["requests"]
+        assert points[0][0] == 1.0
+        counts = [y for _, y in points]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_fig2(self, trace):
+        figure = fig2_url_bytes(trace)
+        values = [y for _, y in figure.series["bytes"]]
+        assert values == sorted(values, reverse=True)
+
+    def test_fig13(self, trace):
+        figure = fig13_size_histogram(trace)
+        total = sum(y for _, y in figure.series["requests"])
+        assert total == len(trace)
+
+    def test_fig14(self, trace):
+        figure = fig14_interreference(trace)
+        assert all(y >= 0 for _, y in figure.series["references"])
+        assert figure.series["references"], "re-references must exist"
+
+
+class TestExperimentFigures:
+    def test_fig3_7(self, infinite):
+        figure = fig3_7_infinite_cache(infinite, "C")
+        assert figure.figure_id == "fig5"
+        assert set(figure.series) == {"HR", "WHR"}
+        assert all(0 <= y <= 100 for _, y in figure.series["HR"])
+
+    def test_fig8_12(self, trace, infinite):
+        sweep = primary_key_sweep(trace, infinite.max_used_bytes)
+        figure = fig8_12_primary_keys(sweep, infinite, "C")
+        assert figure.figure_id == "fig10"
+        assert set(figure.series) == {"SIZE", "ETIME", "ATIME", "NREF"}
+        # Ratios are percentages of the optimal; allow transient >100 on
+        # individual days but demand a sane range.
+        for points in figure.series.values():
+            assert all(0 <= y <= 130 for _, y in points)
+
+    def test_fig15(self, trace, infinite):
+        sweep = secondary_key_sweep(trace, infinite.max_used_bytes)
+        figure = fig15_secondary_keys(sweep, "C")
+        assert "RANDOM" not in figure.series
+        assert len(figure.series) == 5
+        for points in figure.series.values():
+            assert all(50 <= y <= 150 for _, y in points)
+
+    def test_fig16_18(self, trace, infinite):
+        result = run_two_level(trace, infinite.max_used_bytes)
+        figure = fig16_18_second_level(result, "C")
+        assert figure.figure_id == "fig17"
+        assert set(figure.series) == {"HR", "WHR"}
+
+    def test_fig19_20(self):
+        trace = generate_valid("BR", seed=33, scale=0.02)
+        sweep = run_partitioned_sweep(trace, max_needed_for(trace))
+        audio = fig19_20_partitioned(sweep, "audio")
+        non_audio = fig19_20_partitioned(sweep, "non-audio")
+        assert audio.figure_id == "fig19"
+        assert non_audio.figure_id == "fig20"
+        assert len(audio.series) == 3
+
+    def test_figure_helpers(self, infinite):
+        figure = fig3_7_infinite_cache(infinite, "C")
+        assert set(figure.names()) == {"HR", "WHR"}
+        assert 0 <= figure.mean("HR") <= 100

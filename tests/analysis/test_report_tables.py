@@ -1,0 +1,115 @@
+"""Tests for text rendering, tables, and claim checking."""
+
+import pytest
+
+from repro.analysis.compare import PAPER_CLAIMS, check_claims
+from repro.analysis.figures import FigureSeries
+from repro.analysis.report import ascii_plot, render_series_summary, render_table
+from repro.analysis.tables import (
+    max_needed_rows,
+    policy_ranking_rows,
+    render_max_needed,
+    render_policy_ranking,
+    render_table4,
+    table4_rows,
+)
+from repro.core.experiments import primary_key_sweep, run_infinite_cache
+from repro.workloads import generate_valid
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_valid("BL", seed=44, scale=0.03)
+
+
+@pytest.fixture(scope="module")
+def infinite(trace):
+    return run_infinite_cache(trace, "BL")
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            ["name", "value"], [["a", 1], ["long-name", 22]], title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "long-name" in text
+
+    def test_no_title(self):
+        text = render_table(["x"], [["1"]])
+        assert text.splitlines()[0].startswith("x")
+
+
+class TestSeriesSummary:
+    def figure(self):
+        return FigureSeries(
+            figure_id="figX", title="demo", xlabel="x", ylabel="y",
+            series={"a": [(0, 1.0), (1, 3.0)], "empty": []},
+        )
+
+    def test_summary_rows(self):
+        text = render_series_summary(self.figure())
+        assert "figX" in text
+        assert "2.00" in text  # mean of series a
+
+    def test_ascii_plot_renders(self):
+        text = ascii_plot(self.figure())
+        assert "figX" in text
+        assert "*" in text
+
+    def test_ascii_plot_empty(self):
+        empty = FigureSeries(
+            figure_id="figY", title="t", xlabel="x", ylabel="y",
+        )
+        assert "no data" in ascii_plot(empty)
+
+
+class TestTables:
+    def test_table4_rows_structure(self, trace):
+        rows = table4_rows({"BL": trace})
+        assert len(rows) == 6
+        assert rows[0][0] == "graphics"
+        assert len(rows[0]) == 3  # type + (%refs, %bytes) for BL
+
+    def test_render_table4(self, trace):
+        text = render_table4({"BL": trace})
+        assert "BL %refs" in text
+        assert "graphics" in text
+
+    def test_max_needed_rows(self, infinite):
+        rows = max_needed_rows({"BL": infinite}, published_mb={"BL": 408})
+        assert rows[0][0] == "BL"
+        assert rows[0][2] == "408"
+        text = render_max_needed({"BL": infinite}, {"BL": 408})
+        assert "paper (MB)" in text
+
+    def test_policy_ranking(self, trace, infinite):
+        sweep = primary_key_sweep(trace, infinite.max_used_bytes)
+        rows = policy_ranking_rows(sweep, infinite)
+        assert rows[0][1] in ("SIZE", "LOG2SIZE")  # the paper's winner
+        hrs = [float(row[2]) for row in rows]
+        assert hrs == sorted(hrs, reverse=True)
+        text = render_policy_ranking(sweep, infinite)
+        assert "% of infinite HR" in text
+
+
+class TestClaims:
+    def test_registry_contents(self):
+        assert "size-best-hr" in PAPER_CLAIMS
+        assert all(c.statement for c in PAPER_CLAIMS.values())
+        assert all(c.source for c in PAPER_CLAIMS.values())
+
+    def test_check_claims(self):
+        checks = check_claims({
+            "size-best-hr": lambda: (True, "ok"),
+            "etime-worst": lambda: (False, "inverted"),
+        })
+        outcomes = {c.claim.claim_id: c.passed for c in checks}
+        assert outcomes == {"size-best-hr": True, "etime-worst": False}
+
+    def test_unknown_claim_rejected(self):
+        with pytest.raises(KeyError):
+            check_claims({"made-up": lambda: (True, "")})

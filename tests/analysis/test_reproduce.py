@@ -1,0 +1,50 @@
+"""Tests for the one-command reproduction runner."""
+
+import pytest
+
+from repro.analysis.reproduce import full_report, run_reproduction
+
+
+@pytest.fixture(scope="module")
+def run():
+    # Tiny scale: structure and claim plumbing, not statistical power.
+    return run_reproduction(scale=0.02, seed=7, partition_scale=0.1)
+
+
+class TestRunReproduction:
+    def test_covers_all_workloads(self, run):
+        assert set(run.traces) == {"U", "C", "G", "BR", "BL"}
+        assert set(run.infinite) == set(run.traces)
+        assert set(run.primary_sweeps) == set(run.traces)
+
+    def test_sweeps_cover_six_keys(self, run):
+        for sweep in run.primary_sweeps.values():
+            assert set(sweep) == {
+                "SIZE", "LOG2SIZE", "ETIME", "ATIME", "DAY(ATIME)", "NREF",
+            }
+
+    def test_claims_evaluated(self, run):
+        assert len(run.claims) == 9
+        by_id = {check.claim.claim_id: check for check in run.claims}
+        # The central claim must hold even at tiny scale.
+        assert by_id["size-best-hr"].passed, by_id["size-best-hr"].detail
+        assert by_id["br-hr-98"].passed
+
+    def test_most_claims_pass(self, run):
+        passed = sum(check.passed for check in run.claims)
+        assert passed >= 7
+
+    def test_two_level_and_partitioned_present(self, run):
+        assert set(run.two_level) == {"BR", "C", "G"}
+        assert set(run.partitioned_br) == {0.25, 0.50, 0.75}
+
+
+class TestFullReport:
+    def test_report_structure(self):
+        text = full_report(scale=0.02, seed=7)
+        assert "# Reproduction report" in text
+        assert "## Claims checklist" in text
+        assert "## Experiment 1" in text
+        assert "## Experiment 4" in text
+        assert "Table 4" in text
+        assert "- [" in text  # checklist entries

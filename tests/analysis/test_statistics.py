@@ -1,0 +1,102 @@
+"""Tests for the bootstrap policy-comparison statistics."""
+
+import pytest
+
+from repro.analysis.statistics import (
+    PairedComparison,
+    bootstrap_ci,
+    paired_daily_difference,
+)
+from repro.core import MetricsCollector
+from repro.trace import Request
+
+
+def collector(day_rates):
+    """Build a MetricsCollector with given per-day (hits, total) pairs."""
+    m = MetricsCollector()
+    for day, (hits, total) in day_rates.items():
+        for i in range(total):
+            m.record(
+                Request(timestamp=day * 86400.0 + i, url=f"u{i}", size=100),
+                i < hits,
+            )
+    return m
+
+
+class TestBootstrapCI:
+    def test_constant_sample(self):
+        low, high = bootstrap_ci([5.0] * 20, resamples=200)
+        assert low == high == 5.0
+
+    def test_contains_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0] * 6
+        low, high = bootstrap_ci(values, resamples=500, seed=1)
+        assert low <= 3.0 <= high
+
+    def test_narrower_with_more_data(self):
+        wide = bootstrap_ci([0.0, 10.0] * 5, resamples=500, seed=1)
+        narrow = bootstrap_ci([0.0, 10.0] * 100, resamples=500, seed=1)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+
+class TestPairedComparison:
+    def test_clear_difference_significant(self):
+        a = collector({d: (8, 10) for d in range(20)})
+        b = collector({d: (4, 10) for d in range(20)})
+        comparison = paired_daily_difference(a, b, resamples=500)
+        assert comparison.mean_difference == pytest.approx(40.0)
+        assert comparison.significant
+        assert comparison.days == 20
+
+    def test_no_difference_not_significant(self):
+        import random
+        rng = random.Random(4)
+        rates_a = {d: (rng.randint(3, 7), 10) for d in range(20)}
+        rates_b = {d: (rng.randint(3, 7), 10) for d in range(20)}
+        comparison = paired_daily_difference(
+            collector(rates_a), collector(rates_b), resamples=500,
+        )
+        assert not comparison.significant
+
+    def test_weighted_mode(self):
+        a = collector({0: (10, 10), 1: (10, 10)})
+        b = collector({0: (0, 10), 1: (0, 10)})
+        comparison = paired_daily_difference(a, b, weighted=True, resamples=200)
+        assert comparison.mean_difference == pytest.approx(100.0)
+
+    def test_mismatched_days_rejected(self):
+        a = collector({0: (1, 2)})
+        b = collector({1: (1, 2)})
+        with pytest.raises(ValueError):
+            paired_daily_difference(a, b)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            paired_daily_difference(MetricsCollector(), MetricsCollector())
+
+    def test_str(self):
+        comparison = PairedComparison(1.0, 0.5, 1.5, 10, 100)
+        assert "significant" in str(comparison)
+
+    def test_on_real_policies(self):
+        """SIZE vs LRU on a workload: the advantage is significant."""
+        from repro.core import SimCache, lru, simulate, size_policy
+        from repro.core.experiments import max_needed_for
+        from repro.workloads import generate_valid
+        trace = generate_valid("BL", seed=6, scale=0.05)
+        capacity = max(1, int(0.1 * max_needed_for(trace)))
+        size_run = simulate(
+            trace, SimCache(capacity=capacity, policy=size_policy()),
+        )
+        lru_run = simulate(trace, SimCache(capacity=capacity, policy=lru()))
+        comparison = paired_daily_difference(
+            size_run.metrics, lru_run.metrics, resamples=500,
+        )
+        assert comparison.mean_difference > 0
+        assert comparison.significant

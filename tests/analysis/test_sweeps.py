@@ -1,0 +1,106 @@
+"""Tests for capacity sweeps and miss-ratio curves."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    capacity_sweep,
+    miss_ratio_curve,
+    sampled_miss_ratio_curve,
+)
+from repro.core import lru, size_policy
+from repro.core.experiments import max_needed_for
+from repro.workloads import generate_valid
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    trace = generate_valid("BL", seed=19, scale=0.05)
+    return trace, max_needed_for(trace)
+
+
+FRACTIONS = (0.05, 0.10, 0.25, 0.50, 1.0)
+
+
+class TestCapacitySweep:
+    def test_sorted_and_complete(self, scenario):
+        trace, max_needed = scenario
+        sweep = capacity_sweep(trace, size_policy, max_needed, FRACTIONS)
+        assert [f for f, _ in sweep] == sorted(FRACTIONS)
+
+    def test_hit_rate_monotone_in_capacity(self, scenario):
+        """More cache never hurts (within a point of noise)."""
+        trace, max_needed = scenario
+        sweep = capacity_sweep(trace, size_policy, max_needed, FRACTIONS)
+        rates = [result.hit_rate for _, result in sweep]
+        for smaller, larger in zip(rates, rates[1:]):
+            assert larger >= smaller - 1.0
+
+    def test_validation(self, scenario):
+        trace, _ = scenario
+        with pytest.raises(ValueError):
+            capacity_sweep(trace, size_policy, 0)
+        with pytest.raises(ValueError):
+            capacity_sweep(trace, size_policy, 100, fractions=(0.0,))
+
+
+class TestMissRatioCurve:
+    def test_curve_decreases(self, scenario):
+        trace, max_needed = scenario
+        curve = miss_ratio_curve(trace, size_policy, max_needed, FRACTIONS)
+        misses = [m for _, m in curve]
+        for earlier, later in zip(misses, misses[1:]):
+            assert later <= earlier + 1.0
+
+    def test_full_size_matches_infinite(self, scenario):
+        """At 100% of MaxNeeded the cache never evicts, so the miss ratio
+        equals the infinite cache's."""
+        from repro.core import SimCache, simulate
+        trace, max_needed = scenario
+        curve = miss_ratio_curve(
+            trace, size_policy, max_needed, fractions=(1.0,),
+        )
+        infinite = simulate(trace, SimCache(capacity=None))
+        assert curve[0][1] == pytest.approx(100.0 - infinite.hit_rate, abs=0.5)
+
+    def test_size_dominates_lru_everywhere(self, scenario):
+        """The paper's result, as curves: SIZE's MRC sits below LRU's at
+        every starved size."""
+        trace, max_needed = scenario
+        size_curve = dict(miss_ratio_curve(
+            trace, size_policy, max_needed, (0.05, 0.10, 0.25),
+        ))
+        lru_curve = dict(miss_ratio_curve(
+            trace, lru, max_needed, (0.05, 0.10, 0.25),
+        ))
+        for fraction in (0.05, 0.10, 0.25):
+            assert size_curve[fraction] < lru_curve[fraction]
+
+    def test_weighted_mode(self, scenario):
+        trace, max_needed = scenario
+        byte_curve = miss_ratio_curve(
+            trace, size_policy, max_needed, (0.10,), weighted=True,
+        )
+        assert 0.0 <= byte_curve[0][1] <= 100.0
+
+
+class TestSampledCurve:
+    def test_estimate_tracks_exact(self, scenario):
+        trace, max_needed = scenario
+        exact = dict(miss_ratio_curve(
+            trace, size_policy, max_needed, (0.10, 0.50),
+        ))
+        estimate = dict(sampled_miss_ratio_curve(
+            trace, size_policy, max_needed,
+            sample_rate=0.4, fractions=(0.10, 0.50), salt=1,
+        ))
+        for fraction in (0.10, 0.50):
+            assert estimate[fraction] == pytest.approx(
+                exact[fraction], abs=12.0,
+            )
+
+    def test_empty_sample_rejected(self, scenario):
+        trace, max_needed = scenario
+        with pytest.raises(ValueError):
+            sampled_miss_ratio_curve(
+                trace[:1], size_policy, max_needed, sample_rate=0.0001,
+            )

@@ -1,0 +1,13 @@
+"""Shared fixtures for core tests."""
+
+import pytest
+
+from repro.trace import Request
+
+
+@pytest.fixture
+def req():
+    """Factory for quick requests."""
+    def make(t, url, size, **kwargs):
+        return Request(timestamp=float(t), url=url, size=size, **kwargs)
+    return make

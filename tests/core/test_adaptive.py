@@ -1,0 +1,130 @@
+"""Tests for GreedyDual-Size and GDSF."""
+
+import pytest
+
+from repro.core import (
+    GreedyDualSize,
+    SimCache,
+    gds_byte_cost,
+    gds_hit_cost,
+    simulate,
+    size_policy,
+)
+from repro.trace import Request
+
+
+def req(t, url, size):
+    return Request(timestamp=float(t), url=url, size=size)
+
+
+class TestMechanics:
+    def test_min_h_evicted_first(self):
+        """With unit cost, H = L + 1/size: the largest document has the
+        smallest H and leaves first (SIZE-like)."""
+        cache = SimCache(capacity=1000, policy=GreedyDualSize())
+        cache.access(req(0, "small", 100))
+        cache.access(req(1, "big", 800))
+        result = cache.access(req(2, "new", 500))
+        assert [e.url for e in result.evicted] == ["big"]
+
+    def test_inflation_rises_on_eviction(self):
+        policy = GreedyDualSize()
+        cache = SimCache(capacity=1000, policy=policy)
+        cache.access(req(0, "a", 500))
+        cache.access(req(1, "b", 600))  # evicts a (H = 1/500)
+        assert policy.inflation == pytest.approx(1 / 500)
+
+    def test_hit_restores_value(self):
+        """A hit re-baselines H at the current inflation, protecting
+        recently used documents — the recency component GDS adds over a
+        pure SIZE sort."""
+        policy = GreedyDualSize()
+        cache = SimCache(capacity=1000, policy=policy)
+        cache.access(req(0, "idle", 200))
+        cache.access(req(1, "hot", 200))
+        # Evict something to raise inflation.
+        cache.access(req(2, "filler", 700))   # evicts one of the two
+        survivors = {e.url for e in cache.entries()}
+        assert "filler" in survivors
+        # Touch the survivor so its H rises above the old baseline.
+        other = (survivors - {"filler"}).pop()
+        cache.access(req(3, other, 200))
+        assert policy._h[other] > policy.inflation or (
+            policy._h[other] == pytest.approx(policy.inflation + 1 / 200)
+        )
+
+    def test_gdsf_frequency_raises_value(self):
+        policy = GreedyDualSize(with_frequency=True)
+        cache = SimCache(capacity=10_000, policy=policy)
+        cache.access(req(0, "popular", 400))
+        cache.access(req(1, "popular", 400))
+        cache.access(req(2, "popular", 400))
+        cache.access(req(3, "cold", 400))
+        # popular's H = 3 * cost/size, cold's = 1 * cost/size.
+        assert policy._h["popular"] > policy._h["cold"]
+
+    def test_gdsf_protects_popular_over_recent(self):
+        cache = SimCache(capacity=800, policy=GreedyDualSize(with_frequency=True))
+        for t in range(3):
+            cache.access(req(t, "popular", 400))
+        cache.access(req(3, "recent", 400))
+        result = cache.access(req(4, "new", 400))
+        assert [e.url for e in result.evicted] == ["recent"]
+
+    def test_byte_cost_is_size_neutral(self):
+        """With cost = size, H = L + 1 for every document: eviction
+        reduces to FIFO-with-ageing rather than anti-size."""
+        policy = GreedyDualSize(cost=gds_byte_cost)
+        cache = SimCache(capacity=1000, policy=policy)
+        cache.access(req(0, "first", 600))
+        cache.access(req(1, "second", 300))
+        result = cache.access(req(2, "third", 500))
+        assert [e.url for e in result.evicted] == ["first"]
+
+    def test_modified_document_handled(self):
+        cache = SimCache(capacity=1000, policy=GreedyDualSize())
+        cache.access(req(0, "u", 300))
+        cache.access(req(1, "u", 400))  # modified: replace
+        assert cache.get("u").size == 400
+        # Policy state follows: one live H record for u.
+        policy = cache.policy
+        assert set(policy._h) == {"u"}
+
+    def test_names(self):
+        assert GreedyDualSize().name == "GDS"
+        assert GreedyDualSize(with_frequency=True).name == "GDSF"
+        assert GreedyDualSize(cost=gds_byte_cost).name == "GDS(bytes)"
+        assert "GreedyDual" in GreedyDualSize().describe()
+
+
+class TestOnWorkload:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        from repro.workloads import generate_valid
+        from repro.core.experiments import max_needed_for
+        trace = generate_valid("BL", seed=23, scale=0.05)
+        capacity = max(1, int(0.1 * max_needed_for(trace)))
+        return trace, capacity
+
+    def run(self, scenario, policy):
+        trace, capacity = scenario
+        return simulate(trace, SimCache(capacity=capacity, policy=policy))
+
+    def test_gds_competitive_with_size_on_hr(self, scenario):
+        gds = self.run(scenario, GreedyDualSize())
+        size = self.run(scenario, size_policy())
+        assert gds.hit_rate > 0.85 * size.hit_rate
+
+    def test_gdsf_beats_lru(self, scenario):
+        from repro.core import lru
+        gdsf = self.run(scenario, GreedyDualSize(with_frequency=True))
+        lru_result = self.run(scenario, lru())
+        assert gdsf.hit_rate > lru_result.hit_rate
+
+    def test_byte_cost_improves_whr_over_unit_cost(self, scenario):
+        """The design goal of the cost function: byte cost trades hit rate
+        for weighted hit rate."""
+        unit = self.run(scenario, GreedyDualSize())
+        byte = self.run(scenario, GreedyDualSize(cost=gds_byte_cost))
+        assert byte.weighted_hit_rate > unit.weighted_hit_rate
+        assert unit.hit_rate > byte.hit_rate

@@ -1,0 +1,198 @@
+"""Tests for the simulated cache: Section 1.1 semantics and eviction."""
+
+import pytest
+
+from repro.core import (
+    ATIME,
+    SIZE,
+    AccessOutcome,
+    KeyPolicy,
+    SimCache,
+)
+from repro.trace import Request
+
+
+def req(t, url, size):
+    return Request(timestamp=float(t), url=url, size=size)
+
+
+class TestHitSemantics:
+    def test_first_access_is_miss(self):
+        cache = SimCache(capacity=1000)
+        assert cache.access(req(0, "u", 100)).outcome == AccessOutcome.MISS
+
+    def test_repeat_same_size_is_hit(self):
+        cache = SimCache(capacity=1000)
+        cache.access(req(0, "u", 100))
+        assert cache.access(req(1, "u", 100)).is_hit
+
+    def test_size_change_is_miss_modified(self):
+        """URL + size must both match (Section 1.1)."""
+        cache = SimCache(capacity=1000)
+        cache.access(req(0, "u", 100))
+        result = cache.access(req(1, "u", 150))
+        assert result.outcome == AccessOutcome.MISS_MODIFIED
+        assert not result.is_hit
+
+    def test_modified_copy_replaces_old(self):
+        cache = SimCache(capacity=1000)
+        cache.access(req(0, "u", 100))
+        cache.access(req(1, "u", 150))
+        assert cache.get("u").size == 150
+        assert cache.used_bytes == 150
+        # Next access at the new size hits.
+        assert cache.access(req(2, "u", 150)).is_hit
+
+    def test_hit_updates_atime_and_nref(self):
+        cache = SimCache(capacity=1000)
+        cache.access(req(0, "u", 100))
+        cache.access(req(7, "u", 100))
+        entry = cache.get("u")
+        assert entry.atime == 7.0
+        assert entry.nref == 2
+        assert entry.etime == 0.0  # entry time never changes on hits
+
+    def test_infinite_cache_never_evicts(self):
+        cache = SimCache(capacity=None)
+        for i in range(100):
+            result = cache.access(req(i, f"u{i}", 10**6))
+            assert result.outcome == AccessOutcome.MISS
+            assert not result.evicted
+        assert len(cache) == 100
+        assert cache.eviction_count == 0
+
+
+class TestEviction:
+    def test_evicts_until_fit(self):
+        cache = SimCache(capacity=300, policy=KeyPolicy([SIZE]))
+        cache.access(req(0, "a", 100))
+        cache.access(req(1, "b", 100))
+        cache.access(req(2, "c", 100))
+        result = cache.access(req(3, "d", 150))
+        # SIZE policy: all equal, random tie-break; two must leave to fit 150.
+        assert len(result.evicted) == 2
+        assert cache.used_bytes == 250
+
+    def test_largest_leaves_first_under_size(self):
+        cache = SimCache(capacity=1000, policy=KeyPolicy([SIZE]))
+        cache.access(req(0, "small", 100))
+        cache.access(req(1, "big", 800))
+        result = cache.access(req(2, "new", 500))
+        assert [e.url for e in result.evicted] == ["big"]
+
+    def test_lru_order(self):
+        cache = SimCache(capacity=300, policy=KeyPolicy([ATIME]))
+        cache.access(req(0, "a", 100))
+        cache.access(req(1, "b", 100))
+        cache.access(req(2, "c", 100))
+        cache.access(req(3, "a", 100))  # refresh a
+        result = cache.access(req(4, "d", 100))
+        assert [e.url for e in result.evicted] == ["b"]
+
+    def test_document_larger_than_cache_not_stored(self):
+        cache = SimCache(capacity=100)
+        result = cache.access(req(0, "huge", 500))
+        assert result.outcome == AccessOutcome.MISS_TOO_LARGE
+        assert "huge" not in cache
+        assert len(cache) == 0
+
+    def test_oversized_document_does_not_flush_cache(self):
+        cache = SimCache(capacity=100)
+        cache.access(req(0, "keep", 50))
+        cache.access(req(1, "huge", 500))
+        assert "keep" in cache
+
+    def test_used_bytes_never_exceed_capacity(self):
+        cache = SimCache(capacity=250, policy=KeyPolicy([SIZE]))
+        for i in range(50):
+            cache.access(req(i, f"u{i}", 60 + (i % 5) * 17))
+            assert cache.used_bytes <= 250
+
+    def test_eviction_counters(self):
+        cache = SimCache(capacity=200, policy=KeyPolicy([SIZE]))
+        cache.access(req(0, "a", 150))
+        cache.access(req(1, "b", 150))
+        assert cache.eviction_count == 1
+        assert cache.evicted_bytes == 150
+
+    def test_on_evict_callback(self):
+        seen = []
+        cache = SimCache(
+            capacity=200, policy=KeyPolicy([SIZE]),
+            on_evict=lambda e: seen.append(e.url),
+        )
+        cache.access(req(0, "a", 150))
+        cache.access(req(1, "b", 150))
+        assert seen == ["a"]
+
+    def test_max_used_tracks_high_water(self):
+        cache = SimCache(capacity=None)
+        cache.access(req(0, "a", 100))
+        cache.access(req(1, "b", 300))
+        cache.access(req(2, "a", 50))  # modified smaller: replaces
+        assert cache.max_used_bytes == 400
+        assert cache.used_bytes == 350
+
+
+class TestRemovalAfterTouch:
+    def test_heap_index_not_confused_by_hits(self):
+        """Hits must not invalidate heap records for immutable-key
+        policies (regression: ETIME policy once evicted the wrong entry
+        after its victim had been touched)."""
+        from repro.core import ETIME
+        cache = SimCache(capacity=250, policy=KeyPolicy([ETIME]))
+        cache.access(req(0, "first", 100))
+        cache.access(req(1, "second", 100))
+        cache.access(req(2, "first", 100))  # hit: bumps version only
+        result = cache.access(req(3, "third", 100))
+        assert [e.url for e in result.evicted] == ["first"]
+
+
+class TestExplicitRemove:
+    def test_remove_returns_entry(self):
+        cache = SimCache(capacity=1000)
+        cache.access(req(0, "u", 100))
+        removed = cache.remove("u")
+        assert removed.url == "u"
+        assert "u" not in cache
+        assert cache.used_bytes == 0
+        assert cache.eviction_count == 0  # not a policy eviction
+
+    def test_remove_missing_returns_none(self):
+        assert SimCache(capacity=10).remove("nope") is None
+
+
+class TestValidation:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SimCache(capacity=0)
+
+    def test_unsupported_policy_type(self):
+        with pytest.raises(TypeError):
+            SimCache(capacity=10, policy=object())
+
+    def test_removal_order_requires_key_policy(self):
+        from repro.core import LRUMin
+        cache = SimCache(capacity=10, policy=LRUMin())
+        with pytest.raises(TypeError):
+            cache.removal_order()
+
+
+class TestHooks:
+    def test_latency_estimator_fills_entries(self):
+        cache = SimCache(
+            capacity=1000,
+            latency_estimator=lambda r: 0.5 if "far" in r.url else 0.1,
+        )
+        cache.access(req(0, "http://far.example/x", 10))
+        cache.access(req(1, "http://near.example/y", 10))
+        assert cache.get("http://far.example/x").latency == 0.5
+        assert cache.get("http://near.example/y").latency == 0.1
+
+    def test_ttl_assigner_fills_expiry(self):
+        cache = SimCache(
+            capacity=1000,
+            ttl_assigner=lambda r, now: now + 60.0,
+        )
+        cache.access(req(10, "u", 10))
+        assert cache.get("u").expires_at == 70.0

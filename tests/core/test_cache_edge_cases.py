@@ -1,0 +1,149 @@
+"""Deeper edge-case tests for the simulated cache."""
+
+import pytest
+
+from repro.core import (
+    ATIME,
+    AccessOutcome,
+    KeyPolicy,
+    NREF,
+    SIZE,
+    SimCache,
+)
+from repro.trace import Request
+
+
+def req(t, url, size):
+    return Request(timestamp=float(t), url=url, size=size)
+
+
+class TestModifiedDocumentEdgeCases:
+    def test_modified_growth_triggers_eviction(self):
+        """Replacing a copy with a bigger version may evict others."""
+        cache = SimCache(capacity=300, policy=KeyPolicy([SIZE]))
+        cache.access(req(0, "grower", 100))
+        cache.access(req(1, "victim", 150))
+        result = cache.access(req(2, "grower", 250))
+        assert result.outcome == AccessOutcome.MISS_MODIFIED
+        assert [e.url for e in result.evicted] == ["victim"]
+        assert cache.get("grower").size == 250
+
+    def test_modified_to_oversized_drops_copy(self):
+        """A modified document that no longer fits: the stale copy is
+        dropped and the new version is served uncached.  The outcome is
+        reported as MISS_MODIFIED (the modification is what the §1.1
+        accounting cares about)."""
+        cache = SimCache(capacity=200)
+        cache.access(req(0, "u", 100))
+        result = cache.access(req(1, "u", 500))
+        assert result.outcome == AccessOutcome.MISS_MODIFIED
+        assert "u" not in cache
+        assert cache.used_bytes == 0
+
+    def test_modified_resets_reference_state(self):
+        """The new copy is a new document: nref restarts at 1 and etime
+        moves to the replacement time."""
+        cache = SimCache(capacity=1000)
+        cache.access(req(0, "u", 100))
+        cache.access(req(5, "u", 100))
+        cache.access(req(9, "u", 120))
+        entry = cache.get("u")
+        assert entry.nref == 1
+        assert entry.etime == 9.0
+
+    def test_repeated_modifications(self):
+        cache = SimCache(capacity=10_000)
+        for step, size in enumerate((100, 200, 150, 150, 300)):
+            cache.access(req(step, "u", size))
+        assert cache.get("u").size == 300
+        assert cache.used_bytes == 300
+        # Sizes 100->200->150, 150 hit, ->300: exactly one hit.
+        assert cache.get("u").nref == 1
+
+    def test_modified_not_counted_as_eviction(self):
+        cache = SimCache(capacity=1000)
+        cache.access(req(0, "u", 100))
+        cache.access(req(1, "u", 200))
+        assert cache.eviction_count == 0
+
+
+class TestBoundaryCapacities:
+    def test_document_exactly_fills_cache(self):
+        cache = SimCache(capacity=100)
+        result = cache.access(req(0, "u", 100))
+        assert result.outcome == AccessOutcome.MISS
+        assert cache.free_bytes == 0
+
+    def test_exact_fit_after_eviction(self):
+        cache = SimCache(capacity=100, policy=KeyPolicy([SIZE]))
+        cache.access(req(0, "a", 100))
+        result = cache.access(req(1, "b", 100))
+        assert [e.url for e in result.evicted] == ["a"]
+        assert cache.free_bytes == 0
+
+    def test_one_byte_documents(self):
+        cache = SimCache(capacity=3, policy=KeyPolicy([ATIME]))
+        for i in range(5):
+            cache.access(req(i, f"u{i}", 1))
+        assert len(cache) == 3
+        assert {e.url for e in cache.entries()} == {"u2", "u3", "u4"}
+
+
+class TestNrefAccumulation:
+    def test_lfu_protects_hot_document(self):
+        cache = SimCache(capacity=300, policy=KeyPolicy([NREF]))
+        for t in range(5):
+            cache.access(req(t, "hot", 100))
+        cache.access(req(5, "cold1", 100))
+        cache.access(req(6, "cold2", 100))
+        result = cache.access(req(7, "new", 100))
+        assert "hot" not in {e.url for e in result.evicted}
+
+    def test_nref_counts_only_consistent_hits(self):
+        cache = SimCache(capacity=1000)
+        cache.access(req(0, "u", 100))
+        cache.access(req(1, "u", 100))
+        cache.access(req(2, "u", 100))
+        assert cache.get("u").nref == 3
+
+
+class TestEvictionOrderStability:
+    def test_random_stamps_deterministic_per_seed(self):
+        def eviction_order(seed):
+            cache = SimCache(capacity=300, policy=KeyPolicy([SIZE]), seed=seed)
+            for i in range(3):
+                cache.access(req(i, f"u{i}", 100))
+            result = cache.access(req(3, "new", 250))
+            return [e.url for e in result.evicted]
+
+        assert eviction_order(1) == eviction_order(1)
+
+    def test_different_seed_may_change_tie_breaks(self):
+        orders = set()
+        for seed in range(8):
+            cache = SimCache(capacity=300, policy=KeyPolicy([SIZE]), seed=seed)
+            for i in range(3):
+                cache.access(req(i, f"u{i}", 100))
+            result = cache.access(req(3, "new", 150))
+            orders.add(tuple(e.url for e in result.evicted))
+        assert len(orders) > 1  # ties genuinely random across seeds
+
+
+class TestRemovalOrderView:
+    def test_removal_order_does_not_mutate(self):
+        cache = SimCache(capacity=1000, policy=KeyPolicy([SIZE]))
+        cache.access(req(0, "a", 100))
+        cache.access(req(1, "b", 200))
+        before = cache.used_bytes
+        cache.removal_order()
+        cache.removal_order()
+        assert cache.used_bytes == before
+        assert len(cache) == 2
+
+    def test_order_reflects_hits_for_mutable_keys(self):
+        cache = SimCache(capacity=1000, policy=KeyPolicy([ATIME]))
+        cache.access(req(0, "a", 100))
+        cache.access(req(1, "b", 100))
+        assert [e.url for e in cache.removal_order()] == ["a", "b"]
+        cache.access(req(2, "a", 100))
+        assert [e.url for e in cache.removal_order()] == ["b", "a"]

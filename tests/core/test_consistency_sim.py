@@ -1,0 +1,141 @@
+"""Tests for the consistency-strategy simulation."""
+
+import pytest
+
+from repro.core.consistency_sim import (
+    ConsistencyReport,
+    ConsistencyStrategy,
+    simulate_consistency,
+)
+from repro.trace import Request
+
+
+def req(t, url, size):
+    return Request(timestamp=float(t), url=url, size=size)
+
+
+#: u is fetched, re-read, modified (size change), re-read twice.
+TRACE = [
+    req(0, "u", 100),
+    req(10, "u", 100),
+    req(20, "u", 150),
+    req(30, "u", 150),
+    req(40, "v", 50),
+]
+
+
+class TestAlwaysValidate:
+    def test_no_stale_serves(self):
+        report = simulate_consistency(
+            TRACE, ConsistencyStrategy.ALWAYS_VALIDATE,
+        )
+        assert report.stale_hits == 0
+        assert report.fresh_hits == 2          # t=10, t=30
+        assert report.validations_not_modified == 2
+        assert report.validations_modified == 1  # t=20
+        assert report.origin_transfers == 3      # u, u@150, v
+
+    def test_every_repeat_costs_a_message(self):
+        report = simulate_consistency(
+            TRACE, ConsistencyStrategy.ALWAYS_VALIDATE,
+        )
+        assert report.validation_messages == 3   # the three repeats of u
+
+
+class TestTTL:
+    def test_fresh_window_serves_stale(self):
+        """Within the TTL the changed document is served stale."""
+        report = simulate_consistency(
+            TRACE, ConsistencyStrategy.TTL, ttl=1000.0,
+        )
+        assert report.stale_hits == 2   # t=20 and t=30 (copy still 100)
+        assert report.validation_messages == 0
+
+    def test_expired_copy_revalidates(self):
+        report = simulate_consistency(
+            TRACE, ConsistencyStrategy.TTL, ttl=5.0,
+        )
+        # Every repeat is past the 5 s TTL: behaves like always-validate.
+        assert report.stale_hits == 0
+        assert report.validation_messages == 3
+
+    def test_ttl_validation(self):
+        with pytest.raises(ValueError):
+            simulate_consistency(TRACE, ConsistencyStrategy.TTL, ttl=0.0)
+
+    def test_intermediate_ttl(self):
+        report = simulate_consistency(
+            TRACE, ConsistencyStrategy.TTL, ttl=15.0,
+        )
+        # t=10 fresh hit (within 15s); t=20 revalidates (20 > 15): change
+        # found; t=30 fresh hit on the new copy.
+        assert report.stale_hits == 0
+        assert report.fresh_hits == 2
+        assert report.validations_modified == 1
+
+
+class TestPush:
+    def test_no_stale_no_validation(self):
+        report = simulate_consistency(
+            TRACE, ConsistencyStrategy.PUSH_INVALIDATE,
+        )
+        assert report.stale_hits == 0
+        assert report.validation_messages == 0
+        assert report.invalidations == 1     # the one modification
+        assert report.fresh_hits == 2
+        assert report.origin_transfers == 3
+
+
+class TestReportProperties:
+    def test_rates(self):
+        report = simulate_consistency(
+            TRACE, ConsistencyStrategy.TTL, ttl=1000.0,
+        )
+        assert report.requests == 5
+        assert report.stale_rate == pytest.approx(100 * 2 / 5)
+        assert report.hit_rate == pytest.approx(100 * 3 / 5)
+
+    def test_empty(self):
+        empty = ConsistencyReport(ConsistencyStrategy.TTL)
+        assert empty.stale_rate == 0.0
+        assert empty.hit_rate == 0.0
+        assert empty.control_messages_per_request == 0.0
+
+
+class TestOnWorkload:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        from repro.workloads import generate_valid
+        return generate_valid("BL", seed=27, scale=0.05)
+
+    def test_strategy_ordering(self, trace):
+        """The classic trade-off: push has no stale serves and the fewest
+        messages; long TTL trades staleness for silence; always-validate
+        is chatty but never stale."""
+        always = simulate_consistency(
+            trace, ConsistencyStrategy.ALWAYS_VALIDATE,
+        )
+        lazy = simulate_consistency(
+            trace, ConsistencyStrategy.TTL, ttl=7 * 86400.0,
+        )
+        push = simulate_consistency(
+            trace, ConsistencyStrategy.PUSH_INVALIDATE,
+        )
+        assert always.stale_hits == push.stale_hits == 0
+        assert lazy.stale_hits > 0
+        assert lazy.validation_messages < always.validation_messages
+        assert (
+            push.control_messages_per_request
+            < always.control_messages_per_request
+        )
+
+    def test_ttl_monotone_staleness(self, trace):
+        """Longer TTLs can only increase stale serves."""
+        rates = [
+            simulate_consistency(
+                trace, ConsistencyStrategy.TTL, ttl=ttl,
+            ).stale_rate
+            for ttl in (3600.0, 86400.0, 7 * 86400.0, 30 * 86400.0)
+        ]
+        for shorter, longer in zip(rates, rates[1:]):
+            assert longer >= shorter - 1e-9

@@ -1,0 +1,92 @@
+"""Property tests for dynamic policies (LRU-MIN, Pitkow/Recker, GDS/GDSF).
+
+Key policies are checked against the naive index elsewhere; dynamic
+policies have no reference implementation, so these tests pin their
+*invariants* on arbitrary traces: capacity is never exceeded, accounting
+is exact, eviction always terminates, and policy-internal state stays in
+sync with the cache contents.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GreedyDualSize, LRUMin, PitkowRecker, SimCache
+from repro.core.adaptive import gds_byte_cost
+from repro.trace import Request
+
+POLICY_FACTORIES = [
+    ("LRU-MIN", LRUMin),
+    ("Pitkow/Recker", PitkowRecker),
+    ("GDS", GreedyDualSize),
+    ("GDSF", lambda: GreedyDualSize(with_frequency=True)),
+    ("GDS-bytes", lambda: GreedyDualSize(cost=gds_byte_cost)),
+]
+
+trace_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10),
+        st.integers(min_value=1, max_value=400),
+        st.integers(min_value=0, max_value=3 * 86_400),
+    ),
+    min_size=1,
+    max_size=70,
+).map(lambda triples: [
+    Request(timestamp=float(t), url=f"u{uid}", size=size)
+    for uid, size, t in sorted(triples, key=lambda x: x[2])
+])
+
+
+@pytest.mark.parametrize(
+    "policy_name,factory",
+    POLICY_FACTORIES,
+    ids=[name for name, _ in POLICY_FACTORIES],
+)
+@given(trace=trace_strategy, capacity=st.integers(min_value=50, max_value=900))
+@settings(max_examples=40, deadline=None)
+def test_dynamic_policy_invariants(policy_name, factory, trace, capacity):
+    cache = SimCache(capacity=capacity, policy=factory(), seed=5)
+    hits = 0
+    for request in trace:
+        result = cache.access(request)
+        hits += result.is_hit
+        # Exact occupancy accounting.
+        assert cache.used_bytes == sum(e.size for e in cache.entries())
+        assert cache.used_bytes <= capacity
+        # No duplicate URLs.
+        urls = [e.url for e in cache.entries()]
+        assert len(urls) == len(set(urls))
+        # An admitted document is actually present (unless oversized).
+        if request.size <= capacity:
+            assert request.url in cache
+    assert hits <= len(trace)
+
+
+@given(trace=trace_strategy, capacity=st.integers(min_value=50, max_value=900))
+@settings(max_examples=40, deadline=None)
+def test_gds_internal_state_matches_contents(trace, capacity):
+    """GDS's H-value table always mirrors the live cache contents, and
+    inflation is monotonically non-decreasing."""
+    policy = GreedyDualSize()
+    cache = SimCache(capacity=capacity, policy=policy, seed=5)
+    last_inflation = 0.0
+    for request in trace:
+        cache.access(request)
+        live = {e.url for e in cache.entries()}
+        assert set(policy._h) == live
+        assert policy.inflation >= last_inflation
+        last_inflation = policy.inflation
+
+
+@given(trace=trace_strategy)
+@settings(max_examples=40, deadline=None)
+def test_dynamic_policies_agree_with_infinite_on_hits(trace):
+    """Any policy in a cache big enough never to evict produces exactly
+    the infinite cache's hit sequence (the policy only matters under
+    pressure)."""
+    from repro.core import simulate
+    huge = sum(r.size for r in trace) + 1
+    for _, factory in POLICY_FACTORIES:
+        finite = simulate(trace, SimCache(capacity=huge, policy=factory()))
+        infinite = simulate(trace, SimCache(capacity=None))
+        assert finite.metrics.total_hits == infinite.metrics.total_hits

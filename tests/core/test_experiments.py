@@ -1,0 +1,121 @@
+"""Tests for the Table 5 experiment runners."""
+
+import pytest
+
+from repro.core import SIZE, KeyPolicy
+from repro.core.experiments import (
+    full_taxonomy_sweep,
+    max_needed_for,
+    primary_key_sweep,
+    run_infinite_cache,
+    run_partitioned_sweep,
+    run_policy,
+    run_two_level,
+    secondary_key_sweep,
+)
+from repro.workloads import generate_valid
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return generate_valid("C", seed=21, scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def infinite(small_trace):
+    return run_infinite_cache(small_trace, "C")
+
+
+class TestExperiment1:
+    def test_infinite_never_evicts(self, infinite):
+        assert infinite.cache.eviction_count == 0
+        assert infinite.capacity is None
+
+    def test_max_needed_positive(self, small_trace, infinite):
+        assert infinite.max_used_bytes > 0
+        assert max_needed_for(small_trace) == infinite.max_used_bytes
+
+    def test_hr_at_least_whr_shape(self, infinite):
+        """For C (small docs popular), HR >= WHR as in Figure 5."""
+        assert infinite.hit_rate >= infinite.weighted_hit_rate - 5.0
+
+
+class TestExperiment2:
+    def test_primary_sweep_covers_six_keys(self, small_trace, infinite):
+        sweep = primary_key_sweep(small_trace, infinite.max_used_bytes)
+        assert set(sweep) == {
+            "SIZE", "LOG2SIZE", "ETIME", "ATIME", "DAY(ATIME)", "NREF",
+        }
+
+    def test_size_best_hr(self, small_trace, infinite):
+        """The paper's headline: size keys maximise HR on every workload."""
+        sweep = primary_key_sweep(small_trace, infinite.max_used_bytes)
+        size_hr = max(sweep["SIZE"].hit_rate, sweep["LOG2SIZE"].hit_rate)
+        for name in ("ETIME", "ATIME", "DAY(ATIME)", "NREF"):
+            assert size_hr > sweep[name].hit_rate, name
+
+    def test_size_not_best_whr(self, small_trace, infinite):
+        """Section 4.4: SIZE is the worst WHR performer on most workloads."""
+        sweep = primary_key_sweep(small_trace, infinite.max_used_bytes)
+        others_best = max(
+            sweep[n].weighted_hit_rate
+            for n in ("ETIME", "ATIME", "NREF")
+        )
+        assert sweep["SIZE"].weighted_hit_rate < others_best
+
+    def test_finite_below_infinite(self, small_trace, infinite):
+        sweep = primary_key_sweep(small_trace, infinite.max_used_bytes)
+        for result in sweep.values():
+            assert result.hit_rate <= infinite.hit_rate
+
+    def test_secondary_sweep_structure(self, small_trace, infinite):
+        sweep = secondary_key_sweep(small_trace, infinite.max_used_bytes)
+        assert set(sweep) == {
+            "SIZE", "ETIME", "ATIME", "DAY(ATIME)", "NREF", "RANDOM",
+        }
+
+    def test_secondary_keys_marginal(self, small_trace, infinite):
+        """Figure 15: no secondary key moves WHR more than a few percent
+        from RANDOM."""
+        sweep = secondary_key_sweep(small_trace, infinite.max_used_bytes)
+        baseline = sweep["RANDOM"].weighted_hit_rate
+        for name, result in sweep.items():
+            assert result.weighted_hit_rate == pytest.approx(
+                baseline, abs=max(4.0, 0.25 * baseline)
+            ), name
+
+    def test_full_taxonomy_36(self, small_trace, infinite):
+        sweep = full_taxonomy_sweep(
+            small_trace[:500], infinite.max_used_bytes,
+        )
+        assert len(sweep) == 36
+
+    def test_run_policy_capacity(self, small_trace):
+        result = run_policy(
+            small_trace[:100], KeyPolicy([SIZE]), capacity=10_000,
+        )
+        assert result.capacity == 10_000
+
+
+class TestExperiment3:
+    def test_two_level_l2_infinite(self, small_trace, infinite):
+        result = run_two_level(small_trace, infinite.max_used_bytes)
+        assert result.l2_cache.capacity is None
+        assert result.l1_cache.capacity == int(0.1 * infinite.max_used_bytes)
+
+    def test_l1_l2_hits_partition_infinite_hits(self, small_trace, infinite):
+        result = run_two_level(small_trace, infinite.max_used_bytes)
+        combined = (
+            result.l1_metrics.total_hits + result.l2_metrics.total_hits
+        )
+        assert combined == infinite.metrics.total_hits
+
+
+class TestExperiment4:
+    def test_three_partition_levels(self):
+        trace = generate_valid("BR", seed=21, scale=0.02)
+        max_needed = max_needed_for(trace)
+        sweep = run_partitioned_sweep(trace, max_needed)
+        assert set(sweep) == {0.25, 0.50, 0.75}
+        for result in sweep.values():
+            assert set(result.partitions) == {"audio", "non-audio"}

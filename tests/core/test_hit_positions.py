@@ -1,0 +1,89 @@
+"""Tests for the Appendix A hit-position diagnostic."""
+
+import pytest
+
+from repro.core import KeyPolicy, LRUMin, SIZE, ATIME, SimCache, simulate
+from repro.trace import Request
+
+
+def req(t, url, size):
+    return Request(timestamp=float(t), url=url, size=size)
+
+
+class TestHitPositions:
+    def test_disabled_by_default(self):
+        trace = [req(0, "u", 10), req(1, "u", 10)]
+        result = simulate(trace, SimCache(capacity=100))
+        assert result.hit_positions == []
+        assert result.mean_hit_depth == 0.0
+
+    def test_positions_sampled(self):
+        trace = [req(0, "a", 10), req(1, "b", 10)]
+        trace += [req(2 + i, "a", 10) for i in range(4)]
+        result = simulate(
+            trace, SimCache(capacity=100, policy=KeyPolicy([ATIME])),
+            track_positions_every=1,
+        )
+        assert len(result.hit_positions) == 4
+        for position, population in result.hit_positions:
+            assert 0 <= position < population == 2
+
+    def test_lru_hit_sits_deep_after_access(self):
+        """Under LRU the just-hit document is the *last* eviction
+        candidate, so sampled positions are at the tail."""
+        trace = [req(0, "a", 10), req(1, "b", 10), req(2, "a", 10)]
+        result = simulate(
+            trace, SimCache(capacity=100, policy=KeyPolicy([ATIME])),
+            track_positions_every=1,
+        )
+        assert result.hit_positions == [(1, 2)]
+        assert result.mean_hit_depth == pytest.approx(0.5)
+
+    def test_size_policy_small_doc_hits_are_safe(self):
+        """Under SIZE a popular small document sits near the tail (safe);
+        a large one sits at the head (about to be evicted)."""
+        trace = [
+            req(0, "small", 10), req(1, "big", 1000),
+            req(2, "small", 10), req(3, "big", 1000),
+        ]
+        result = simulate(
+            trace, SimCache(capacity=5000, policy=KeyPolicy([SIZE])),
+            track_positions_every=1,
+        )
+        positions = dict(
+            (population, position)
+            for position, population in result.hit_positions
+        )
+        # Two hits sampled: small at tail (1 of 2), big at head (0 of 2).
+        assert sorted(p for p, _ in result.hit_positions) == [0, 1]
+
+    def test_sampling_interval(self):
+        trace = [req(0, "u", 10)] + [req(1 + i, "u", 10) for i in range(10)]
+        result = simulate(
+            trace, SimCache(capacity=100),
+            track_positions_every=3,
+        )
+        assert len(result.hit_positions) == 3  # hits 3, 6, 9
+
+    def test_dynamic_policy_not_tracked(self):
+        """Dynamic policies have no static sort order to report."""
+        trace = [req(0, "u", 10), req(1, "u", 10)]
+        result = simulate(
+            trace, SimCache(capacity=100, policy=LRUMin()),
+            track_positions_every=1,
+        )
+        assert result.hit_positions == []
+
+    def test_depth_on_workload(self):
+        """SIZE keeps its hits away from the eviction head on a real
+        workload (most hits go to small documents, which SIZE protects)."""
+        from repro.workloads import generate_valid
+        from repro.core.experiments import max_needed_for
+        trace = generate_valid("C", seed=3, scale=0.03)
+        capacity = max(1, int(0.1 * max_needed_for(trace)))
+        result = simulate(
+            trace, SimCache(capacity=capacity, policy=KeyPolicy([SIZE])),
+            track_positions_every=25,
+        )
+        assert result.hit_positions
+        assert result.mean_hit_depth > 0.5

@@ -1,0 +1,133 @@
+"""Tests for the Table 1 sorting keys."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    ALL_KEYS,
+    ATIME,
+    DAY_ATIME,
+    ETIME,
+    LATENCY,
+    LOG2SIZE,
+    NREF,
+    RANDOM,
+    SIZE,
+    TAXONOMY_KEYS,
+    TTL,
+    TYPE_PRIORITY,
+    CacheEntry,
+    key_by_name,
+)
+from repro.trace import DocumentType
+
+
+def entry(**kwargs):
+    defaults = dict(url="u", size=1000, etime=10.0, atime=20.0)
+    defaults.update(kwargs)
+    return CacheEntry(**defaults)
+
+
+class TestRemovalOrder:
+    """Smaller key value = removed sooner; check each Table 1 order."""
+
+    def test_size_removes_largest_first(self):
+        large, small = entry(size=5000), entry(size=100)
+        assert SIZE.value(large) < SIZE.value(small)
+
+    def test_log2size_groups_sizes(self):
+        a, b = entry(size=1500), entry(size=1900)  # both floor(log2)=10
+        assert LOG2SIZE.value(a) == LOG2SIZE.value(b)
+        bigger = entry(size=5000)
+        assert LOG2SIZE.value(bigger) < LOG2SIZE.value(a)
+
+    def test_log2size_matches_paper_values(self):
+        # Table 2's middle rows, with kB = 1024 bytes.
+        for kb, expected in [(1.9, 10), (9, 13), (15, 13), (8, 13),
+                             (0.3, 8), (5.2, 12)]:
+            e = entry(size=int(kb * 1024))
+            assert LOG2SIZE.value(e) == -expected
+
+    def test_etime_removes_oldest_first(self):
+        old, new = entry(etime=1.0), entry(etime=9.0)
+        assert ETIME.value(old) < ETIME.value(new)
+
+    def test_atime_removes_least_recent_first(self):
+        stale, fresh = entry(atime=5.0), entry(atime=50.0)
+        assert ATIME.value(stale) < ATIME.value(fresh)
+
+    def test_day_atime_quantises_to_days(self):
+        morning = entry(atime=86400.0 + 100.0)
+        evening = entry(atime=86400.0 + 80000.0)
+        assert DAY_ATIME.value(morning) == DAY_ATIME.value(evening) == 1.0
+
+    def test_nref_removes_least_referenced_first(self):
+        cold, hot = entry(nref=1), entry(nref=9)
+        assert NREF.value(cold) < NREF.value(hot)
+
+    def test_random_uses_stamp(self):
+        assert RANDOM.value(entry(random_stamp=0.25)) == 0.25
+
+
+class TestExtensionKeys:
+    def test_type_priority_media_before_text(self):
+        video = entry(doc_type=DocumentType.VIDEO)
+        text = entry(doc_type=DocumentType.TEXT)
+        assert TYPE_PRIORITY.value(video) < TYPE_PRIORITY.value(text)
+
+    def test_latency_cheap_refetch_first(self):
+        near = entry(latency=0.05)
+        far = entry(latency=2.0)
+        assert LATENCY.value(near) < LATENCY.value(far)
+
+    def test_ttl_earliest_expiry_first(self):
+        soon = entry(expires_at=100.0)
+        later = entry(expires_at=900.0)
+        never = entry(expires_at=None)
+        assert TTL.value(soon) < TTL.value(later) < TTL.value(never)
+        assert TTL.value(never) == math.inf
+
+
+class TestKeyRegistry:
+    def test_taxonomy_is_the_paper_six(self):
+        names = [k.name for k in TAXONOMY_KEYS]
+        assert names == [
+            "SIZE", "LOG2SIZE", "ETIME", "ATIME", "DAY(ATIME)", "NREF",
+        ]
+
+    def test_lookup_by_name(self):
+        assert key_by_name("size") is SIZE
+        assert key_by_name("DAY(ATIME)") is DAY_ATIME
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            key_by_name("COLOUR")
+
+    def test_mutability_flags(self):
+        assert not SIZE.mutable
+        assert not ETIME.mutable
+        assert ATIME.mutable
+        assert DAY_ATIME.mutable
+        assert NREF.mutable
+
+    def test_keys_hashable_and_comparable(self):
+        assert len(set(ALL_KEYS)) == len(ALL_KEYS)
+        assert SIZE == key_by_name("SIZE")
+        assert SIZE != ATIME
+
+
+class TestEntry:
+    def test_touch_updates_recency(self):
+        e = entry()
+        e.touch(99.0)
+        assert e.atime == 99.0
+        assert e.nref == 2
+        assert e.version == 1
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            entry(size=0)
+
+    def test_atime_day(self):
+        assert entry(atime=3 * 86400.0 + 5).atime_day == 3

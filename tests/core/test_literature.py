@@ -1,0 +1,172 @@
+"""Tests for the literature policies (Table 3)."""
+
+import pytest
+
+from repro.core import (
+    CacheEntry,
+    KeyPolicy,
+    LRUMin,
+    PitkowRecker,
+    SimCache,
+    fifo,
+    hyper_g,
+    lfu,
+    literature_policies,
+    lru,
+    size_policy,
+)
+from repro.trace import Request
+
+
+def req(t, url, size):
+    return Request(timestamp=float(t), url=url, size=size)
+
+
+def entry(url, size=100, etime=0.0, atime=0.0, nref=1, stamp=0.5):
+    return CacheEntry(
+        url=url, size=size, etime=etime, atime=atime, nref=nref,
+        random_stamp=stamp,
+    )
+
+
+class TestKeyPolicyAliases:
+    def test_fifo_is_etime(self):
+        policy = fifo()
+        assert policy.keys[0].name == "ETIME"
+        assert policy.name == "FIFO"
+
+    def test_lru_is_atime(self):
+        assert lru().keys[0].name == "ATIME"
+
+    def test_lfu_is_nref(self):
+        assert lfu().keys[0].name == "NREF"
+
+    def test_hyper_g_key_stack(self):
+        names = [k.name for k in hyper_g().keys]
+        assert names == ["NREF", "ATIME", "SIZE", "RANDOM"]
+
+    def test_hyper_g_removes_largest_among_equal_nref_atime(self):
+        policy = hyper_g()
+        small = entry("small", size=10, nref=1, atime=5.0)
+        large = entry("large", size=900, nref=1, atime=5.0)
+        assert [e.url for e in policy.order([small, large])][0] == "large"
+
+    def test_size_policy_name(self):
+        assert size_policy().name == "SIZE"
+
+    def test_literature_policies_fresh_instances(self):
+        first, second = literature_policies(), literature_policies()
+        assert {p.name for p in first} == {
+            "FIFO", "LRU", "LFU", "Hyper-G", "SIZE", "LRU-MIN",
+            "Pitkow/Recker",
+        }
+        assert all(a is not b for a, b in zip(first, second))
+
+
+class TestLRUMin:
+    def test_prefers_documents_at_least_incoming_size(self):
+        policy = LRUMin()
+        entries = [
+            entry("big-old", size=500, atime=1.0),
+            entry("big-new", size=600, atime=9.0),
+            entry("small-older", size=50, atime=0.5),
+        ]
+        victim = policy.choose_victim(entries, incoming_size=400, now=10.0)
+        # Both "big" entries qualify (>= 400); LRU picks big-old, never the
+        # smaller-but-older document.
+        assert victim.url == "big-old"
+
+    def test_halves_threshold_when_no_candidate(self):
+        policy = LRUMin()
+        entries = [
+            entry("a", size=300, atime=2.0),
+            entry("b", size=260, atime=1.0),
+        ]
+        # Incoming 1000: no doc >= 1000, nor >= 500; at >= 250 both
+        # qualify, LRU picks b.
+        victim = policy.choose_victim(entries, incoming_size=1000, now=10.0)
+        assert victim.url == "b"
+
+    def test_falls_back_to_plain_lru(self):
+        policy = LRUMin()
+        entries = [
+            entry("a", size=1, atime=5.0),
+            entry("b", size=1, atime=2.0),
+        ]
+        victim = policy.choose_victim(entries, incoming_size=1000, now=10.0)
+        assert victim.url == "b"
+
+    def test_in_cache_simulation(self):
+        cache = SimCache(capacity=1000, policy=LRUMin())
+        cache.access(req(0, "big", 700))
+        cache.access(req(1, "small", 200))
+        result = cache.access(req(2, "incoming", 600))
+        assert [e.url for e in result.evicted] == ["big"]
+
+    def test_describe(self):
+        assert "LRU-MIN" in LRUMin().describe()
+
+
+class TestPitkowRecker:
+    def test_evicts_days_old_first(self):
+        policy = PitkowRecker()
+        now = 3 * 86400.0 + 1000.0  # day 3
+        entries = [
+            entry("today-big", size=900, atime=now - 100),
+            entry("yesterday", size=10, atime=now - 86400.0),
+            entry("last-week", size=10, atime=now - 6 * 86400.0),
+        ]
+        victim = policy.choose_victim(entries, incoming_size=5, now=now)
+        assert victim.url == "last-week"
+
+    def test_falls_back_to_largest_when_all_fresh(self):
+        policy = PitkowRecker()
+        now = 1000.0  # everything accessed today (day 0)
+        entries = [
+            entry("small", size=10, atime=now - 10),
+            entry("large", size=500, atime=now - 20),
+        ]
+        victim = policy.choose_victim(entries, incoming_size=5, now=now)
+        assert victim.url == "large"
+
+    def test_in_cache_simulation(self):
+        cache = SimCache(capacity=300, policy=PitkowRecker())
+        cache.access(req(0, "day0", 150))
+        day1 = 86400.0
+        cache.access(req(day1, "day1", 100))
+        result = cache.access(req(day1 + 10, "new", 100))
+        assert [e.url for e in result.evicted] == ["day0"]
+
+    def test_describe(self):
+        assert "Pitkow" in PitkowRecker().describe()
+
+
+class TestPolicyRankingOnSyntheticTrace:
+    """Section 5's conclusion: SIZE first, then NREF (LFU), then ATIME
+    (LRU); replicate the ordering on a small synthetic workload."""
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        from repro.workloads import generate_valid
+        from repro.core.experiments import max_needed_for
+        trace = generate_valid("BL", seed=11, scale=0.05)
+        return trace, max_needed_for(trace)
+
+    def hr(self, scenario, policy):
+        from repro.core import simulate
+        trace, max_needed = scenario
+        cache = SimCache(capacity=max(1, int(0.1 * max_needed)), policy=policy)
+        return simulate(trace, cache).hit_rate
+
+    def test_size_beats_lru_and_fifo(self, scenario):
+        hr_size = self.hr(scenario, size_policy())
+        hr_lru = self.hr(scenario, lru())
+        hr_fifo = self.hr(scenario, fifo())
+        assert hr_size > hr_lru > hr_fifo * 0.95
+
+    def test_lru_min_close_to_size(self, scenario):
+        hr_size = self.hr(scenario, size_policy())
+        hr_lru_min = self.hr(scenario, LRUMin())
+        hr_lru = self.hr(scenario, lru())
+        assert hr_lru_min > hr_lru
+        assert hr_lru_min > hr_size * 0.8

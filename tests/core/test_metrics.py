@@ -1,0 +1,139 @@
+"""Tests for HR/WHR accounting and the 7-day moving average."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MetricsCollector,
+    moving_average,
+    ratio_series,
+    series_mean,
+)
+from repro.trace import Request
+
+
+def req(day, size=100, url="u"):
+    return Request(timestamp=day * 86400.0 + 1.0, url=url, size=size)
+
+
+class TestCollector:
+    def test_hit_rate(self):
+        m = MetricsCollector()
+        m.record(req(0), True)
+        m.record(req(0), False)
+        m.record(req(0), False)
+        assert m.hit_rate == pytest.approx(100.0 / 3)
+
+    def test_weighted_hit_rate(self):
+        m = MetricsCollector()
+        m.record(req(0, size=900), True)
+        m.record(req(0, size=100), False)
+        assert m.weighted_hit_rate == pytest.approx(90.0)
+
+    def test_empty_rates_are_zero(self):
+        m = MetricsCollector()
+        assert m.hit_rate == 0.0
+        assert m.weighted_hit_rate == 0.0
+        assert m.mean_daily_hit_rate == 0.0
+        assert m.mean_daily_weighted_hit_rate == 0.0
+
+    def test_daily_breakdown(self):
+        m = MetricsCollector()
+        m.record(req(0), True)
+        m.record(req(2), False)
+        assert m.recorded_days() == [0, 2]
+        assert m.days[0].hit_rate == 100.0
+        assert m.days[2].hit_rate == 0.0
+
+    def test_mean_daily_vs_cumulative(self):
+        """Unweighted daily mean differs from cumulative HR when daily
+        volumes differ (the paper reports the former)."""
+        m = MetricsCollector()
+        for _ in range(9):
+            m.record(req(0), True)
+        m.record(req(1), False)
+        assert m.hit_rate == pytest.approx(90.0)
+        assert m.mean_daily_hit_rate == pytest.approx(50.0)
+
+    def test_series_over_recorded_days_only(self):
+        m = MetricsCollector()
+        m.record(req(0), True)
+        m.record(req(5), True)
+        assert [day for day, _ in m.hr_series()] == [0, 5]
+
+
+class TestMovingAverage:
+    def test_window_of_one_is_identity(self):
+        series = [(0, 1.0), (1, 3.0)]
+        assert moving_average(series, window=1) == series
+
+    def test_first_points_not_plotted(self):
+        """Paper: no point for days 0-5 with a 7-day window."""
+        series = [(d, float(d)) for d in range(10)]
+        smoothed = moving_average(series, window=7)
+        assert smoothed[0][0] == 6
+        assert len(smoothed) == 4
+
+    def test_average_over_recorded_days_ignores_gaps(self):
+        """Classroom-style gaps: the average spans the previous seven
+        *recorded* days no matter how much time elapsed."""
+        days = [0, 1, 2, 3, 7, 8, 9, 14]
+        series = [(d, 10.0) for d in days]
+        smoothed = moving_average(series, window=7)
+        assert [d for d, _ in smoothed] == [9, 14]
+        assert all(v == pytest.approx(10.0) for _, v in smoothed)
+
+    def test_values_are_window_means(self):
+        series = [(d, float(d)) for d in range(7)]
+        smoothed = moving_average(series, window=7)
+        assert smoothed == [(6, 3.0)]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average([(0, 1.0)], window=0)
+
+
+class TestRatioSeries:
+    def test_pointwise_percent(self):
+        finite = [(0, 30.0), (1, 40.0)]
+        infinite = [(0, 60.0), (1, 80.0)]
+        assert ratio_series(finite, infinite) == [(0, 50.0), (1, 50.0)]
+
+    def test_zero_denominator_skipped(self):
+        finite = [(0, 30.0), (1, 40.0)]
+        infinite = [(0, 0.0), (1, 80.0)]
+        assert ratio_series(finite, infinite) == [(1, 50.0)]
+
+    def test_missing_days_skipped(self):
+        finite = [(0, 30.0), (5, 40.0)]
+        infinite = [(0, 60.0)]
+        assert ratio_series(finite, infinite) == [(0, 50.0)]
+
+
+class TestSeriesMean:
+    def test_mean(self):
+        assert series_mean([(0, 1.0), (1, 3.0)]) == 2.0
+
+    def test_empty(self):
+        assert series_mean([]) == 0.0
+
+
+@given(st.lists(
+    st.tuples(st.integers(0, 30), st.integers(1, 10**6), st.booleans()),
+    max_size=200,
+))
+@settings(max_examples=100, deadline=None)
+def test_collector_consistency(events):
+    """Totals always equal the sum of the daily buckets, and rates stay
+    within [0, 100]."""
+    m = MetricsCollector()
+    for day, size, hit in events:
+        m.record(req(day, size=size), hit)
+    assert m.total_requests == sum(d.requests for d in m.days.values())
+    assert m.total_hits == sum(d.hits for d in m.days.values())
+    assert m.total_bytes_hit == sum(d.bytes_hit for d in m.days.values())
+    assert 0.0 <= m.hit_rate <= 100.0
+    assert 0.0 <= m.weighted_hit_rate <= 100.0
+    assert m.total_hits <= m.total_requests
+    assert m.total_bytes_hit <= m.total_bytes_requested

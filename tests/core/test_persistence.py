@@ -1,0 +1,144 @@
+"""Tests for cache snapshots and warm-start restoration."""
+
+import pytest
+
+from repro.core import (
+    ATIME,
+    KeyPolicy,
+    SIZE,
+    SimCache,
+    load_cache,
+    restore_cache,
+    save_cache,
+    simulate,
+    snapshot_cache,
+)
+from repro.trace import Request
+
+
+def req(t, url, size):
+    return Request(timestamp=float(t), url=url, size=size)
+
+
+def warmed_cache():
+    cache = SimCache(capacity=10_000, policy=KeyPolicy([SIZE]))
+    cache.access(req(0, "a", 1000))
+    cache.access(req(10, "b", 2000))
+    cache.access(req(20, "a", 1000))  # hit: bumps a's nref/atime
+    return cache
+
+
+class TestSnapshot:
+    def test_roundtrip_preserves_entries(self):
+        cache = warmed_cache()
+        restored = restore_cache(
+            snapshot_cache(cache), policy=KeyPolicy([SIZE]),
+        )
+        assert len(restored) == len(cache)
+        assert restored.used_bytes == cache.used_bytes
+        for entry in cache.entries():
+            twin = restored.get(entry.url)
+            assert twin.size == entry.size
+            assert twin.etime == entry.etime
+            assert twin.atime == entry.atime
+            assert twin.nref == entry.nref
+            assert twin.random_stamp == entry.random_stamp
+
+    def test_counters_preserved(self):
+        cache = SimCache(capacity=2500, policy=KeyPolicy([SIZE]))
+        cache.access(req(0, "a", 2000))
+        cache.access(req(1, "b", 2000))  # evicts a
+        restored = restore_cache(
+            snapshot_cache(cache), policy=KeyPolicy([SIZE]),
+        )
+        assert restored.eviction_count == 1
+        assert restored.evicted_bytes == 2000
+        assert restored.max_used_bytes == cache.max_used_bytes
+
+    def test_restored_cache_continues_identically(self):
+        """A restored cache evicts exactly like the original from the
+        snapshot point on (same policy, same stamps)."""
+        tail = [req(30 + i, f"u{i}", 700 + i * 13) for i in range(30)]
+
+        original = warmed_cache()
+        for request in tail:
+            original.access(request)
+
+        restored = restore_cache(
+            snapshot_cache(warmed_cache()), policy=KeyPolicy([SIZE]),
+        )
+        for request in tail:
+            restored.access(request)
+
+        assert sorted(e.url for e in restored.entries()) == sorted(
+            e.url for e in original.entries()
+        )
+        assert restored.used_bytes == original.used_bytes
+        assert restored.eviction_count == original.eviction_count
+
+    def test_file_roundtrip(self, tmp_path):
+        cache = warmed_cache()
+        path = save_cache(cache, tmp_path / "cache.json")
+        restored = load_cache(path, policy=KeyPolicy([SIZE]))
+        assert len(restored) == len(cache)
+
+    def test_mutable_policy_restoration(self):
+        cache = SimCache(capacity=3000, policy=KeyPolicy([ATIME]))
+        cache.access(req(0, "old", 1000))
+        cache.access(req(50, "new", 1000))
+        restored = restore_cache(
+            snapshot_cache(cache), policy=KeyPolicy([ATIME]),
+        )
+        result = restored.access(req(60, "incoming", 1500))
+        assert [e.url for e in result.evicted] == ["old"]
+
+
+class TestValidation:
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            restore_cache({"format": 99, "entries": []})
+
+    def test_duplicate_urls_rejected(self):
+        snapshot = snapshot_cache(warmed_cache())
+        snapshot["entries"].append(dict(snapshot["entries"][0]))
+        with pytest.raises(ValueError):
+            restore_cache(snapshot, policy=KeyPolicy([SIZE]))
+
+    def test_over_capacity_rejected(self):
+        snapshot = snapshot_cache(warmed_cache())
+        snapshot["capacity"] = 100
+        with pytest.raises(ValueError):
+            restore_cache(snapshot, policy=KeyPolicy([SIZE]))
+
+    def test_infinite_cache_snapshot(self):
+        cache = SimCache(capacity=None)
+        cache.access(req(0, "a", 10))
+        restored = restore_cache(snapshot_cache(cache))
+        assert restored.capacity is None
+        assert "a" in restored
+
+
+class TestWarmStart:
+    def test_warm_start_raises_early_hit_rate(self):
+        """Warm-starting with day-one state lifts the second day's HR —
+        quantifying the cold-start transient the paper's curves include."""
+        from repro.workloads import generate_valid
+        from repro.trace.tools import split_by_day
+        trace = generate_valid("C", seed=31, scale=0.05)
+        days = split_by_day(trace)
+        ordered_days = sorted(days)
+        first = [r for d in ordered_days[: len(ordered_days) // 2]
+                 for r in days[d]]
+        second = [r for d in ordered_days[len(ordered_days) // 2:]
+                  for r in days[d]]
+
+        cold = simulate(second, SimCache(capacity=None))
+
+        warm_cache = SimCache(capacity=None)
+        for request in first:
+            warm_cache.access(request)
+        warm = simulate(
+            second,
+            restore_cache(snapshot_cache(warm_cache)),
+        )
+        assert warm.hit_rate > cold.hit_rate

@@ -1,0 +1,107 @@
+"""Tests for the policy taxonomy."""
+
+import pytest
+
+from repro.core import (
+    ATIME,
+    ETIME,
+    NREF,
+    RANDOM,
+    SIZE,
+    CacheEntry,
+    KeyPolicy,
+    policy_from_names,
+    taxonomy_policies,
+)
+
+
+def entry(url, size=1000, etime=0.0, atime=0.0, nref=1, stamp=0.0):
+    return CacheEntry(
+        url=url, size=size, etime=etime, atime=atime, nref=nref,
+        random_stamp=stamp,
+    )
+
+
+class TestKeyPolicy:
+    def test_appends_random_tiebreak(self):
+        policy = KeyPolicy([SIZE, ATIME])
+        assert policy.keys[-1] is RANDOM
+
+    def test_no_double_random(self):
+        policy = KeyPolicy([SIZE, RANDOM])
+        assert [k.name for k in policy.keys] == ["SIZE", "RANDOM"]
+
+    def test_rejects_duplicate_keys(self):
+        with pytest.raises(ValueError):
+            KeyPolicy([SIZE, SIZE])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            KeyPolicy([])
+
+    def test_default_name(self):
+        assert KeyPolicy([SIZE, ATIME]).name == "SIZE/ATIME"
+
+    def test_custom_name(self):
+        assert KeyPolicy([SIZE], name="biggest-first").name == "biggest-first"
+
+    def test_mutable_flag(self):
+        assert not KeyPolicy([SIZE, ETIME]).mutable
+        assert KeyPolicy([SIZE, ATIME]).mutable
+        assert KeyPolicy([NREF]).mutable
+
+    def test_order_primary_then_secondary(self):
+        policy = KeyPolicy([SIZE, ATIME])
+        entries = [
+            entry("small-old", size=10, atime=1.0),
+            entry("big", size=100, atime=5.0),
+            entry("small-new", size=10, atime=9.0),
+        ]
+        ordered = [e.url for e in policy.order(entries)]
+        assert ordered == ["big", "small-old", "small-new"]
+
+    def test_random_tertiary_breaks_remaining_ties(self):
+        policy = KeyPolicy([SIZE, ETIME])
+        a = entry("a", size=10, etime=1.0, stamp=0.9)
+        b = entry("b", size=10, etime=1.0, stamp=0.1)
+        assert [e.url for e in policy.order([a, b])] == ["b", "a"]
+
+    def test_describe_mentions_keys(self):
+        text = KeyPolicy([SIZE, ATIME]).describe()
+        assert "SIZE" in text and "ATIME" in text
+
+
+class TestTaxonomy:
+    def test_thirty_six_policies(self):
+        policies = taxonomy_policies()
+        assert len(policies) == 36
+
+    def test_all_combinations_distinct(self):
+        combos = {
+            (p.keys[0].name, p.keys[1].name) for p in taxonomy_policies()
+        }
+        assert len(combos) == 36
+
+    def test_no_equal_primary_secondary(self):
+        for policy in taxonomy_policies():
+            assert policy.keys[0] != policy.keys[1]
+
+    def test_random_only_as_secondary(self):
+        for policy in taxonomy_policies():
+            assert policy.keys[0].name != "RANDOM"
+
+    def test_every_primary_covered(self):
+        primaries = {p.keys[0].name for p in taxonomy_policies()}
+        assert primaries == {
+            "SIZE", "LOG2SIZE", "ETIME", "ATIME", "DAY(ATIME)", "NREF",
+        }
+
+
+class TestPolicyFromNames:
+    def test_builds_policy(self):
+        policy = policy_from_names("SIZE", "ATIME")
+        assert policy.name == "SIZE/ATIME"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            policy_from_names("WEIGHT")

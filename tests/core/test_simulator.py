@@ -1,0 +1,80 @@
+"""Tests for the trace-driven simulator."""
+
+import pytest
+
+from repro.core import (
+    AccessOutcome,
+    KeyPolicy,
+    SIZE,
+    SimCache,
+    simulate,
+)
+from repro.trace import Request
+
+
+def req(t, url, size):
+    return Request(timestamp=float(t), url=url, size=size)
+
+
+TRACE = [
+    req(0, "a", 100),
+    req(10, "b", 200),
+    req(20, "a", 100),          # hit
+    req(86400, "a", 100),       # hit next day
+    req(86410, "b", 250),       # modified
+    req(86420, "c", 50),
+]
+
+
+class TestSimulate:
+    def test_counts(self):
+        result = simulate(TRACE, SimCache(capacity=None), name="toy")
+        assert result.metrics.total_requests == 6
+        assert result.metrics.total_hits == 2
+        assert result.hit_rate == pytest.approx(100 * 2 / 6)
+
+    def test_outcome_histogram(self):
+        result = simulate(TRACE, SimCache(capacity=None))
+        assert result.outcomes[AccessOutcome.HIT] == 2
+        assert result.outcomes[AccessOutcome.MISS] == 3
+        assert result.outcomes[AccessOutcome.MISS_MODIFIED] == 1
+
+    def test_weighted_hit_rate(self):
+        result = simulate(TRACE, SimCache(capacity=None))
+        hit_bytes = 100 + 100
+        total_bytes = 100 + 200 + 100 + 100 + 250 + 50
+        assert result.weighted_hit_rate == pytest.approx(
+            100 * hit_bytes / total_bytes
+        )
+
+    def test_daily_split(self):
+        result = simulate(TRACE, SimCache(capacity=None))
+        assert result.metrics.days[0].requests == 3
+        assert result.metrics.days[1].requests == 3
+
+    def test_max_needed(self):
+        """Infinite-cache high-water mark = MaxNeeded.  The modified copy
+        of b replaces the 200-byte version with 250 bytes."""
+        result = simulate(TRACE, SimCache(capacity=None))
+        assert result.max_used_bytes == 100 + 250 + 50
+
+    def test_summary_dict(self):
+        result = simulate(TRACE, SimCache(capacity=None), name="toy")
+        summary = result.summary()
+        assert summary["name"] == "toy"
+        assert summary["requests"] == 6
+        assert summary["capacity"] is None
+
+    def test_policy_name_recorded(self):
+        cache = SimCache(capacity=1000, policy=KeyPolicy([SIZE], name="X"))
+        assert simulate(TRACE, cache).policy_name == "X"
+
+    def test_empty_trace(self):
+        result = simulate([], SimCache(capacity=None))
+        assert result.hit_rate == 0.0
+        assert result.max_used_bytes == 0
+
+    def test_finite_cache_worse_or_equal(self):
+        infinite = simulate(TRACE, SimCache(capacity=None))
+        finite = simulate(TRACE, SimCache(capacity=150))
+        assert finite.hit_rate <= infinite.hit_rate

@@ -1,0 +1,131 @@
+"""Golden test: the paper's Table 2 worked example, end to end.
+
+A 42.5 kB cache is driven with the 15-request sample trace; at time 15+ a
+previously unseen 1.5 kB document I arrives.  Table 2 gives, for each key
+combination, the exact sorted list and which documents are removed.
+"""
+
+import pytest
+
+from repro.core import (
+    ATIME,
+    ETIME,
+    LOG2SIZE,
+    NREF,
+    SIZE,
+    KeyPolicy,
+    SimCache,
+)
+from repro.trace import Request
+
+KB = 1024
+
+#: (time, URL, size in kB) — the top panel of Table 2.
+SAMPLE_TRACE = [
+    (1, "A", 1.9), (2, "B", 1.2), (3, "C", 9), (4, "B", 1.2), (5, "B", 1.2),
+    (6, "A", 1.9), (7, "D", 15), (8, "E", 8), (9, "C", 9), (10, "D", 15),
+    (11, "F", 0.3), (12, "G", 1.9), (13, "A", 1.9), (14, "D", 15),
+    (15, "H", 5.2),
+]
+
+
+def build_cache(policy):
+    cache = SimCache(capacity=int(42.5 * KB), policy=policy)
+    for t, url, kb in SAMPLE_TRACE:
+        result = cache.access(
+            Request(timestamp=float(t), url=url, size=int(kb * KB))
+        )
+        assert not result.evicted, "nothing is evicted before time 15+"
+    return cache
+
+
+class TestKeyValuesAtTime15:
+    """The middle panel of Table 2."""
+
+    def test_etimes(self):
+        cache = build_cache(KeyPolicy([SIZE]))
+        expected = {"A": 1, "B": 2, "C": 3, "D": 7, "E": 8, "F": 11,
+                    "G": 12, "H": 15}
+        for url, etime in expected.items():
+            assert cache.get(url).etime == float(etime)
+
+    def test_atimes(self):
+        cache = build_cache(KeyPolicy([SIZE]))
+        expected = {"A": 13, "B": 5, "C": 9, "D": 14, "E": 8, "F": 11,
+                    "G": 12, "H": 15}
+        for url, atime in expected.items():
+            assert cache.get(url).atime == float(atime)
+
+    def test_nrefs(self):
+        cache = build_cache(KeyPolicy([SIZE]))
+        expected = {"A": 3, "B": 3, "C": 2, "D": 3, "E": 1, "F": 1,
+                    "G": 1, "H": 1}
+        for url, nref in expected.items():
+            assert cache.get(url).nref == nref
+
+    def test_log2_sizes(self):
+        cache = build_cache(KeyPolicy([SIZE]))
+        expected = {"A": 10, "B": 10, "C": 13, "D": 13, "E": 13, "F": 8,
+                    "G": 10, "H": 12}
+        for url, log2 in expected.items():
+            entry = cache.get(url)
+            assert -LOG2SIZE.value(entry) == float(log2), url
+
+    def test_cache_essentially_full(self):
+        cache = build_cache(KeyPolicy([SIZE]))
+        # Sizes round to whole bytes; the cache is full to within a few
+        # bytes of the 42.5 kB capacity.
+        assert cache.free_bytes < 10
+
+
+SORTED_LIST_CASES = [
+    # (keys, expected removal order from Table 2's bottom panel)
+    ([SIZE, ATIME], ["D", "C", "E", "H", "G", "A", "B", "F"]),
+    ([LOG2SIZE, ATIME], ["E", "C", "D", "H", "B", "G", "A", "F"]),
+    ([ETIME], ["A", "B", "C", "D", "E", "F", "G", "H"]),
+    ([ATIME], ["B", "E", "C", "F", "G", "A", "D", "H"]),
+    ([NREF, ETIME], ["E", "F", "G", "H", "C", "A", "B", "D"]),
+]
+
+REMOVAL_CASES = [
+    ([SIZE, ATIME], {"D"}),
+    ([LOG2SIZE, ATIME], {"E"}),
+    ([ETIME], {"A"}),
+    ([ATIME], {"B", "E"}),
+    ([NREF, ETIME], {"E"}),
+]
+
+
+@pytest.mark.parametrize(
+    "keys,expected",
+    SORTED_LIST_CASES,
+    ids=["/".join(k.name for k in keys) for keys, _ in SORTED_LIST_CASES],
+)
+def test_sorted_lists_match_table2(keys, expected):
+    cache = build_cache(KeyPolicy(keys))
+    assert [e.url for e in cache.removal_order()] == expected
+
+
+@pytest.mark.parametrize(
+    "keys,expected",
+    REMOVAL_CASES,
+    ids=["/".join(k.name for k in keys) for keys, _ in REMOVAL_CASES],
+)
+def test_removals_match_table2(keys, expected):
+    """Which documents make room for the new 1.5 kB document I."""
+    cache = build_cache(KeyPolicy(keys))
+    result = cache.access(
+        Request(timestamp=15.5, url="I", size=int(1.5 * KB))
+    )
+    assert {e.url for e in result.evicted} == expected
+    assert "I" in cache
+
+
+def test_lru_needs_two_removals():
+    """The paper's running example: LRU removes B (1.2 kB, insufficient)
+    then E (8 kB) to fit the 1.5 kB incoming document."""
+    cache = build_cache(KeyPolicy([ATIME]))
+    result = cache.access(
+        Request(timestamp=15.5, url="I", size=int(1.5 * KB))
+    )
+    assert [e.url for e in result.evicted] == ["B", "E"]

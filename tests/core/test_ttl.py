@@ -1,0 +1,79 @@
+"""Tests for expiration-aware removal (open problem 4 extension)."""
+
+import pytest
+
+from repro.core import (
+    DEFAULT_TYPE_TTLS,
+    KeyPolicy,
+    SIZE,
+    SimCache,
+    expired_first_policy,
+    fixed_ttl,
+    type_based_ttl,
+)
+from repro.trace import DocumentType, Request
+
+
+def req(t, url, size):
+    return Request(timestamp=float(t), url=url, size=size)
+
+
+class TestAssigners:
+    def test_fixed_ttl(self):
+        assign = fixed_ttl(3600.0)
+        assert assign(req(0, "u", 1), 100.0) == 3700.0
+
+    def test_fixed_ttl_validation(self):
+        with pytest.raises(ValueError):
+            fixed_ttl(0)
+
+    def test_type_based_ttl_text_shorter_than_media(self):
+        assign = type_based_ttl()
+        text = assign(req(0, "http://s/p.html", 1), 0.0)
+        audio = assign(req(0, "http://s/a.au", 1), 0.0)
+        assert text < audio
+
+    def test_type_based_custom_table(self):
+        assign = type_based_ttl({DocumentType.TEXT: 10.0})
+        assert assign(req(0, "http://s/p.html", 1), 5.0) == 15.0
+
+    def test_default_table_covers_all_types(self):
+        assert set(DEFAULT_TYPE_TTLS) == set(DocumentType)
+
+
+class TestExpiredFirstPolicy:
+    def test_name(self):
+        assert expired_first_policy().name == "TTL/SIZE"
+
+    def test_earliest_expiry_evicted_first(self):
+        cache = SimCache(
+            capacity=250,
+            policy=expired_first_policy(),
+            ttl_assigner=fixed_ttl(100.0),
+        )
+        cache.access(req(0, "early", 100))    # expires at 100
+        cache.access(req(50, "late", 100))    # expires at 150
+        result = cache.access(req(60, "new", 100))
+        assert [e.url for e in result.evicted] == ["early"]
+
+    def test_size_breaks_expiry_ties(self):
+        cache = SimCache(
+            capacity=1000,
+            policy=expired_first_policy(SIZE),
+            ttl_assigner=lambda r, now: 500.0,  # all expire together
+        )
+        cache.access(req(0, "small", 100))
+        cache.access(req(1, "big", 800))
+        result = cache.access(req(2, "new", 200))
+        assert [e.url for e in result.evicted] == ["big"]
+
+    def test_entries_without_expiry_kept_longest(self):
+        cache = SimCache(capacity=250, policy=expired_first_policy())
+        # No ttl_assigner: expires_at None -> +inf -> evicted last; give
+        # one entry an expiry by hand.
+        cache.access(req(0, "forever", 100))
+        cache.access(req(1, "mortal", 100))
+        cache.get("mortal").expires_at = 10.0
+        # Force a re-index by touching through a fresh policy order check.
+        order = cache.removal_order()
+        assert [e.url for e in order] == ["mortal", "forever"]

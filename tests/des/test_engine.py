@@ -1,0 +1,102 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import EventLoop
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(5.0, lambda: fired.append("b"))
+        loop.schedule_at(1.0, lambda: fired.append("a"))
+        loop.schedule_at(9.0, lambda: fired.append("c"))
+        loop.run()
+        assert fired == ["a", "b", "c"]
+        assert loop.now == 9.0
+        assert loop.processed == 3
+
+    def test_equal_times_by_priority_then_fifo(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(1.0, lambda: fired.append("late"), priority=1)
+        loop.schedule_at(1.0, lambda: fired.append("first"), priority=0)
+        loop.schedule_at(1.0, lambda: fired.append("second"), priority=0)
+        loop.run()
+        assert fired == ["first", "second", "late"]
+
+    def test_relative_schedule(self):
+        loop = EventLoop(start=10.0)
+        fired = []
+        loop.schedule(5.0, lambda: fired.append(loop.now))
+        loop.run()
+        assert fired == [15.0]
+
+    def test_callbacks_can_schedule(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain(n):
+            fired.append(loop.now)
+            if n:
+                loop.schedule(1.0, lambda: chain(n - 1))
+
+        loop.schedule_at(0.0, lambda: chain(3))
+        loop.run()
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+
+    def test_past_schedule_rejected(self):
+        loop = EventLoop(start=10.0)
+        with pytest.raises(ValueError):
+            loop.schedule_at(5.0, lambda: None)
+        with pytest.raises(ValueError):
+            loop.schedule(-1.0, lambda: None)
+
+    def test_run_until(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(1.0, lambda: fired.append(1))
+        loop.schedule_at(10.0, lambda: fired.append(10))
+        loop.run(until=5.0)
+        assert fired == [1]
+        assert loop.now == 5.0
+        loop.run()
+        assert fired == [1, 10]
+
+    def test_cancel(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule_at(1.0, lambda: fired.append("cancelled"))
+        loop.schedule_at(2.0, lambda: fired.append("kept"))
+        loop.cancel(event)
+        loop.run()
+        assert fired == ["kept"]
+
+    def test_len_counts_pending(self):
+        loop = EventLoop()
+        first = loop.schedule_at(1.0, lambda: None)
+        loop.schedule_at(2.0, lambda: None)
+        assert len(loop) == 2
+        loop.cancel(first)
+        assert len(loop) == 1
+
+    def test_step_empty(self):
+        assert EventLoop().step() is False
+
+
+@given(times=st.lists(
+    st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60,
+))
+@settings(max_examples=100, deadline=None)
+def test_firing_order_property(times):
+    """Whatever the scheduling order, events fire sorted by time."""
+    loop = EventLoop()
+    fired = []
+    for time in times:
+        loop.schedule_at(time, lambda t=time: fired.append(t))
+    loop.run()
+    assert fired == sorted(times)
+    assert loop.processed == len(times)

@@ -1,0 +1,138 @@
+"""Tests for the proxy latency model."""
+
+import pytest
+
+from repro.core import SimCache, size_policy
+from repro.des import LatencyParameters, estimate_latency
+from repro.trace import Request
+
+
+def req(t, url, size):
+    return Request(timestamp=float(t), url=url, size=size)
+
+
+PARAMS = LatencyParameters(
+    proxy_overhead=0.01,
+    proxy_bandwidth=1_000_000.0,
+    origin_rtt=0.1,
+    origin_bandwidth=100_000.0,
+)
+
+
+class TestParameters:
+    def test_service_time_hit(self):
+        assert PARAMS.service_time(10_000, hit=True) == pytest.approx(
+            0.01 + 0.01
+        )
+
+    def test_service_time_miss_adds_origin_path(self):
+        miss = PARAMS.service_time(10_000, hit=False)
+        assert miss == pytest.approx(0.01 + 0.01 + 0.1 + 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyParameters(proxy_bandwidth=0)
+        with pytest.raises(ValueError):
+            LatencyParameters(time_compression=0)
+
+
+class TestEstimate:
+    def test_no_queueing_when_sparse(self):
+        trace = [req(i * 100, f"u{i}", 10_000) for i in range(5)]
+        report = estimate_latency(trace, cache=None, parameters=PARAMS)
+        expected = PARAMS.service_time(10_000, hit=False)
+        assert report.requests == 5
+        assert report.hits == 0
+        for latency in report.latencies:
+            assert latency == pytest.approx(expected)
+
+    def test_queueing_delay_appears_when_bunched(self):
+        trace = [req(0.0, f"u{i}", 10_000) for i in range(5)]
+        report = estimate_latency(trace, cache=None, parameters=PARAMS)
+        assert report.latencies[-1] > report.latencies[0]
+
+    def test_cache_reduces_latency(self):
+        """The paper's unmeasurable claim, made measurable: high HR means
+        lower mean latency when the proxy is not saturated."""
+        trace = []
+        for round_index in range(10):
+            for doc in range(3):
+                trace.append(req(
+                    round_index * 50 + doc, f"u{doc}", 50_000,
+                ))
+        cached = estimate_latency(
+            trace, SimCache(capacity=None), parameters=PARAMS,
+        )
+        uncached = estimate_latency(trace, None, parameters=PARAMS)
+        assert cached.hit_rate > 80.0
+        assert cached.mean_latency < uncached.mean_latency / 2
+
+    def test_utilisation_bounded(self):
+        trace = [req(i, f"u{i}", 1000) for i in range(20)]
+        report = estimate_latency(trace, None, parameters=PARAMS)
+        assert 0.0 < report.utilisation <= 1.0
+
+    def test_percentiles(self):
+        trace = [req(i * 100, f"u{i}", 10_000) for i in range(10)]
+        report = estimate_latency(trace, None, parameters=PARAMS)
+        assert report.percentile(0.5) <= report.percentile(0.99)
+        with pytest.raises(ValueError):
+            report.percentile(1.5)
+
+    def test_empty_trace(self):
+        report = estimate_latency([], None, parameters=PARAMS)
+        assert report.mean_latency == 0.0
+        assert report.percentile(0.5) == 0.0
+        assert report.utilisation == 0.0
+
+    def test_time_compression_increases_queueing(self):
+        trace = [req(i * 10.0, f"u{i % 3}", 100_000) for i in range(30)]
+        relaxed = estimate_latency(
+            trace, None,
+            parameters=LatencyParameters(time_compression=1.0),
+        )
+        squeezed = estimate_latency(
+            trace, None,
+            parameters=LatencyParameters(time_compression=100.0),
+        )
+        assert squeezed.mean_latency >= relaxed.mean_latency
+
+
+class TestMultiServer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyParameters(servers=0)
+
+    def test_more_workers_cut_queueing(self):
+        """Bunched arrivals queue behind one worker but not behind four."""
+        trace = [req(0.0, f"u{i}", 50_000) for i in range(8)]
+        single = estimate_latency(
+            trace, None, parameters=LatencyParameters(servers=1),
+        )
+        quad = estimate_latency(
+            trace, None, parameters=LatencyParameters(servers=4),
+        )
+        assert quad.mean_latency < single.mean_latency
+        assert max(quad.latencies) < max(single.latencies)
+
+    def test_sparse_arrivals_unaffected(self):
+        """With no contention, extra workers change nothing."""
+        trace = [req(i * 100.0, f"u{i}", 10_000) for i in range(5)]
+        single = estimate_latency(
+            trace, None, parameters=LatencyParameters(servers=1),
+        )
+        quad = estimate_latency(
+            trace, None, parameters=LatencyParameters(servers=4),
+        )
+        assert single.mean_latency == pytest.approx(quad.mean_latency)
+
+    def test_utilisation_accounts_for_workers(self):
+        trace = [req(0.0, f"u{i}", 100_000) for i in range(8)]
+        single = estimate_latency(
+            trace, None, parameters=LatencyParameters(servers=1),
+        )
+        quad = estimate_latency(
+            trace, None, parameters=LatencyParameters(servers=4),
+        )
+        assert 0.0 < quad.utilisation <= 1.0
+        assert 0.0 < single.utilisation <= 1.0

@@ -1,0 +1,51 @@
+"""Tests for the blocking HTTP client."""
+
+import pytest
+
+from repro.httpnet.client import fetch, request
+from repro.httpnet.message import HttpRequest
+from repro.proxy import OriginServer
+
+
+class TestClient:
+    def test_fetch_from_origin(self):
+        with OriginServer() as origin:
+            response = fetch(origin.address, "/page.html")
+            assert response.status == 200
+            assert response.body == origin.site.document("/page.html")[0]
+
+    def test_fetch_with_headers(self):
+        from repro.httpnet.message import format_http_date
+        with OriginServer() as origin:
+            stamp = format_http_date(origin.site.last_modified("/p.html"))
+            response = fetch(
+                origin.address, "/p.html",
+                headers={"If-Modified-Since": stamp},
+            )
+            assert response.status == 304
+
+    def test_request_object(self):
+        with OriginServer() as origin:
+            response = request(
+                origin.address,
+                HttpRequest(method="HEAD", url="/page.html"),
+            )
+            assert response.status == 200
+            assert response.body == b""
+
+    def test_connection_refused(self):
+        import socket
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        with pytest.raises(OSError):
+            fetch(("127.0.0.1", dead_port), "/x", timeout=1.0)
+
+    def test_response_size_cap(self):
+        with OriginServer() as origin:
+            with pytest.raises(ValueError):
+                request(
+                    origin.address,
+                    HttpRequest(method="GET", url="/big.html"),
+                    max_response_bytes=16,
+                )

@@ -1,0 +1,84 @@
+"""Fuzz tests: parsers must fail cleanly, never crash.
+
+A log consumer and a packet sniffer face arbitrary bytes; the only
+acceptable failure mode is the module's own error type (or a clean skip),
+never an unhandled exception.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.httpnet import (
+    Flow,
+    HttpMessageError,
+    HttpRequest,
+    HttpResponse,
+    Sniffer,
+    TcpSegment,
+)
+from repro.trace import CLFError, parse_clf_line
+from repro.trace.reader import read_clf_lines
+
+
+@given(st.text(max_size=300))
+@settings(max_examples=300, deadline=None)
+def test_clf_parser_never_crashes(text):
+    try:
+        parse_clf_line(text)
+    except CLFError:
+        pass  # the contract: CLFError or a valid record
+
+
+@given(st.lists(st.text(max_size=120), max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_clf_reader_skips_garbage(lines):
+    # skip_malformed mode must consume anything without raising.
+    list(read_clf_lines(lines))
+
+
+@given(st.binary(max_size=400))
+@settings(max_examples=300, deadline=None)
+def test_http_request_parser_never_crashes(data):
+    try:
+        HttpRequest.parse(data)
+    except HttpMessageError:
+        pass
+
+
+@given(st.binary(max_size=400))
+@settings(max_examples=300, deadline=None)
+def test_http_response_parser_never_crashes(data):
+    try:
+        HttpResponse.parse(data)
+    except HttpMessageError:
+        pass
+
+
+segment_strategy = st.builds(
+    TcpSegment,
+    flow=st.builds(
+        Flow,
+        src=st.sampled_from(["a", "b"]),
+        sport=st.sampled_from([80, 1234, 40000]),
+        dst=st.sampled_from(["s", "t"]),
+        dport=st.sampled_from([80, 443, 8080]),
+    ),
+    seq=st.integers(min_value=0, max_value=10_000),
+    payload=st.binary(max_size=60),
+    syn=st.booleans(),
+    fin=st.booleans(),
+    timestamp=st.floats(min_value=0, max_value=1e6),
+)
+
+
+@given(st.lists(segment_strategy, max_size=60))
+@settings(max_examples=150, deadline=None)
+def test_sniffer_never_crashes_on_arbitrary_segments(segments):
+    sniffer = Sniffer()
+    sniffer.feed_many(segments)
+    transactions = sniffer.transactions()
+    # Whatever came in, every produced transaction is well-formed.
+    for transaction in transactions:
+        assert transaction.size >= 0
+        assert transaction.url
+        assert 0 <= transaction.status <= 999

@@ -1,0 +1,167 @@
+"""Tests for TCP segments, flows, and reassembly."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.httpnet import Flow, FlowAssembler, TcpSegment, packetize
+from repro.httpnet.message import HttpRequest, HttpResponse
+
+FLOW = Flow("client", 40000, "server", 80)
+
+
+class TestFlow:
+    def test_reverse(self):
+        reverse = FLOW.reverse
+        assert reverse.src == "server" and reverse.dport == 40000
+
+    def test_connection_direction_agnostic(self):
+        assert FLOW.connection == FLOW.reverse.connection
+
+    def test_hashable(self):
+        assert len({FLOW, FLOW.reverse, FLOW}) == 2
+
+
+class TestSegment:
+    def test_negative_seq_rejected(self):
+        with pytest.raises(ValueError):
+            TcpSegment(flow=FLOW, seq=-1)
+
+
+def segments_for(data, isn=100, flow=FLOW, mss=4):
+    """Hand-rolled segment stream: SYN, data chunks, FIN."""
+    out = [TcpSegment(flow=flow, seq=isn, syn=True)]
+    seq = isn + 1
+    for offset in range(0, len(data), mss):
+        chunk = data[offset: offset + mss]
+        out.append(TcpSegment(flow=flow, seq=seq, payload=chunk))
+        seq += len(chunk)
+    out.append(TcpSegment(flow=flow, seq=seq, fin=True))
+    return out
+
+
+class TestFlowAssembler:
+    def test_in_order_reassembly(self):
+        assembler = FlowAssembler()
+        assembler.feed_many(segments_for(b"hello world"))
+        assert assembler.stream(FLOW) == b"hello world"
+        assert assembler.is_complete(FLOW)
+
+    def test_out_of_order_reassembly(self):
+        segments = segments_for(b"abcdefghijkl")
+        data_segments = segments[1:-1]
+        reordered = [segments[0]] + data_segments[::-1] + [segments[-1]]
+        assembler = FlowAssembler()
+        assembler.feed_many(reordered)
+        assert assembler.stream(FLOW) == b"abcdefghijkl"
+
+    def test_duplicates_suppressed(self):
+        segments = segments_for(b"abcdefgh")
+        with_dupes = segments[:3] + [segments[2]] + segments[3:]
+        assembler = FlowAssembler()
+        assembler.feed_many(with_dupes)
+        assert assembler.stream(FLOW) == b"abcdefgh"
+
+    def test_incomplete_without_fin(self):
+        segments = segments_for(b"abcd")[:-1]
+        assembler = FlowAssembler()
+        assembler.feed_many(segments)
+        assert not assembler.is_complete(FLOW)
+
+    def test_gap_means_incomplete(self):
+        segments = segments_for(b"abcdefgh")
+        missing_middle = [s for i, s in enumerate(segments) if i != 2]
+        assembler = FlowAssembler()
+        assembler.feed_many(missing_middle)
+        assert not assembler.is_complete(FLOW)
+        assert assembler.stream(FLOW) == b"abcd"
+
+    def test_mid_stream_capture_anchor(self):
+        """Capture starting after the SYN still yields the tail bytes."""
+        assembler = FlowAssembler()
+        assembler.feed(TcpSegment(flow=FLOW, seq=500, payload=b"tail"))
+        assembler.feed(TcpSegment(flow=FLOW, seq=504, fin=True))
+        assert assembler.stream(FLOW) == b"tail"
+        assert assembler.is_complete(FLOW)
+
+    def test_directions_independent(self):
+        assembler = FlowAssembler()
+        assembler.feed_many(segments_for(b"request", flow=FLOW))
+        assembler.feed_many(segments_for(b"response", flow=FLOW.reverse))
+        assert assembler.stream(FLOW) == b"request"
+        assert assembler.stream(FLOW.reverse) == b"response"
+
+    def test_unknown_flow_empty(self):
+        assert FlowAssembler().stream(FLOW) == b""
+
+    def test_timestamps(self):
+        assembler = FlowAssembler()
+        assembler.feed(TcpSegment(flow=FLOW, seq=1, syn=True, timestamp=5.0))
+        assembler.feed(TcpSegment(flow=FLOW, seq=2, payload=b"x", timestamp=9.0))
+        first, last = assembler.timestamps(FLOW)
+        assert (first, last) == (5.0, 9.0)
+
+
+class TestPacketize:
+    def make_exchange(self):
+        request = HttpRequest(method="GET", url="http://server/x.html")
+        response = HttpResponse(status=200, body=b"A" * 5000)
+        return request, response
+
+    def test_roundtrip_through_assembler(self):
+        request, response = self.make_exchange()
+        segments = packetize("client", "server", request, response)
+        assembler = FlowAssembler()
+        assembler.feed_many(segments)
+        forward = Flow("client", 40000, "server", 80)
+        parsed_request = HttpRequest.parse(assembler.stream(forward))
+        parsed_response = HttpResponse.parse(assembler.stream(forward.reverse))
+        assert parsed_request.url == "http://server/x.html"
+        assert parsed_response.body == response.body
+
+    def test_respects_mss(self):
+        request, response = self.make_exchange()
+        segments = packetize("c", "s", request, response, mss=512)
+        assert all(len(s.payload) <= 512 for s in segments)
+
+    def test_mss_validation(self):
+        request, response = self.make_exchange()
+        with pytest.raises(ValueError):
+            packetize("c", "s", request, response, mss=0)
+
+    def test_shuffled_still_reassembles(self):
+        request, response = self.make_exchange()
+        segments = packetize(
+            "c", "s", request, response, mss=256,
+            shuffle=True, duplicate_rate=0.3, rng=random.Random(4),
+        )
+        assembler = FlowAssembler()
+        assembler.feed_many(segments)
+        flow = Flow("c", 40000, "s", 80)
+        assert HttpResponse.parse(assembler.stream(flow.reverse)).body == response.body
+
+    def test_timestamps_increase(self):
+        request, response = self.make_exchange()
+        segments = packetize("c", "s", request, response, timestamp=100.0)
+        stamps = [s.timestamp for s in segments]
+        assert stamps[0] == 100.0
+        assert stamps == sorted(stamps)
+
+
+@given(
+    data=st.binary(min_size=1, max_size=600),
+    mss=st.integers(min_value=1, max_value=64),
+    seed=st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=100, deadline=None)
+def test_reassembly_property(data, mss, seed):
+    """Any shuffle of any payload reassembles to the original bytes."""
+    segments = segments_for(data, mss=mss)
+    head, middle, tail = segments[0], segments[1:-1], segments[-1]
+    random.Random(seed).shuffle(middle)
+    assembler = FlowAssembler()
+    assembler.feed_many([head] + middle + [tail])
+    assert assembler.stream(FLOW) == data
+    assert assembler.is_complete(FLOW)

@@ -1,0 +1,154 @@
+"""Tests for the sniffer and the CLF log filter (the collection pipeline)."""
+
+import random
+
+import pytest
+
+from repro.httpnet import (
+    Flow,
+    HttpRequest,
+    HttpResponse,
+    Sniffer,
+    TcpSegment,
+    packetize,
+    transaction_to_request,
+    transactions_to_clf,
+)
+from repro.httpnet.message import format_http_date
+from repro.trace import parse_clf_line
+
+
+def exchange(url="http://server.edu/x.html", body=b"hello", status=200,
+             last_modified=None, client="client.edu", timestamp=0.0,
+             sport=40000):
+    headers = {}
+    if last_modified is not None:
+        headers["Last-Modified"] = format_http_date(last_modified)
+    request = HttpRequest(method="GET", url=url)
+    response = HttpResponse(status=status, headers=headers, body=body)
+    server = url.split("/")[2]
+    return packetize(
+        client, server, request, response,
+        sport=sport, timestamp=timestamp,
+    )
+
+
+class TestSniffer:
+    def test_single_transaction(self):
+        sniffer = Sniffer()
+        sniffer.feed_many(exchange(timestamp=42.0))
+        transactions = sniffer.transactions()
+        assert len(transactions) == 1
+        t = transactions[0]
+        assert t.url == "http://server.edu/x.html"
+        assert t.client == "client.edu"
+        assert t.server == "server.edu"
+        assert t.status == 200
+        assert t.size == 5
+        assert t.timestamp == 42.0
+
+    def test_last_modified_extracted(self):
+        sniffer = Sniffer()
+        sniffer.feed_many(exchange(last_modified=800_000_000.0))
+        assert sniffer.transactions()[0].last_modified == 800_000_000.0
+
+    def test_non_port80_ignored(self):
+        sniffer = Sniffer()
+        flow = Flow("a", 1234, "b", 443)
+        sniffer.feed(TcpSegment(flow=flow, seq=1, syn=True))
+        assert sniffer.dropped_non_http == 1
+        assert sniffer.transactions() == []
+
+    def test_aborted_exchange_dropped(self):
+        """A conversation missing its response FIN is 'aborted'."""
+        sniffer = Sniffer()
+        segments = exchange()
+        # Drop the final (response FIN) segment.
+        sniffer.feed_many(segments[:-1])
+        assert sniffer.transactions() == []
+        assert sniffer.dropped_aborted == 1
+
+    def test_unparseable_dropped(self):
+        sniffer = Sniffer()
+        flow = Flow("c", 40001, "s", 80)
+        for direction in (flow, flow.reverse):
+            sniffer.feed(TcpSegment(flow=direction, seq=10, syn=True))
+            sniffer.feed(TcpSegment(
+                flow=direction, seq=11, payload=b"not http\r\n\r\n",
+            ))
+            sniffer.feed(TcpSegment(flow=direction, seq=23, fin=True))
+        assert sniffer.transactions() == []
+        assert sniffer.dropped_unparseable == 1
+
+    def test_multiple_conversations_sorted_by_time(self):
+        sniffer = Sniffer()
+        sniffer.feed_many(exchange(
+            url="http://server.edu/b.html", timestamp=50.0, sport=40002,
+        ))
+        sniffer.feed_many(exchange(
+            url="http://server.edu/a.html", timestamp=10.0, sport=40001,
+        ))
+        urls = [t.url for t in sniffer.transactions()]
+        assert urls == [
+            "http://server.edu/a.html", "http://server.edu/b.html",
+        ]
+
+    def test_origin_form_url_rebuilt_from_host(self):
+        request = HttpRequest(
+            method="GET", url="/page.html", headers={"Host": "www.vt.edu"},
+        )
+        response = HttpResponse(status=200, body=b"x")
+        sniffer = Sniffer()
+        sniffer.feed_many(packetize("c", "server-addr", request, response))
+        assert sniffer.transactions()[0].url == "http://www.vt.edu/page.html"
+
+    def test_shuffled_capture_still_decodes(self):
+        request = HttpRequest(method="GET", url="http://s/big.gif")
+        response = HttpResponse(status=200, body=b"Z" * 20000)
+        segments = packetize(
+            "c", "s", request, response, mss=700,
+            shuffle=True, duplicate_rate=0.2, rng=random.Random(8),
+        )
+        sniffer = Sniffer()
+        sniffer.feed_many(segments)
+        t = sniffer.transactions()[0]
+        assert t.size == 20000
+
+
+class TestLogFilter:
+    def make_transaction(self, **kwargs):
+        sniffer = Sniffer()
+        sniffer.feed_many(exchange(**kwargs))
+        return sniffer.transactions()[0]
+
+    def test_transaction_to_request(self):
+        t = self.make_transaction(timestamp=100.0)
+        record = transaction_to_request(t, epoch=40.0)
+        assert record.timestamp == 60.0
+        assert record.url == t.url
+        assert record.size == t.size
+        assert record.status == 200
+
+    def test_epoch_violation(self):
+        t = self.make_transaction(timestamp=10.0)
+        with pytest.raises(ValueError):
+            transaction_to_request(t, epoch=100.0)
+
+    def test_clf_lines_parse_back(self):
+        """Full pipeline: packets -> sniffer -> CLF -> trace reader."""
+        transactions = [
+            self.make_transaction(timestamp=10.0),
+            self.make_transaction(
+                url="http://server.edu/y.gif", body=b"q" * 99,
+                timestamp=20.0, last_modified=800_000_000.0,
+            ),
+        ]
+        epoch = 800_000_000.0
+        lines = list(transactions_to_clf(
+            transactions, epoch=-0.0, augmented=True,
+        ))
+        assert len(lines) == 2
+        parsed = [parse_clf_line(line) for line in lines]
+        assert parsed[0].url == "http://server.edu/x.html"
+        assert parsed[1].size == 99
+        assert parsed[1].last_modified == 800_000_000.0

@@ -1,0 +1,154 @@
+"""End-to-end pipeline tests across subsystems."""
+
+import pytest
+
+from repro.core import SimCache, simulate, size_policy
+from repro.core.experiments import max_needed_for
+from repro.trace import (
+    TraceValidator,
+    read_clf_lines,
+    write_clf_lines,
+)
+from repro.workloads import generate
+
+
+class TestGenerateSerialiseSimulate:
+    """Generated trace -> CLF file -> parsed back -> identical simulation."""
+
+    @pytest.fixture(scope="class")
+    def raw_trace(self):
+        return generate("C", seed=55, scale=0.04).raw
+
+    def test_clf_roundtrip_preserves_simulation(self, raw_trace):
+        epoch = 800_000_000.0
+        lines = list(write_clf_lines(raw_trace, epoch=epoch))
+        parsed = list(read_clf_lines(lines, epoch=epoch))
+        assert len(parsed) == len(raw_trace)
+
+        direct = TraceValidator().validate(raw_trace)
+        roundtripped = TraceValidator().validate(parsed)
+        assert len(direct) == len(roundtripped)
+
+        result_direct = simulate(
+            direct, SimCache(capacity=200_000, policy=size_policy(), seed=1),
+        )
+        result_rt = simulate(
+            roundtripped,
+            SimCache(capacity=200_000, policy=size_policy(), seed=1),
+        )
+        assert result_direct.hit_rate == pytest.approx(result_rt.hit_rate)
+        assert result_direct.weighted_hit_rate == pytest.approx(
+            result_rt.weighted_hit_rate
+        )
+
+
+class TestPacketsToSimulation:
+    """Synthetic packets -> sniffer -> CLF filter -> validation -> cache."""
+
+    def test_capture_pipeline_feeds_simulator(self):
+        import random
+        from repro.httpnet import (
+            HttpRequest,
+            HttpResponse,
+            Sniffer,
+            packetize,
+            transaction_to_request,
+        )
+
+        rng = random.Random(5)
+        sniffer = Sniffer()
+        # Three clients fetch overlapping documents; doc0 is fetched by all.
+        exchanges = []
+        for index in range(9):
+            path = f"/doc{index % 3}.html"
+            body = bytes([65 + index % 3]) * (500 + (index % 3) * 300)
+            exchanges.append((f"client{index % 3}", path, body, index * 10.0))
+        for port, (client, path, body, when) in enumerate(exchanges):
+            segments = packetize(
+                client, "server.cs.vt.edu",
+                HttpRequest(method="GET", url=f"http://server.cs.vt.edu{path}"),
+                HttpResponse(status=200, body=body),
+                sport=40000 + port, timestamp=when,
+                shuffle=True, rng=rng,
+            )
+            sniffer.feed_many(segments)
+
+        records = [
+            transaction_to_request(t) for t in sniffer.transactions()
+        ]
+        assert len(records) == 9
+        valid = TraceValidator().validate(records)
+        result = simulate(valid, SimCache(capacity=None))
+        # 3 unique documents, 9 requests -> 6 hits.
+        assert result.metrics.total_hits == 6
+        assert result.hit_rate == pytest.approx(100 * 6 / 9)
+
+
+class TestWorkloadThroughLiveProxy:
+    """Replay a (tiny) generated workload through the real socket proxy and
+    compare its hit rate with the simulator's prediction."""
+
+    def test_live_proxy_matches_simulated_hr(self):
+        import socket
+        from repro.httpnet import HttpResponse
+        from repro.proxy import CachingProxy, ConsistencyEstimator, OriginServer, ProxyStore
+        from repro.trace import Request
+
+        # A small deterministic reference stream over 6 documents.
+        pattern = [0, 1, 0, 2, 1, 0, 3, 4, 0, 1, 5, 2, 0, 1, 2]
+        urls = [f"http://www.cs.vt.edu/doc{i}.html" for i in range(6)]
+
+        origin = OriginServer().start()
+        store = ProxyStore(capacity=10**7, policy=size_policy())
+        proxy = CachingProxy(
+            store,
+            resolver=lambda host: origin.address,
+            estimator=ConsistencyEstimator(default_ttl=10**9),
+        ).start()
+        try:
+            hits = 0
+            for index in pattern:
+                raw = f"GET {urls[index]} HTTP/1.0\r\n\r\n".encode()
+                with socket.create_connection(proxy.address, timeout=5.0) as conn:
+                    conn.sendall(raw)
+                    conn.shutdown(socket.SHUT_WR)
+                    data = bytearray()
+                    while True:
+                        chunk = conn.recv(65536)
+                        if not chunk:
+                            break
+                        data.extend(chunk)
+                response = HttpResponse.parse(bytes(data))
+                assert response.status == 200
+                hits += response.headers.get("x-cache") == "HIT"
+        finally:
+            proxy.stop()
+            origin.stop()
+
+        # Simulator prediction for the same stream with an infinite cache:
+        # every re-reference is a hit (sizes are stable).
+        sizes = {}
+        trace = []
+        for step, index in enumerate(pattern):
+            sizes.setdefault(index, 100)
+            trace.append(Request(
+                timestamp=float(step), url=urls[index], size=100,
+            ))
+        predicted = simulate(trace, SimCache(capacity=None))
+        assert hits == predicted.metrics.total_hits
+
+
+class TestLatencyModelOverWorkload:
+    def test_size_policy_cuts_latency_on_workload(self):
+        from repro.des import LatencyParameters, estimate_latency
+        from repro.workloads import generate_valid
+
+        trace = generate_valid("C", seed=8, scale=0.03)
+        capacity = max(1, int(0.5 * max_needed_for(trace)))
+        params = LatencyParameters(time_compression=50.0)
+        with_cache = estimate_latency(
+            trace, SimCache(capacity=capacity, policy=size_policy()),
+            parameters=params,
+        )
+        without_cache = estimate_latency(trace, None, parameters=params)
+        assert with_cache.mean_latency < without_cache.mean_latency

@@ -1,0 +1,81 @@
+"""Tests for the proxy's common-log-format access log."""
+
+import io
+
+from repro.core import size_policy
+from repro.httpnet import fetch
+from repro.proxy import CachingProxy, ConsistencyEstimator, OriginServer, ProxyStore
+from repro.trace import TraceValidator, read_clf_lines
+
+
+class TestAccessLog:
+    def test_proxy_emits_parseable_clf(self):
+        log = io.StringIO()
+        clock = [1_000_000.0]
+        origin = OriginServer().start()
+        proxy = CachingProxy(
+            ProxyStore(capacity=10**7, policy=size_policy()),
+            resolver=lambda host: origin.address,
+            estimator=ConsistencyEstimator(default_ttl=10**9),
+            clock=lambda: clock[0],
+            access_log=log,
+        ).start()
+        try:
+            for _ in range(2):
+                fetch(proxy.address, "http://a.edu/page.html")
+                clock[0] += 1.0
+            fetch(proxy.address, "http://a.edu/other.html")
+        finally:
+            proxy.stop()
+            origin.stop()
+
+        lines = log.getvalue().splitlines()
+        assert len(lines) == 3
+        records = list(read_clf_lines(lines))
+        assert len(records) == 3
+        assert records[0].url == "http://a.edu/page.html"
+        assert all(r.status == 200 for r in records)
+        assert all(r.size > 0 for r in records)
+
+    def test_log_closes_the_loop_with_simulator(self):
+        """The proxy's own access log, validated, drives the simulator to
+        the same hit count the live proxy observed."""
+        from repro.core import SimCache, simulate
+        log = io.StringIO()
+        clock = [1_000_000.0]
+        origin = OriginServer().start()
+        proxy = CachingProxy(
+            ProxyStore(capacity=10**8, policy=size_policy()),
+            resolver=lambda host: origin.address,
+            estimator=ConsistencyEstimator(default_ttl=10**9),
+            clock=lambda: clock[0],
+            access_log=log,
+        ).start()
+        try:
+            pattern = [0, 1, 0, 2, 1, 0]
+            for index in pattern:
+                fetch(proxy.address, f"http://a.edu/doc{index}.html")
+                clock[0] += 1.0
+            live_hits = proxy.stats.hits
+        finally:
+            proxy.stop()
+            origin.stop()
+
+        records = TraceValidator().validate(
+            read_clf_lines(log.getvalue().splitlines())
+        )
+        replayed = simulate(records, SimCache(capacity=None))
+        assert replayed.metrics.total_hits == live_hits == 3
+
+    def test_no_log_by_default(self):
+        origin = OriginServer().start()
+        proxy = CachingProxy(
+            ProxyStore(capacity=10**6),
+            resolver=lambda host: origin.address,
+        ).start()
+        try:
+            fetch(proxy.address, "http://a.edu/x.html")
+            assert proxy.access_log is None
+        finally:
+            proxy.stop()
+            origin.stop()

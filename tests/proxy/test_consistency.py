@@ -1,0 +1,66 @@
+"""Tests for consistency estimation."""
+
+import pytest
+
+from repro.proxy import ConsistencyEstimator, Freshness
+
+
+class TestLifetime:
+    def test_explicit_expires_wins(self):
+        est = ConsistencyEstimator()
+        assert est.freshness_lifetime(100.0, expires=160.0) == 60.0
+
+    def test_expired_expires_gives_zero(self):
+        est = ConsistencyEstimator()
+        assert est.freshness_lifetime(100.0, expires=50.0) == 0.0
+
+    def test_lm_factor_heuristic(self):
+        est = ConsistencyEstimator(lm_factor=0.2, min_ttl=0.0, max_ttl=1e9)
+        # Document 1000s old at fetch -> fresh for 200s.
+        assert est.freshness_lifetime(2000.0, last_modified=1000.0) == 200.0
+
+    def test_min_ttl_floor(self):
+        est = ConsistencyEstimator(lm_factor=0.2, min_ttl=300.0)
+        assert est.freshness_lifetime(2000.0, last_modified=1999.0) == 300.0
+
+    def test_max_ttl_cap(self):
+        est = ConsistencyEstimator(lm_factor=0.5, max_ttl=1000.0)
+        assert est.freshness_lifetime(10**9, last_modified=0.0) == 1000.0
+
+    def test_default_ttl_without_metadata(self):
+        est = ConsistencyEstimator(default_ttl=77.0)
+        assert est.freshness_lifetime(100.0) == 77.0
+
+    def test_future_last_modified_falls_back(self):
+        est = ConsistencyEstimator(default_ttl=77.0)
+        assert est.freshness_lifetime(100.0, last_modified=500.0) == 77.0
+
+
+class TestEvaluate:
+    def test_fresh_then_stale(self):
+        est = ConsistencyEstimator(default_ttl=100.0)
+        assert est.evaluate(now=150.0, fetched_at=100.0) is Freshness.FRESH
+        assert est.evaluate(now=250.0, fetched_at=100.0) is Freshness.STALE
+
+
+class TestRevalidated:
+    def test_unchanged(self):
+        assert ConsistencyEstimator.revalidated(100.0, 100.0)
+        assert ConsistencyEstimator.revalidated(100.0, 50.0)
+
+    def test_changed(self):
+        assert not ConsistencyEstimator.revalidated(100.0, 200.0)
+
+    def test_unknown_is_changed(self):
+        assert not ConsistencyEstimator.revalidated(None, 100.0)
+        assert not ConsistencyEstimator.revalidated(100.0, None)
+
+
+class TestValidation:
+    def test_negative_lm_factor(self):
+        with pytest.raises(ValueError):
+            ConsistencyEstimator(lm_factor=-1.0)
+
+    def test_ttl_ordering(self):
+        with pytest.raises(ValueError):
+            ConsistencyEstimator(min_ttl=100.0, max_ttl=50.0)

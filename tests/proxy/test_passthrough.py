@@ -1,0 +1,128 @@
+"""Tests for proxy pass-through (HEAD/POST) and Expires handling."""
+
+import socket
+
+import pytest
+
+from repro.httpnet import HttpRequest, HttpResponse, request
+from repro.httpnet.message import format_http_date
+from repro.proxy import (
+    CachingProxy,
+    ConsistencyEstimator,
+    OriginServer,
+    ProxyStore,
+)
+
+
+@pytest.fixture
+def stack():
+    origin = OriginServer().start()
+    store = ProxyStore(capacity=10**7)
+    proxy = CachingProxy(
+        store,
+        resolver=lambda host: origin.address,
+        estimator=ConsistencyEstimator(default_ttl=10**9),
+    ).start()
+    yield origin, proxy, store
+    proxy.stop()
+    origin.stop()
+
+
+class TestPassThrough:
+    def test_head_passed_through_uncached(self, stack):
+        origin, proxy, store = stack
+        for _ in range(2):
+            response = request(
+                proxy.address,
+                HttpRequest(method="HEAD", url="http://a.edu/x.html"),
+            )
+            assert response.status == 200
+            assert response.body == b""
+            assert response.headers.get("x-cache") == "PASS"
+        assert origin.request_count == 2  # never cached
+        assert len(store) == 0
+
+    def test_post_passed_through(self, stack):
+        origin, proxy, store = stack
+        response = request(
+            proxy.address,
+            HttpRequest(method="POST", url="http://a.edu/form"),
+        )
+        # The toy origin does not implement POST; the proxy relays its
+        # answer rather than generating its own.
+        assert response.status == 501
+        assert response.headers.get("x-cache") == "PASS"
+        assert origin.request_count == 1
+        assert len(store) == 0
+
+    def test_other_methods_still_rejected(self, stack):
+        origin, proxy, _ = stack
+        response = request(
+            proxy.address,
+            HttpRequest(method="DELETE", url="http://a.edu/x"),
+        )
+        assert response.status == 501
+        assert origin.request_count == 0  # rejected at the proxy
+
+
+class TestExpiresHeader:
+    class ExpiringOrigin(OriginServer):
+        """Origin stamping an Expires header on every 200."""
+
+        expires_at = 2_000_000_000.0
+
+        def respond(self, request):
+            response = super().respond(request)
+            if response.status == 200:
+                response.headers["Expires"] = format_http_date(
+                    self.expires_at
+                )
+            return response
+
+    def test_expires_copied_into_store(self):
+        origin = self.ExpiringOrigin().start()
+        store = ProxyStore(capacity=10**7)
+        proxy = CachingProxy(
+            store, resolver=lambda host: origin.address,
+        ).start()
+        try:
+            request(
+                proxy.address,
+                HttpRequest(method="GET", url="http://a.edu/x.html"),
+            )
+            cached = store.get("http://a.edu/x.html")
+            assert cached is not None
+            assert cached.expires == self.ExpiringOrigin.expires_at
+        finally:
+            proxy.stop()
+            origin.stop()
+
+    def test_expired_copy_revalidates(self):
+        """An explicit Expires in the past overrides the heuristic: the
+        next request revalidates instead of serving the copy."""
+        clock = [3_000_000_000.0]  # after the stamped expiry
+        origin = self.ExpiringOrigin().start()
+        store = ProxyStore(capacity=10**7)
+        proxy = CachingProxy(
+            store,
+            resolver=lambda host: origin.address,
+            estimator=ConsistencyEstimator(default_ttl=10**9),
+            clock=lambda: clock[0],
+        ).start()
+        try:
+            first = request(
+                proxy.address,
+                HttpRequest(method="GET", url="http://a.edu/x.html"),
+            )
+            assert first.headers["x-cache"] == "MISS"
+            clock[0] += 10.0
+            second = request(
+                proxy.address,
+                HttpRequest(method="GET", url="http://a.edu/x.html"),
+            )
+            # Copy exists but is past its Expires: conditional GET; the
+            # document is unchanged so it revalidates.
+            assert second.headers["x-cache"] == "REVALIDATED"
+        finally:
+            proxy.stop()
+            origin.stop()

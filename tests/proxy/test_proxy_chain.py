@@ -1,0 +1,88 @@
+"""Integration test: a live two-level proxy hierarchy (Experiment 3, on
+real sockets).
+
+A child proxy with a tiny store forwards its misses to a parent proxy
+with a large store; the parent forwards to the origin.  This needs no
+dedicated code — a caching proxy whose resolver points at another proxy
+*is* a hierarchy, because proxy-style requests carry absolute URLs.
+"""
+
+import pytest
+
+from repro.core import size_policy
+from repro.httpnet import fetch
+from repro.proxy import (
+    CachingProxy,
+    ConsistencyEstimator,
+    OriginServer,
+    ProxyStore,
+    SyntheticSite,
+)
+
+
+@pytest.fixture
+def hierarchy():
+    site = SyntheticSite(base_size=3000, size_spread=3000)
+    origin = OriginServer(site=site).start()
+    fresh = ConsistencyEstimator(default_ttl=10**9)
+    parent_store = ProxyStore(capacity=10**8, policy=size_policy())
+    parent = CachingProxy(
+        parent_store,
+        resolver=lambda host: origin.address,
+        estimator=fresh,
+    ).start()
+    child_store = ProxyStore(capacity=10_000, policy=size_policy())
+    child = CachingProxy(
+        child_store,
+        resolver=lambda host: parent.address,
+        estimator=fresh,
+    ).start()
+    yield origin, parent, child, child_store
+    child.stop()
+    parent.stop()
+    origin.stop()
+
+
+class TestProxyChain:
+    def test_miss_propagates_through_both_levels(self, hierarchy):
+        origin, parent, child, _ = hierarchy
+        response = fetch(child.address, "http://a.edu/doc0.html")
+        assert response.status == 200
+        assert origin.request_count == 1
+        assert parent.stats.misses == 1
+        assert child.stats.misses == 1
+
+    def test_parent_absorbs_child_capacity_misses(self, hierarchy):
+        """Documents evicted from the small child stay in the parent, so
+        re-fetching them never reaches the origin — the paper's 'L1
+        evictions are always in L2' property, live."""
+        origin, parent, child, child_store = hierarchy
+        urls = [f"http://a.edu/doc{i}.html" for i in range(8)]
+        for url in urls:
+            fetch(child.address, url)
+        assert child_store.stats.evictions > 0
+        origin_requests_after_fill = origin.request_count
+
+        for url in urls:
+            response = fetch(child.address, url)
+            assert response.status == 200
+        # Every re-fetch was served by child or parent, never the origin.
+        assert origin.request_count == origin_requests_after_fill
+        assert parent.stats.hits > 0
+
+    def test_child_hit_never_reaches_parent(self, hierarchy):
+        origin, parent, child, _ = hierarchy
+        url = "http://a.edu/popular.html"
+        fetch(child.address, url)
+        parent_requests = parent.stats.requests
+        response = fetch(child.address, url)
+        assert response.headers["x-cache"] == "HIT"
+        assert parent.stats.requests == parent_requests
+
+    def test_bodies_identical_at_every_level(self, hierarchy):
+        origin, parent, child, _ = hierarchy
+        url = "http://a.edu/check.html"
+        via_child = fetch(child.address, url).body
+        via_parent = fetch(parent.address, url).body
+        expected = origin.site.document("/check.html")[0]
+        assert via_child == via_parent == expected

@@ -1,0 +1,176 @@
+"""Integration tests for the caching proxy (live sockets)."""
+
+import socket
+
+import pytest
+
+from repro.core import KeyPolicy, SIZE
+from repro.httpnet import HttpResponse
+from repro.proxy import (
+    CachingProxy,
+    ConsistencyEstimator,
+    OriginServer,
+    ProxyStore,
+)
+
+
+@pytest.fixture
+def stack():
+    """An origin plus a proxy whose resolver points every host at it."""
+    origin = OriginServer().start()
+    store = ProxyStore(capacity=512 * 1024, policy=KeyPolicy([SIZE]))
+    proxy = CachingProxy(
+        store,
+        resolver=lambda host: origin.address,
+        estimator=ConsistencyEstimator(default_ttl=3600.0),
+    ).start()
+    yield origin, proxy
+    proxy.stop()
+    origin.stop()
+
+
+def fetch(address, url, extra_headers=""):
+    raw = f"GET {url} HTTP/1.0\r\n{extra_headers}\r\n".encode()
+    with socket.create_connection(address, timeout=5.0) as conn:
+        conn.sendall(raw)
+        conn.shutdown(socket.SHUT_WR)
+        data = bytearray()
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            data.extend(chunk)
+    return HttpResponse.parse(bytes(data))
+
+
+class TestProxyPaths:
+    def test_miss_then_hit(self, stack):
+        origin, proxy = stack
+        url = "http://www.cs.vt.edu/page.html"
+        first = fetch(proxy.address, url)
+        second = fetch(proxy.address, url)
+        assert first.status == second.status == 200
+        assert first.body == second.body
+        assert first.headers["x-cache"] == "MISS"
+        assert second.headers["x-cache"] == "HIT"
+        assert origin.request_count == 1  # the hit never left the proxy
+        assert proxy.stats.hits == 1
+        assert proxy.stats.misses == 1
+        assert proxy.stats.hit_rate == 50.0
+
+    def test_distinct_urls_both_fetched(self, stack):
+        origin, proxy = stack
+        fetch(proxy.address, "http://a.edu/one.html")
+        fetch(proxy.address, "http://a.edu/two.html")
+        assert origin.request_count == 2
+        assert proxy.stats.misses == 2
+
+    def test_dynamic_url_not_cached(self, stack):
+        origin, proxy = stack
+        url = "http://a.edu/search?q=web"
+        fetch(proxy.address, url)
+        fetch(proxy.address, url)
+        assert proxy.stats.hits == 0
+        assert origin.request_count == 2
+
+    def test_non_get_rejected(self, stack):
+        _, proxy = stack
+        raw = b"POST http://a.edu/x HTTP/1.0\r\n\r\n"
+        with socket.create_connection(proxy.address, timeout=5.0) as conn:
+            conn.sendall(raw)
+            conn.shutdown(socket.SHUT_WR)
+            data = conn.recv(65536)
+        assert b"501" in data.split(b"\r\n")[0]
+
+    def test_relative_url_rejected(self, stack):
+        _, proxy = stack
+        response = fetch(proxy.address, "/not-proxied.html")
+        assert response.status == 400
+
+    def test_unreachable_origin_is_504(self):
+        store = ProxyStore(capacity=1024)
+        # Point at a closed port.
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        proxy = CachingProxy(
+            store, resolver=lambda host: ("127.0.0.1", dead_port),
+        ).start()
+        try:
+            response = fetch(proxy.address, "http://gone.edu/x.html")
+            assert response.status == 504
+        finally:
+            proxy.stop()
+
+
+class TestRevalidation:
+    def make_stack(self, clock):
+        origin = OriginServer().start()
+        store = ProxyStore(capacity=512 * 1024)
+        proxy = CachingProxy(
+            store,
+            resolver=lambda host: origin.address,
+            estimator=ConsistencyEstimator(
+                default_ttl=10.0, lm_factor=0.0, min_ttl=10.0, max_ttl=10.0,
+            ),
+            clock=clock,
+        ).start()
+        return origin, proxy
+
+    def test_stale_copy_revalidated_304(self):
+        """Stale + unchanged at origin -> conditional GET -> 304 -> served
+        from cache (the paper's case (2) hit)."""
+        now = [1_000_000_000.0]
+        origin, proxy = self.make_stack(lambda: now[0])
+        try:
+            url = "http://a.edu/stable.html"
+            fetch(proxy.address, url)           # miss, cached
+            now[0] += 3600.0                    # copy is now stale
+            response = fetch(proxy.address, url)
+            assert response.headers["x-cache"] == "REVALIDATED"
+            assert proxy.stats.revalidations == 1
+            assert proxy.stats.revalidation_hits == 1
+            assert origin.request_count == 2    # the conditional GET
+        finally:
+            proxy.stop()
+            origin.stop()
+
+    def test_stale_copy_changed_at_origin(self):
+        """Stale + modified at origin -> full response replaces the copy."""
+        now = [1_000_000_000.0]
+        origin, proxy = self.make_stack(lambda: now[0])
+        try:
+            url = "http://a.edu/volatile.html"
+            first = fetch(proxy.address, url)
+            origin.site.touch("/volatile.html", now[0] + 100.0)
+            now[0] += 3600.0
+            second = fetch(proxy.address, url)
+            assert second.headers["x-cache"] == "MISS"
+            assert second.body != first.body
+            # The new copy is cached and fresh again.
+            third = fetch(proxy.address, url)
+            assert third.headers["x-cache"] == "HIT"
+            assert third.body == second.body
+        finally:
+            proxy.stop()
+            origin.stop()
+
+
+class TestEvictionUnderLoad:
+    def test_size_policy_evicts_in_live_proxy(self):
+        origin = OriginServer(
+            site=__import__("repro.proxy.origin", fromlist=["SyntheticSite"])
+            .SyntheticSite(base_size=4000, size_spread=4000),
+        ).start()
+        store = ProxyStore(capacity=20_000, policy=KeyPolicy([SIZE]))
+        proxy = CachingProxy(
+            store, resolver=lambda host: origin.address,
+        ).start()
+        try:
+            for i in range(12):
+                fetch(proxy.address, f"http://a.edu/doc{i}.html")
+            assert store.used_bytes <= store.capacity
+            assert store.stats.evictions > 0
+        finally:
+            proxy.stop()
+            origin.stop()

@@ -1,0 +1,65 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Only the fast examples run here (the full campus study takes minutes);
+each is executed in-process with stdout captured, asserting on its
+headline output so regressions in the public API surface immediately.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def examples_on_path():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    yield
+    sys.path.remove(str(EXAMPLES_DIR))
+
+
+def run_example(name, capsys):
+    module = importlib.import_module(name)
+    try:
+        module.main()
+    finally:
+        sys.modules.pop(name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "Winner on hit rate: SIZE" in out
+        assert "LRU-MIN" in out
+
+    def test_capture_pipeline(self, capsys):
+        out = run_example("capture_pipeline", capsys)
+        assert "non-aborted HTTP" in out
+        assert "common-log-format lines" in out
+        assert "HR" in out
+
+    def test_live_proxy_demo(self, capsys):
+        out = run_example("live_proxy_demo", capsys)
+        assert "REVALIDATED" in out
+        assert "hit rate" in out
+        assert "evictions" in out
+
+    def test_latency_study(self, capsys):
+        out = run_example("latency_study", capsys)
+        assert "no cache" in out
+        assert "infinite cache" in out
+
+    def test_beyond_the_paper(self, capsys):
+        out = run_example("beyond_the_paper", capsys)
+        assert "GDSF" in out
+        assert "clairvoyant" in out
+        assert "significant" in out
+
+    def test_consistency_tradeoffs(self, capsys):
+        out = run_example("consistency_tradeoffs", capsys)
+        assert "push-invalidate" in out
+        assert "always-validate" in out

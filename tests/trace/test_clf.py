@@ -1,0 +1,127 @@
+"""Unit and property tests for common-log-format parsing and emission."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import CLFError, Request, format_clf_line, parse_clf_line
+from repro.trace.clf import format_clf_time, parse_clf_time
+
+SAMPLE = (
+    'client1.cs.vt.edu - - [01/Sep/1995:00:00:10 +0000] '
+    '"GET http://www.cs.vt.edu/index.html HTTP/1.0" 200 4821'
+)
+EPOCH = parse_clf_time("01/Sep/1995:00:00:00 +0000")
+
+
+class TestParse:
+    def test_basic_fields(self):
+        req = parse_clf_line(SAMPLE, epoch=EPOCH)
+        assert req.client == "client1.cs.vt.edu"
+        assert req.url == "http://www.cs.vt.edu/index.html"
+        assert req.status == 200
+        assert req.size == 4821
+        assert req.timestamp == pytest.approx(10.0)
+        assert req.last_modified is None
+
+    def test_augmented_last_modified(self):
+        line = SAMPLE + " 12345"
+        req = parse_clf_line(line, epoch=EPOCH)
+        assert req.last_modified == 12345.0
+
+    def test_augmented_dash_means_absent(self):
+        line = SAMPLE + " -"
+        req = parse_clf_line(line, epoch=EPOCH)
+        assert req.last_modified is None
+
+    def test_dash_bytes_means_zero(self):
+        line = SAMPLE.replace(" 200 4821", " 200 -")
+        req = parse_clf_line(line, epoch=EPOCH)
+        assert req.size == 0
+
+    def test_error_status(self):
+        line = SAMPLE.replace(" 200 ", " 404 ")
+        assert parse_clf_line(line, epoch=EPOCH).status == 404
+
+    def test_garbage_raises(self):
+        with pytest.raises(CLFError):
+            parse_clf_line("not a log line")
+
+    def test_empty_request_field_raises(self):
+        line = SAMPLE.replace('"GET http://www.cs.vt.edu/index.html HTTP/1.0"', '""')
+        with pytest.raises(CLFError):
+            parse_clf_line(line)
+
+    def test_request_before_epoch_raises(self):
+        with pytest.raises(CLFError):
+            parse_clf_line(SAMPLE, epoch=EPOCH + 10_000)
+
+
+class TestTime:
+    def test_roundtrip(self):
+        text = "17/Sep/1995:13:45:07 +0000"
+        assert format_clf_time(parse_clf_time(text)) == text
+
+    def test_zone_offset_applied(self):
+        utc = parse_clf_time("01/Jan/1996:12:00:00 +0000")
+        east = parse_clf_time("01/Jan/1996:07:00:00 -0500")
+        assert utc == east
+
+    def test_bad_month_raises(self):
+        with pytest.raises(CLFError):
+            parse_clf_time("01/Foo/1996:00:00:00 +0000")
+
+    def test_bad_format_raises(self):
+        with pytest.raises(CLFError):
+            parse_clf_time("1996-01-01 00:00:00")
+
+
+class TestFormat:
+    def test_roundtrip_through_format(self):
+        req = Request(
+            timestamp=3600.0, url="http://a.com/x.gif", size=1234,
+            status=200, client="remote.host",
+        )
+        line = format_clf_line(req, epoch=EPOCH)
+        parsed = parse_clf_line(line, epoch=EPOCH)
+        assert parsed.url == req.url
+        assert parsed.size == req.size
+        assert parsed.status == req.status
+        assert parsed.client == req.client
+        assert parsed.timestamp == pytest.approx(req.timestamp)
+
+    def test_augmented_roundtrip(self):
+        req = Request(
+            timestamp=60.0, url="http://a.com/x", size=5,
+            last_modified=777.0,
+        )
+        line = format_clf_line(req, epoch=EPOCH, augmented=True)
+        parsed = parse_clf_line(line, epoch=EPOCH)
+        assert parsed.last_modified == 777.0
+
+
+url_strategy = st.from_regex(
+    r"http://[a-z]{1,10}\.(edu|com)/[a-zA-Z0-9_./-]{0,30}[a-zA-Z0-9]",
+    fullmatch=True,
+)
+
+
+@given(
+    timestamp=st.integers(min_value=0, max_value=200 * 86400).map(float),
+    url=url_strategy,
+    size=st.integers(min_value=0, max_value=10**9),
+    status=st.sampled_from([200, 304, 404, 500]),
+)
+@settings(max_examples=200, deadline=None)
+def test_clf_roundtrip_property(timestamp, url, size, status):
+    """format → parse is the identity on the fields the simulator uses."""
+    req = Request(
+        timestamp=timestamp, url=url, size=size, status=status,
+        client="host.example.edu",
+    )
+    parsed = parse_clf_line(format_clf_line(req, epoch=EPOCH), epoch=EPOCH)
+    assert parsed.url == req.url
+    assert parsed.size == req.size
+    assert parsed.status == req.status
+    # CLF timestamps have one-second resolution.
+    assert abs(parsed.timestamp - req.timestamp) < 1.0

@@ -1,0 +1,57 @@
+"""Tests for CLF file readers and writers."""
+
+import gzip
+
+from repro.trace import (
+    Request,
+    read_clf_file,
+    read_clf_lines,
+    write_clf_file,
+    write_clf_lines,
+)
+
+REQUESTS = [
+    Request(timestamp=float(i * 10), url=f"http://a.edu/doc{i}.html",
+            size=100 + i, client=f"client{i}")
+    for i in range(5)
+]
+
+
+class TestRoundTrip:
+    def test_lines_roundtrip(self):
+        lines = list(write_clf_lines(REQUESTS, epoch=1_000_000.0))
+        parsed = list(read_clf_lines(lines, epoch=1_000_000.0))
+        assert [r.url for r in parsed] == [r.url for r in REQUESTS]
+        assert [r.size for r in parsed] == [r.size for r in REQUESTS]
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.log"
+        count = write_clf_file(path, REQUESTS, epoch=1_000_000.0)
+        assert count == len(REQUESTS)
+        parsed = list(read_clf_file(path, epoch=1_000_000.0))
+        assert len(parsed) == len(REQUESTS)
+
+    def test_gzip_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.log.gz"
+        write_clf_file(path, REQUESTS, epoch=1_000_000.0)
+        with gzip.open(path, "rt") as handle:
+            assert len(handle.readlines()) == len(REQUESTS)
+        parsed = list(read_clf_file(path, epoch=1_000_000.0))
+        assert [r.url for r in parsed] == [r.url for r in REQUESTS]
+
+
+class TestRobustness:
+    def test_blank_and_comment_lines_skipped(self):
+        lines = ["", "# a comment", "   "]
+        assert list(read_clf_lines(lines)) == []
+
+    def test_malformed_skipped_by_default(self):
+        lines = ["garbage"] + list(write_clf_lines(REQUESTS[:1], epoch=0.0))
+        parsed = list(read_clf_lines(lines, epoch=0.0))
+        assert len(parsed) == 1
+
+    def test_malformed_raises_when_strict(self):
+        import pytest
+        from repro.trace import CLFError
+        with pytest.raises(CLFError):
+            list(read_clf_lines(["garbage"], skip_malformed=False))

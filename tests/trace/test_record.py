@@ -1,0 +1,123 @@
+"""Unit tests for request records and document-type classification."""
+
+import pytest
+
+from repro.trace import DocumentType, Request, classify_extension, classify_url
+from repro.trace.record import server_of_url
+
+
+class TestClassifyUrl:
+    def test_gif_is_graphics(self):
+        assert classify_url("http://a.com/img/logo.gif") == DocumentType.GRAPHICS
+
+    def test_jpeg_variants_are_graphics(self):
+        for ext in ("jpg", "jpeg", "jpe", "xbm", "png"):
+            assert classify_url(f"http://a.com/x.{ext}") == DocumentType.GRAPHICS
+
+    def test_html_is_text(self):
+        assert classify_url("http://a.com/index.html") == DocumentType.TEXT
+
+    def test_plain_text_is_text(self):
+        assert classify_url("http://a.com/readme.txt") == DocumentType.TEXT
+
+    def test_postscript_is_text(self):
+        assert classify_url("http://a.com/paper.ps") == DocumentType.TEXT
+
+    def test_au_is_audio(self):
+        assert classify_url("http://a.com/song.au") == DocumentType.AUDIO
+
+    def test_wav_is_audio(self):
+        assert classify_url("http://a.com/clip.wav") == DocumentType.AUDIO
+
+    def test_mpg_is_video(self):
+        assert classify_url("http://a.com/movie.mpg") == DocumentType.VIDEO
+
+    def test_quicktime_is_video(self):
+        assert classify_url("http://a.com/movie.mov") == DocumentType.VIDEO
+
+    def test_query_string_is_cgi(self):
+        assert classify_url("http://a.com/search?q=web") == DocumentType.CGI
+
+    def test_cgi_bin_path_is_cgi(self):
+        assert classify_url("http://a.com/cgi-bin/counter") == DocumentType.CGI
+
+    def test_pl_extension_is_cgi(self):
+        assert classify_url("http://a.com/script.pl") == DocumentType.CGI
+
+    def test_unknown_extension(self):
+        assert classify_url("http://a.com/archive.zip") == DocumentType.UNKNOWN
+
+    def test_directory_url_is_text(self):
+        assert classify_url("http://a.com/courses/") == DocumentType.TEXT
+
+    def test_no_extension_is_text(self):
+        assert classify_url("http://a.com/about") == DocumentType.TEXT
+
+    def test_extension_case_insensitive(self):
+        assert classify_url("http://a.com/LOGO.GIF") == DocumentType.GRAPHICS
+
+    def test_dot_in_directory_not_confused(self):
+        assert classify_url("http://a.com/v1.0/page.html") == DocumentType.TEXT
+
+
+class TestClassifyExtension:
+    def test_known(self):
+        assert classify_extension("gif") == DocumentType.GRAPHICS
+        assert classify_extension("AU") == DocumentType.AUDIO
+
+    def test_unknown(self):
+        assert classify_extension("xyz") == DocumentType.UNKNOWN
+
+
+class TestServerOfUrl:
+    def test_host_extracted(self):
+        assert server_of_url("http://WWW.CS.VT.EDU/page.html") == "www.cs.vt.edu"
+
+    def test_relative_url_has_empty_server(self):
+        assert server_of_url("/page.html") == ""
+
+    def test_port_kept(self):
+        assert server_of_url("http://a.com:8080/x") == "a.com:8080"
+
+
+class TestRequest:
+    def test_media_type_from_url(self):
+        req = Request(timestamp=0.0, url="http://a.com/x.gif", size=100)
+        assert req.media_type == DocumentType.GRAPHICS
+
+    def test_explicit_doc_type_wins(self):
+        req = Request(
+            timestamp=0.0, url="http://a.com/x.gif", size=100,
+            doc_type=DocumentType.AUDIO,
+        )
+        assert req.media_type == DocumentType.AUDIO
+
+    def test_day_index(self):
+        assert Request(timestamp=0.0, url="u", size=1).day == 0
+        assert Request(timestamp=86399.9, url="u", size=1).day == 0
+        assert Request(timestamp=86400.0, url="u", size=1).day == 1
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Request(timestamp=0.0, url="u", size=-1)
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            Request(timestamp=-1.0, url="u", size=1)
+
+    def test_with_size_preserves_other_fields(self):
+        req = Request(
+            timestamp=5.0, url="http://a.com/x.au", size=0,
+            status=200, client="host1", last_modified=12.0,
+        )
+        updated = req.with_size(42)
+        assert updated.size == 42
+        assert updated.timestamp == req.timestamp
+        assert updated.url == req.url
+        assert updated.client == req.client
+        assert updated.last_modified == req.last_modified
+
+    def test_frozen(self):
+        req = Request(timestamp=0.0, url="u", size=1)
+        with pytest.raises(AttributeError):
+            req.size = 2

@@ -1,0 +1,77 @@
+"""Tests for spatial URL sampling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import Request
+from repro.trace.sampling import sample_by_url, url_sample_rate_hash
+
+
+def req(t, url):
+    return Request(timestamp=float(t), url=url, size=100)
+
+
+TRACE = [req(i, f"http://s/u{i % 20}.html") for i in range(200)]
+
+
+class TestHash:
+    def test_stable(self):
+        assert url_sample_rate_hash("u") == url_sample_rate_hash("u")
+
+    def test_in_unit_interval(self):
+        for i in range(100):
+            assert 0.0 <= url_sample_rate_hash(f"u{i}") < 1.0
+
+    def test_salt_changes_position(self):
+        values = {url_sample_rate_hash("u", salt) for salt in range(10)}
+        assert len(values) > 1
+
+
+class TestSample:
+    def test_rate_one_is_identity(self):
+        assert list(sample_by_url(TRACE, 1.0)) == TRACE
+
+    def test_invalid_rate(self):
+        for rate in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                list(sample_by_url(TRACE, rate))
+
+    def test_all_or_nothing_per_url(self):
+        """Spatial sampling: a URL is either fully kept or fully dropped."""
+        sampled = list(sample_by_url(TRACE, 0.5, salt=3))
+        kept_urls = {r.url for r in sampled}
+        full_counts = {}
+        for request in TRACE:
+            full_counts[request.url] = full_counts.get(request.url, 0) + 1
+        sampled_counts = {}
+        for request in sampled:
+            sampled_counts[request.url] = sampled_counts.get(request.url, 0) + 1
+        for url in kept_urls:
+            assert sampled_counts[url] == full_counts[url]
+
+    def test_rate_controls_volume(self):
+        small = list(sample_by_url(TRACE, 0.2, salt=1))
+        large = list(sample_by_url(TRACE, 0.8, salt=1))
+        assert len(small) < len(large) <= len(TRACE)
+
+    def test_monotone_in_rate(self):
+        """Raising the rate only adds URLs, never drops them."""
+        low = {r.url for r in sample_by_url(TRACE, 0.3, salt=2)}
+        high = {r.url for r in sample_by_url(TRACE, 0.7, salt=2)}
+        assert low <= high
+
+
+@given(
+    rate=st.floats(min_value=0.05, max_value=1.0),
+    salt=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=60, deadline=None)
+def test_sample_properties(rate, salt):
+    sampled = list(sample_by_url(TRACE, rate, salt=salt))
+    # Order preserved.
+    times = [r.timestamp for r in sampled]
+    assert times == sorted(times)
+    # Determinism.
+    again = list(sample_by_url(TRACE, rate, salt=salt))
+    assert sampled == again

@@ -1,0 +1,124 @@
+"""Tests for workload characterisation statistics."""
+
+import pytest
+
+from repro.trace import (
+    DocumentType,
+    Request,
+    interreference_scatter,
+    server_rank_series,
+    size_histogram,
+    summarize,
+    type_distribution,
+    url_bytes_rank_series,
+)
+from repro.trace.stats import zipf_slope
+
+
+def req(t, url, size):
+    return Request(timestamp=float(t), url=url, size=size)
+
+
+TRACE = [
+    req(0, "http://a.edu/x.gif", 1000),
+    req(10, "http://a.edu/y.html", 2000),
+    req(20, "http://b.com/z.au", 4000),
+    req(30, "http://a.edu/x.gif", 1000),
+    req(86400, "http://a.edu/x.gif", 1000),
+]
+
+
+class TestTypeDistribution:
+    def test_rows_cover_all_types(self):
+        rows = type_distribution(TRACE)
+        assert [r.doc_type for r in rows] == list(DocumentType)
+
+    def test_percentages_sum_to_100(self):
+        rows = type_distribution(TRACE)
+        assert sum(r.pct_refs for r in rows) == pytest.approx(100.0)
+        assert sum(r.pct_bytes for r in rows) == pytest.approx(100.0)
+
+    def test_counts(self):
+        rows = {r.doc_type: r for r in type_distribution(TRACE)}
+        assert rows[DocumentType.GRAPHICS].refs == 3
+        assert rows[DocumentType.TEXT].refs == 1
+        assert rows[DocumentType.AUDIO].refs == 1
+        assert rows[DocumentType.AUDIO].bytes == 4000
+        assert rows[DocumentType.AUDIO].pct_bytes == pytest.approx(
+            100.0 * 4000 / 9000
+        )
+
+    def test_empty_trace(self):
+        rows = type_distribution([])
+        assert all(r.pct_refs == 0.0 for r in rows)
+
+
+class TestRankSeries:
+    def test_server_ranks_descending(self):
+        series = server_rank_series(TRACE)
+        assert series == [(1, 4), (2, 1)]
+
+    def test_url_bytes_ranks(self):
+        series = url_bytes_rank_series(TRACE)
+        assert series[0] == (1, 4000)  # the audio file
+        assert [count for _, count in series] == sorted(
+            (count for _, count in series), reverse=True
+        )
+
+    def test_zipf_slope_of_perfect_zipf(self):
+        series = [(rank, round(10000 / rank)) for rank in range(1, 200)]
+        assert zipf_slope(series) == pytest.approx(-1.0, abs=0.01)
+
+    def test_zipf_slope_requires_points(self):
+        with pytest.raises(ValueError):
+            zipf_slope([(1, 10)])
+
+
+class TestSizeHistogram:
+    def test_bins(self):
+        hist = dict(size_histogram(TRACE, bin_width=1000, max_size=3000))
+        assert hist[1000] == 3   # three 1000-byte requests
+        assert hist[2000] == 1
+        assert hist[3000] == 1   # 4000 folds into overflow bin
+
+    def test_bin_width_validation(self):
+        with pytest.raises(ValueError):
+            size_histogram(TRACE, bin_width=0)
+
+    def test_total_count_preserved(self):
+        hist = size_histogram(TRACE, bin_width=512, max_size=2048)
+        assert sum(count for _, count in hist) == len(TRACE)
+
+
+class TestInterreference:
+    def test_points_only_for_rereferences(self):
+        points = interreference_scatter(TRACE)
+        assert len(points) == 2
+        assert points[0] == (1000, 30.0)
+        assert points[1] == (1000, 86400.0 - 30.0)
+
+    def test_no_rereferences(self):
+        assert interreference_scatter(TRACE[:3]) == []
+
+
+class TestSummary:
+    def test_headline_numbers(self):
+        summary = summarize(TRACE)
+        assert summary.requests == 5
+        assert summary.total_bytes == 9000
+        assert summary.unique_urls == 3
+        assert summary.unique_servers == 2
+        assert summary.duration_days == 2
+        assert summary.unique_bytes == 1000 + 2000 + 4000
+        assert summary.per_day_requests == {0: 4, 1: 1}
+        assert summary.mean_requests_per_day == pytest.approx(2.5)
+
+    def test_empty(self):
+        summary = summarize([])
+        assert summary.requests == 0
+        assert summary.duration_days == 0
+
+    def test_unit_conversions(self):
+        summary = summarize([req(0, "u", 2**30)])
+        assert summary.total_gigabytes == pytest.approx(1.0)
+        assert summary.unique_megabytes == pytest.approx(1024.0)

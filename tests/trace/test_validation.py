@@ -1,0 +1,106 @@
+"""Tests for the Section 1.1 trace-validation rules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import Request, TraceValidator
+
+
+def req(t, url, size, status=200):
+    return Request(timestamp=float(t), url=url, size=size, status=status)
+
+
+class TestStatusRule:
+    def test_200_accepted(self):
+        validator = TraceValidator()
+        assert validator.feed(req(0, "u", 10)) is not None
+
+    def test_404_rejected(self):
+        validator = TraceValidator()
+        assert validator.feed(req(0, "u", 10, status=404)) is None
+        assert validator.stats.rejected_status == 1
+
+    def test_304_rejected(self):
+        """A 304 means the client's own cache satisfied the request."""
+        validator = TraceValidator()
+        assert validator.feed(req(0, "u", 10, status=304)) is None
+
+    def test_custom_accepted_statuses(self):
+        validator = TraceValidator(accepted_statuses=(200, 206))
+        assert validator.feed(req(0, "u", 10, status=206)) is not None
+
+
+class TestZeroSizeRule:
+    def test_unseen_zero_size_discarded(self):
+        validator = TraceValidator()
+        assert validator.feed(req(0, "u", 0)) is None
+        assert validator.stats.rejected_zero_size == 1
+
+    def test_seen_zero_size_inherits_last_known(self):
+        validator = TraceValidator()
+        validator.feed(req(0, "u", 123))
+        result = validator.feed(req(1, "u", 0))
+        assert result is not None
+        assert result.size == 123
+        assert validator.stats.inherited_size == 1
+
+    def test_inherits_most_recent_size(self):
+        validator = TraceValidator()
+        validator.feed(req(0, "u", 100))
+        validator.feed(req(1, "u", 200))
+        result = validator.feed(req(2, "u", 0))
+        assert result.size == 200
+
+    def test_rejected_status_does_not_register_size(self):
+        validator = TraceValidator()
+        validator.feed(req(0, "u", 500, status=404))
+        assert validator.feed(req(1, "u", 0)) is None
+
+
+class TestStats:
+    def test_counters_consistent(self):
+        validator = TraceValidator()
+        stream = [
+            req(0, "a", 10),
+            req(1, "b", 0),            # rejected: unseen zero size
+            req(2, "a", 0),            # inherited
+            req(3, "c", 5, status=500),  # rejected: status
+            req(4, "d", 7),
+        ]
+        valid = validator.validate(stream)
+        stats = validator.stats
+        assert stats.total == 5
+        assert stats.accepted == len(valid) == 3
+        assert stats.rejected == 2
+        assert stats.accepted_bytes == 10 + 10 + 7
+
+    def test_as_dict_keys(self):
+        validator = TraceValidator()
+        keys = set(validator.stats.as_dict())
+        assert {"total", "accepted", "rejected_status",
+                "rejected_zero_size", "inherited_size",
+                "accepted_bytes"} == keys
+
+
+@given(st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b", "c"]),
+        st.integers(min_value=0, max_value=100),
+        st.sampled_from([200, 200, 200, 404]),
+    ),
+    max_size=60,
+))
+@settings(max_examples=200, deadline=None)
+def test_valid_trace_has_no_zero_sizes_and_only_200s(entries):
+    """Whatever the input, the valid trace contains only 200-status,
+    positive-size requests, and accounting is exact."""
+    validator = TraceValidator()
+    stream = [
+        req(i, url, size, status) for i, (url, size, status) in enumerate(entries)
+    ]
+    valid = validator.validate(stream)
+    assert all(r.status == 200 for r in valid)
+    assert all(r.size > 0 for r in valid)
+    assert validator.stats.accepted == len(valid)
+    assert validator.stats.accepted + validator.stats.rejected == len(stream)
+    assert validator.stats.accepted_bytes == sum(r.size for r in valid)

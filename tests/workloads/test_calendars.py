@@ -1,0 +1,128 @@
+"""Tests for activity calendars."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    ActivityCalendar,
+    classroom_calendar,
+    diurnal_offset,
+    flat_calendar,
+    semester_calendar,
+    weekday_calendar,
+)
+
+
+class TestActivityCalendar:
+    def test_requires_days(self):
+        with pytest.raises(ValueError):
+            ActivityCalendar([])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            ActivityCalendar([1.0, -0.1])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            ActivityCalendar([0.0, 0.0])
+
+    def test_allocate_sums_exactly(self):
+        cal = ActivityCalendar([1.0, 2.0, 3.0])
+        assert sum(cal.allocate(1000)) == 1000
+
+    def test_allocate_proportional(self):
+        cal = ActivityCalendar([1.0, 3.0])
+        counts = cal.allocate(400)
+        assert counts == [100, 300]
+
+    def test_zero_weight_days_get_nothing(self):
+        cal = ActivityCalendar([0.0, 1.0, 0.0, 1.0])
+        counts = cal.allocate(10)
+        assert counts[0] == 0 and counts[2] == 0
+
+    def test_allocate_negative_rejected(self):
+        with pytest.raises(ValueError):
+            flat_calendar(3).allocate(-1)
+
+    def test_active_days(self):
+        cal = ActivityCalendar([0.0, 1.0, 0.5])
+        assert cal.active_days() == [1, 2]
+
+
+class TestFactories:
+    def test_flat(self):
+        assert flat_calendar(5).weights == [1.0] * 5
+
+    def test_weekday_weekend_dip(self):
+        cal = weekday_calendar(
+            14, weekend_factor=0.3, jitter=0.0, rng=random.Random(0)
+        )
+        # Days 5, 6 (Sat, Sun with start Monday) should be depressed.
+        assert cal.weights[5] < cal.weights[4]
+        assert cal.weights[6] < cal.weights[0]
+
+    def test_classroom_only_meeting_days(self):
+        cal = classroom_calendar(14, meeting_weekdays=(0, 1, 2, 3))
+        # Friday through Sunday carry no requests.
+        assert cal.weights[4] == 0.0
+        assert cal.weights[5] == 0.0
+        assert cal.weights[6] == 0.0
+        assert cal.weights[7] == 1.0
+
+    def test_classroom_skipped_meetings(self):
+        cal = classroom_calendar(14, skipped_meetings=(0,))
+        assert cal.weights[0] == 0.0
+
+    def test_semester_break_trough_and_surge(self):
+        cal = semester_calendar(
+            100, break_start=40, break_end=60, surge_start=80,
+            break_factor=0.1, surge_factor=3.0,
+            rng=random.Random(0),
+        )
+        week_before = sum(cal.weights[30:37])
+        break_week = sum(cal.weights[45:52])
+        surge_week = sum(cal.weights[85:92])
+        assert break_week < week_before * 0.3
+        assert surge_week > week_before * 1.5
+
+    def test_semester_validates_intervals(self):
+        with pytest.raises(ValueError):
+            semester_calendar(10, break_start=5, break_end=3, surge_start=8)
+        with pytest.raises(ValueError):
+            semester_calendar(10, break_start=0, break_end=5, surge_start=20)
+
+
+class TestDiurnal:
+    def test_offset_in_day(self):
+        rng = random.Random(0)
+        for _ in range(500):
+            offset = diurnal_offset(rng)
+            assert 0.0 <= offset < 86400.0
+
+    def test_afternoon_bias(self):
+        rng = random.Random(1)
+        offsets = [diurnal_offset(rng) for _ in range(2000)]
+        afternoon = sum(1 for x in offsets if 12 * 3600 <= x < 20 * 3600)
+        night = sum(1 for x in offsets if x < 6 * 3600)
+        assert afternoon > night * 3
+
+
+@given(
+    weights=st.lists(
+        st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=40
+    ).filter(lambda w: sum(w) > 0),
+    total=st.integers(min_value=0, max_value=5000),
+)
+@settings(max_examples=150, deadline=None)
+def test_allocation_property(weights, total):
+    """Allocation is exact, non-negative, and zero on zero-weight days."""
+    cal = ActivityCalendar(weights)
+    counts = cal.allocate(total)
+    assert sum(counts) == total
+    assert all(c >= 0 for c in counts)
+    for weight, count in zip(weights, counts):
+        if weight == 0.0:
+            assert count == 0

@@ -1,0 +1,92 @@
+"""Tests for trace-to-profile calibration."""
+
+import pytest
+
+from repro.trace import DocumentType, Request, summarize, type_distribution
+from repro.workloads import generate_valid
+from repro.workloads.calibrate import (
+    measure_same_day_locality,
+    profile_from_trace,
+)
+
+
+def req(t, url, size):
+    return Request(timestamp=float(t), url=url, size=size)
+
+
+class TestSameDayLocality:
+    def test_no_repeats(self):
+        trace = [req(i, f"u{i}", 10) for i in range(5)]
+        assert measure_same_day_locality(trace) == 0.0
+
+    def test_all_repeats(self):
+        trace = [req(0, "u", 10)] + [req(i, "u", 10) for i in range(1, 5)]
+        assert measure_same_day_locality(trace) == pytest.approx(0.8)
+
+    def test_resets_across_days(self):
+        trace = [
+            req(0, "u", 10),
+            req(1, "u", 10),            # same-day repeat
+            req(86_400 + 1, "u", 10),   # next day: not a same-day repeat
+        ]
+        assert measure_same_day_locality(trace) == pytest.approx(1 / 3)
+
+    def test_empty(self):
+        assert measure_same_day_locality([]) == 0.0
+
+
+class TestProfileFromTrace:
+    @pytest.fixture(scope="class")
+    def source(self):
+        return generate_valid("BL", seed=17, scale=0.05)
+
+    @pytest.fixture(scope="class")
+    def calibrated(self, source):
+        return profile_from_trace(source, key="CAL")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            profile_from_trace([])
+
+    def test_headline_numbers_copied(self, source, calibrated):
+        summary = summarize(source)
+        assert calibrated.requests == summary.requests
+        assert calibrated.duration_days == summary.duration_days
+        assert calibrated.max_needed_bytes == summary.unique_bytes
+        assert calibrated.total_bytes == pytest.approx(
+            summary.total_bytes, rel=0.01,
+        )
+
+    def test_regenerated_trace_resembles_source(self, source, calibrated):
+        """The calibrate -> generate loop approximately reproduces the
+        source's volumes and type mix."""
+        clone = generate_valid(calibrated, seed=99)
+        src, out = summarize(source), summarize(clone)
+        assert out.requests == pytest.approx(src.requests, rel=0.02)
+        assert out.total_bytes == pytest.approx(src.total_bytes, rel=0.5)
+        assert out.duration_days <= src.duration_days
+
+        src_mix = {r.doc_type: r.pct_refs for r in type_distribution(source)}
+        out_mix = {r.doc_type: r.pct_refs for r in type_distribution(clone)}
+        for doc_type in (DocumentType.GRAPHICS, DocumentType.TEXT):
+            assert out_mix[doc_type] == pytest.approx(
+                src_mix[doc_type], abs=6.0,
+            )
+
+    def test_calendar_replayed(self, source, calibrated):
+        """Days inactive in the source stay inactive in the clone."""
+        clone = generate_valid(calibrated, seed=99)
+        source_days = {r.day for r in source}
+        clone_days = {r.day for r in clone}
+        assert clone_days <= source_days
+
+    def test_generic_calendar_option(self, source):
+        profile = profile_from_trace(source, replay_calendar=False)
+        clone = generate_valid(profile, seed=99)
+        assert summarize(clone).requests == pytest.approx(
+            summarize(source).requests, rel=0.02,
+        )
+
+    def test_overrides(self, source):
+        profile = profile_from_trace(source, modification_rate=0.2)
+        assert profile.modification_rate == 0.2

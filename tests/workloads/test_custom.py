@@ -1,0 +1,96 @@
+"""Tests for the custom workload-profile builder."""
+
+import pytest
+
+from repro.trace import DocumentType, summarize, type_distribution
+from repro.workloads import generate_valid, make_profile
+
+
+def lab_profile(**overrides):
+    defaults = dict(
+        key="LAB",
+        requests=5_000,
+        duration_days=20,
+        mean_request_size=10_000,
+        type_mix={
+            "graphics": (60, 45),
+            "text": (38, 30),
+            "video": (2, 25),
+        },
+    )
+    defaults.update(overrides)
+    return make_profile(**defaults)
+
+
+class TestMakeProfile:
+    def test_basic_fields(self):
+        profile = lab_profile()
+        assert profile.key == "LAB"
+        assert profile.requests == 5_000
+        assert profile.total_bytes == 5_000 * 10_000
+        assert profile.max_needed_bytes == int(0.4 * profile.total_bytes)
+
+    def test_mix_normalised(self):
+        profile = lab_profile(type_mix={"graphics": (3, 1), "text": (1, 1)})
+        shares = {t.doc_type: t for t in profile.type_mix}
+        assert shares[DocumentType.GRAPHICS].pct_refs == pytest.approx(75.0)
+        assert shares[DocumentType.TEXT].pct_bytes == pytest.approx(50.0)
+
+    def test_counts_accepted_as_shares(self):
+        profile = lab_profile(
+            type_mix={"graphics": (6000, 450_000), "text": (4000, 550_000)},
+        )
+        shares = {t.doc_type: t for t in profile.type_mix}
+        assert shares[DocumentType.GRAPHICS].pct_refs == pytest.approx(60.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lab_profile(requests=0)
+        with pytest.raises(ValueError):
+            lab_profile(duration_days=0)
+        with pytest.raises(ValueError):
+            lab_profile(mean_request_size=0)
+        with pytest.raises(ValueError):
+            lab_profile(type_mix={})
+        with pytest.raises(ValueError):
+            lab_profile(type_mix={"graphics": (-1, 1)})
+
+    def test_unknown_type_name(self):
+        with pytest.raises(ValueError):
+            lab_profile(type_mix={"holograms": (1, 1)})
+
+    def test_overrides_forwarded(self):
+        profile = lab_profile(modification_rate=0.05, zipf_exponent=1.2)
+        assert profile.modification_rate == 0.05
+        assert profile.zipf_exponent == 1.2
+
+
+class TestGeneratedCustomWorkload:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_valid(lab_profile(), seed=5)
+
+    def test_volume_near_target(self, trace):
+        summary = summarize(trace)
+        assert summary.requests == pytest.approx(5_000, rel=0.02)
+        assert summary.total_bytes == pytest.approx(
+            5_000 * 10_000, rel=0.5,
+        )
+        assert summary.duration_days <= 20
+
+    def test_mix_tracked(self, trace):
+        rows = {r.doc_type: r for r in type_distribution(trace)}
+        assert rows[DocumentType.GRAPHICS].pct_refs == pytest.approx(60, abs=6)
+        assert rows[DocumentType.TEXT].pct_refs == pytest.approx(38, abs=6)
+
+    def test_urls_namespaced_by_key(self, trace):
+        assert all("/lab/" in r.url for r in trace)
+
+    def test_simulates_cleanly(self, trace):
+        from repro.core import SimCache, simulate, size_policy
+        from repro.core.experiments import max_needed_for
+        capacity = max(1, int(0.1 * max_needed_for(trace)))
+        result = simulate(
+            trace, SimCache(capacity=capacity, policy=size_policy()),
+        )
+        assert 0.0 < result.hit_rate < 100.0

@@ -1,0 +1,55 @@
+"""Tests for generator fidelity checking."""
+
+import pytest
+
+from repro.workloads import PROFILES, generate_valid
+from repro.workloads.fidelity import FidelityReport, check_fidelity
+
+
+class TestCheckFidelity:
+    @pytest.fixture(scope="class")
+    def report(self):
+        trace = generate_valid("BL", seed=13, scale=0.05)
+        return check_fidelity(trace, PROFILES["BL"], scale=0.05)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            check_fidelity([], PROFILES["BL"])
+
+    def test_request_error_small(self, report):
+        assert abs(report.request_error) < 0.02
+
+    def test_mix_tracks_targets(self, report):
+        assert report.refs_mix_l1 < 20.0
+
+    def test_footprint_in_band(self, report):
+        assert 0.3 < report.footprint_ratio < 3.0
+
+    def test_duration_bounded(self, report):
+        assert report.duration_ratio <= 1.0
+
+    def test_popularity_slope_fitted(self, report):
+        assert -2.0 < report.popularity_slope < -0.3
+
+    def test_acceptable(self, report):
+        assert report.acceptable()
+
+    def test_summary_renders(self, report):
+        text = report.summary()
+        assert "BL" in text
+        assert "requests error" in text
+
+    def test_all_builtin_profiles_acceptable(self):
+        """The shipped calibrations all pass their own fidelity gate."""
+        for key, profile in PROFILES.items():
+            trace = generate_valid(key, seed=21, scale=0.04)
+            report = check_fidelity(trace, profile, scale=0.04)
+            assert report.acceptable(), f"{key}\n{report.summary()}"
+
+    def test_acceptable_rejects_bad_report(self):
+        bad = FidelityReport(
+            profile_key="X", scale=1.0,
+            request_error=0.5, refs_mix_l1=80.0, footprint_ratio=10.0,
+            duration_ratio=1.0,
+        )
+        assert not bad.acceptable()

@@ -1,0 +1,149 @@
+"""Tests for the synthetic workload generator.
+
+These tests run at small scale (0.02-0.1) to stay fast; calibration
+tolerances are set accordingly.  Full-scale fidelity is recorded by the
+benchmark harness in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.trace import (
+    DocumentType,
+    TraceValidator,
+    summarize,
+    type_distribution,
+)
+from repro.trace.stats import server_rank_series, zipf_slope
+from repro.workloads import PROFILES, generate, generate_valid
+from repro.workloads.generator import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def bl_trace():
+    return generate("BL", seed=7, scale=0.1)
+
+
+@pytest.fixture(scope="module")
+def bl_valid(bl_trace):
+    return bl_trace.valid()
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate("C", seed=3, scale=0.05).raw
+        b = generate("C", seed=3, scale=0.05).raw
+        assert [(r.timestamp, r.url, r.size) for r in a] == [
+            (r.timestamp, r.url, r.size) for r in b
+        ]
+
+    def test_different_seed_different_trace(self):
+        a = generate("C", seed=3, scale=0.05).raw
+        b = generate("C", seed=4, scale=0.05).raw
+        assert [(r.url) for r in a] != [(r.url) for r in b]
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator("C", scale=0.0)
+
+
+class TestStructure:
+    def test_timestamps_sorted(self, bl_trace):
+        stamps = [r.timestamp for r in bl_trace.raw]
+        assert stamps == sorted(stamps)
+
+    def test_duration_respected(self, bl_trace):
+        days = PROFILES["BL"].duration_days
+        assert all(r.timestamp < days * 86400.0 for r in bl_trace.raw)
+
+    def test_valid_request_count_near_target(self, bl_valid):
+        target = round(PROFILES["BL"].requests * 0.1)
+        assert len(bl_valid) == pytest.approx(target, rel=0.02)
+
+    def test_raw_contains_invalid_lines(self, bl_trace):
+        statuses = {r.status for r in bl_trace.raw}
+        assert statuses - {200}, "generator should inject non-200 lines"
+
+    def test_raw_contains_zero_size_lines(self, bl_trace):
+        assert any(r.size == 0 and r.status == 200 for r in bl_trace.raw)
+
+    def test_validation_drops_only_invalid(self, bl_trace):
+        validator = TraceValidator()
+        valid = validator.validate(bl_trace.raw)
+        assert all(r.status == 200 and r.size > 0 for r in valid)
+
+    def test_metadata(self, bl_trace):
+        assert bl_trace.metadata.name == "BL"
+        assert bl_trace.metadata.extra["scale"] == 0.1
+
+
+class TestCalibration:
+    def test_type_refs_mix(self, bl_valid):
+        """Reference shares should track Table 4 within a few points for
+        the major types."""
+        rows = {r.doc_type: r for r in type_distribution(bl_valid)}
+        assert rows[DocumentType.GRAPHICS].pct_refs == pytest.approx(51.13, abs=4.0)
+        assert rows[DocumentType.TEXT].pct_refs == pytest.approx(43.38, abs=4.0)
+
+    def test_audio_byte_share_br(self):
+        valid = generate_valid("BR", seed=5, scale=0.05)
+        rows = {r.doc_type: r for r in type_distribution(valid)}
+        # The audio site must dominate bytes (paper: 87.78%).
+        assert rows[DocumentType.AUDIO].pct_bytes > 70.0
+
+    def test_br_concentration(self):
+        valid = generate_valid("BR", seed=5, scale=0.05)
+        summary = summarize(valid)
+        # BR reaches ~98% infinite-cache hit rate in the paper.
+        cumulative_hr = 1 - summary.unique_urls / summary.requests
+        assert cumulative_hr > 0.9
+
+    def test_mid_workloads_moderate_concentration(self):
+        for key in ("U", "G", "BL"):
+            valid = generate_valid(key, seed=5, scale=0.05)
+            summary = summarize(valid)
+            cumulative_hr = 1 - summary.unique_urls / summary.requests
+            assert 0.3 < cumulative_hr < 0.8, key
+
+    def test_server_popularity_is_zipf_like(self, bl_valid):
+        series = server_rank_series(bl_valid)
+        slope = zipf_slope(series)
+        assert -2.0 < slope < -0.4
+
+    def test_total_bytes_order_of_magnitude(self, bl_valid):
+        total = sum(r.size for r in bl_valid)
+        target = PROFILES["BL"].total_bytes * 0.1
+        assert total == pytest.approx(target, rel=0.5)
+
+    def test_modifications_present(self, bl_trace):
+        """Some documents must change size mid-trace (paper: 0.5-4.1%)."""
+        modified = [
+            d for d in bl_trace.catalog.documents() if d.times_modified
+        ]
+        assert modified
+
+
+class TestBehaviouralFeatures:
+    def test_classroom_has_inactive_days(self):
+        valid = generate_valid("C", seed=2, scale=0.05)
+        days_active = {r.day for r in valid}
+        all_days = set(range(PROFILES["C"].duration_days))
+        assert len(all_days - days_active) > 20  # no-class days exist
+
+    def test_u_new_generation_urls_after_surge(self):
+        trace = generate("U", seed=2, scale=0.03)
+        surge_day = PROFILES["U"].new_generation_day
+        fall_urls = [
+            r.url for r in trace.raw if "fall/" in r.url
+        ]
+        assert fall_urls, "fall-generation URLs should appear"
+        first_fall = min(
+            r.timestamp for r in trace.raw if "fall/" in r.url
+        )
+        assert first_fall >= surge_day * 86400.0
+
+    def test_br_clients_are_remote(self):
+        trace = generate("BR", seed=2, scale=0.02)
+        assert all(
+            client.endswith(".net")
+            for client in {r.client for r in trace.raw}
+        )

@@ -1,0 +1,101 @@
+"""Tests for the published workload profiles."""
+
+import pytest
+
+from repro.trace import DocumentType
+from repro.workloads import PROFILES, profile
+
+
+class TestLookup:
+    def test_all_five_present(self):
+        assert set(PROFILES) == {"U", "C", "G", "BR", "BL"}
+
+    def test_case_insensitive(self):
+        assert profile("br").key == "BR"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            profile("X")
+
+
+class TestPublishedNumbers:
+    """Pin the headline numbers straight from the paper's Section 2."""
+
+    def test_request_counts(self):
+        assert PROFILES["U"].requests == 173_384
+        assert PROFILES["C"].requests == 30_316
+        assert PROFILES["G"].requests == 46_834
+        assert PROFILES["BR"].requests == 180_132
+        assert PROFILES["BL"].requests == 53_881
+
+    def test_durations(self):
+        assert PROFILES["U"].duration_days == 190
+        assert PROFILES["BR"].duration_days == 38
+        assert PROFILES["BL"].duration_days == 37
+
+    def test_max_needed(self):
+        mb = 2**20
+        assert PROFILES["U"].max_needed_bytes == 1400 * mb
+        assert PROFILES["C"].max_needed_bytes == 221 * mb
+        assert PROFILES["G"].max_needed_bytes == 413 * mb
+        assert PROFILES["BR"].max_needed_bytes == 198 * mb
+        assert PROFILES["BL"].max_needed_bytes == 408 * mb
+
+    def test_br_audio_dominates_bytes(self):
+        audio = next(
+            t for t in PROFILES["BR"].type_mix
+            if t.doc_type == DocumentType.AUDIO
+        )
+        assert audio.pct_bytes == pytest.approx(87.78)
+        assert audio.pct_refs == pytest.approx(2.57)
+
+    def test_refs_shares_sum_to_100(self):
+        for key, prof in PROFILES.items():
+            total = sum(t.pct_refs for t in prof.type_mix)
+            assert total == pytest.approx(100.0, abs=0.05), key
+
+    def test_bytes_shares_sum_to_100(self):
+        """U's column is renormalised from the paper's 128.23% misprint.
+        The other workloads keep Table 4 verbatim, which rounds to within
+        ~0.1% of 100 (G prints 99.89)."""
+        for key, prof in PROFILES.items():
+            total = sum(t.pct_bytes for t in prof.type_mix)
+            assert total == pytest.approx(100.0, abs=0.15), key
+
+
+class TestDerivedQuantities:
+    def test_mean_request_size(self):
+        br = PROFILES["BR"]
+        assert br.mean_request_size == pytest.approx(
+            9.61 * 2**30 / 180_132, rel=1e-6
+        )
+
+    def test_br_audio_mean_is_song_sized(self):
+        """Table 4 implies BR audio documents average ~2 MB (songs)."""
+        mean = PROFILES["BR"].mean_size_for(DocumentType.AUDIO)
+        assert 1_500_000 < mean < 2_500_000
+
+    def test_mean_size_floor_applied(self):
+        """BR CGI has 0.00% bytes; the mean is floored, not zero."""
+        assert PROFILES["BR"].mean_size_for(DocumentType.CGI) == 128.0
+
+    def test_zero_ref_type_rejected(self):
+        with pytest.raises(ValueError):
+            next(
+                t for t in PROFILES["BR"].type_mix
+                if t.doc_type == DocumentType.VIDEO
+            ).mean_size(1000.0)
+
+    def test_mean_size_for_unknown_type(self):
+        import dataclasses
+        trimmed = dataclasses.replace(
+            PROFILES["BR"], type_mix=PROFILES["BR"].type_mix[:1]
+        )
+        with pytest.raises(KeyError):
+            trimmed.mean_size_for(DocumentType.VIDEO)
+
+    def test_calendars_cover_duration(self):
+        import random
+        for key, prof in PROFILES.items():
+            cal = prof.calendar_factory(prof.duration_days, random.Random(0))
+            assert cal.days == prof.duration_days

@@ -1,0 +1,78 @@
+"""Tests for document-size models."""
+
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import DEFAULT_SHAPES, SizeModel, model_for_mean
+
+
+class TestSizeModel:
+    def test_samples_within_bounds(self):
+        model = DEFAULT_SHAPES["graphics"]
+        rng = random.Random(0)
+        for _ in range(2000):
+            size = model.sample(rng)
+            assert model.min_size <= size <= model.max_size
+
+    def test_sample_mean_near_analytic_mean(self):
+        model = DEFAULT_SHAPES["text"]
+        rng = random.Random(3)
+        samples = [model.sample(rng) for _ in range(30000)]
+        # Heavy tail: allow a generous tolerance.
+        assert statistics.fmean(samples) == pytest.approx(model.mean, rel=0.25)
+
+    def test_scaled_to_mean_hits_target(self):
+        model = DEFAULT_SHAPES["graphics"].scaled_to_mean(10_000)
+        assert model.mean == pytest.approx(10_000, rel=1e-9)
+
+    def test_scaled_preserves_shape(self):
+        base = DEFAULT_SHAPES["audio"]
+        scaled = base.scaled_to_mean(base.mean * 3)
+        assert scaled.sigma == base.sigma
+        assert scaled.tail_probability == base.tail_probability
+        assert scaled.tail_alpha == base.tail_alpha
+
+    def test_invalid_target_mean(self):
+        with pytest.raises(ValueError):
+            DEFAULT_SHAPES["text"].scaled_to_mean(0)
+
+    def test_invalid_tail_probability(self):
+        with pytest.raises(ValueError):
+            SizeModel(mu=1.0, sigma=1.0, tail_probability=1.5)
+
+    def test_invalid_tail_alpha(self):
+        with pytest.raises(ValueError):
+            SizeModel(mu=1.0, sigma=1.0, tail_probability=0.1, tail_alpha=1.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            SizeModel(mu=1.0, sigma=1.0, min_size=100, max_size=50)
+
+
+class TestModelForMean:
+    def test_known_families(self):
+        for family in DEFAULT_SHAPES:
+            model = model_for_mean(family, 5_000)
+            assert model.mean == pytest.approx(5_000)
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            model_for_mean("holograms", 1_000)
+
+    def test_audio_larger_than_text_by_default(self):
+        assert DEFAULT_SHAPES["audio"].mean > DEFAULT_SHAPES["text"].mean
+
+
+@given(
+    target=st.floats(min_value=200, max_value=5_000_000),
+    family=st.sampled_from(sorted(DEFAULT_SHAPES)),
+)
+@settings(max_examples=60, deadline=None)
+def test_scaling_property(target, family):
+    """Scaling always hits the requested analytic mean exactly."""
+    model = model_for_mean(family, target)
+    assert model.mean == pytest.approx(target, rel=1e-9)
