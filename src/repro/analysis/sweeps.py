@@ -16,8 +16,15 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cache import SimCache
-from repro.core.policy import RemovalPolicy
+from repro.core.policy import KeyPolicy, RemovalPolicy
 from repro.core.simulator import SimulationResult, simulate
+from repro.core.sweep import (
+    PolicySpec,
+    ResultCache,
+    SimOptions,
+    SweepJob,
+    run_sweep,
+)
 from repro.trace.record import Request
 from repro.trace.sampling import sample_by_url
 
@@ -38,19 +45,48 @@ def capacity_sweep(
     max_needed: int,
     fractions: Sequence[float] = DEFAULT_FRACTIONS,
     seed: int = 0,
+    workers: int = 1,
+    result_cache: Optional[ResultCache] = None,
 ) -> List[Tuple[float, SimulationResult]]:
     """Simulate one policy at several cache sizes.
 
     Returns ``(fraction, result)`` pairs, ascending by fraction.  A fresh
     policy instance is built per size (stateful policies must not be
     shared between caches).
+
+    Key policies run through the :mod:`repro.core.sweep` engine, so the
+    size grid parallelises over ``workers`` processes and memoizes in
+    ``result_cache``; dynamic/adaptive policies (whose state cannot be
+    described by a :class:`~repro.core.sweep.PolicySpec`) always take the
+    in-process serial path.
     """
     if max_needed <= 0:
         raise ValueError("max_needed must be positive")
-    results = []
-    for fraction in sorted(fractions):
+    ordered = sorted(fractions)
+    for fraction in ordered:
         if fraction <= 0:
             raise ValueError("fractions must be positive")
+    probe = policy_factory()
+    if type(probe) is KeyPolicy:
+        spec = PolicySpec.from_policy(probe)
+        jobs = [
+            SweepJob(
+                spec=spec,
+                capacity=max(1, int(fraction * max_needed)),
+                options=SimOptions(seed=seed),
+                name=f"{probe.name}@{fraction:g}",
+            )
+            for fraction in ordered
+        ]
+        report = run_sweep(
+            trace, jobs, workers=workers, result_cache=result_cache,
+        )
+        return [
+            (fraction, job_result.result)
+            for fraction, job_result in zip(ordered, report.results)
+        ]
+    results = []
+    for fraction in ordered:
         capacity = max(1, int(fraction * max_needed))
         cache = SimCache(capacity=capacity, policy=policy_factory(), seed=seed)
         results.append((fraction, simulate(trace, cache)))
@@ -64,13 +100,17 @@ def miss_ratio_curve(
     fractions: Sequence[float] = DEFAULT_FRACTIONS,
     weighted: bool = False,
     seed: int = 0,
+    workers: int = 1,
+    result_cache: Optional[ResultCache] = None,
 ) -> List[Tuple[float, float]]:
     """The exact miss-ratio curve: ``(fraction of MaxNeeded, miss%)``.
 
     ``weighted=True`` yields the byte miss-ratio curve instead.
+    ``workers``/``result_cache`` are forwarded to :func:`capacity_sweep`.
     """
     sweep = capacity_sweep(
         trace, policy_factory, max_needed, fractions, seed=seed,
+        workers=workers, result_cache=result_cache,
     )
     curve = []
     for fraction, result in sweep:

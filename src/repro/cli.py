@@ -6,6 +6,7 @@ Commands:
 * ``characterize`` summarise a CLF trace (Section 2.2 statistics)
 * ``simulate``     drive a cache over a CLF trace and report HR/WHR
 * ``experiment``   run one of the paper's four experiments on a workload
+* ``sweep``        the full 36-policy grid through the parallel sweep engine
 * ``mrc``          miss-ratio curves for one or more policies
 * ``clone``        calibrate a profile from a real log, synthesise a stand-in
 * ``report``       full reproduction run with the claims checklist
@@ -20,6 +21,7 @@ Examples::
     python -m repro simulate bl.log --policy LRU --capacity 4MB
     python -m repro mrc bl.log --policy SIZE --policy GDSF
     python -m repro experiment 2 --workload BL --scale 0.05
+    python -m repro sweep --workload BL --workers 4 --cache-dir .sweep-cache
     python -m repro report --out report.md
 """
 
@@ -120,6 +122,24 @@ def _load_valid_trace(path: str, epoch: float):
     validator = TraceValidator()
     valid = validator.validate(read_clf_file(path, epoch=epoch))
     return valid, validator.stats
+
+
+def _positive_int(value: str) -> int:
+    workers = int(value)
+    if workers < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value!r}"
+        )
+    return workers
+
+
+def _result_cache(args: argparse.Namespace):
+    """Build the on-disk sweep result cache named by ``--cache-dir``."""
+    from repro.core.sweep import ResultCache
+
+    if getattr(args, "cache_dir", ""):
+        return ResultCache(args.cache_dir)
+    return None
 
 
 # -- command implementations -------------------------------------------------
@@ -232,8 +252,10 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             title="Experiment 1: infinite cache",
         ))
     elif args.number == 2:
+        result_cache = _result_cache(args)
         sweep = primary_key_sweep(
             trace, infinite.max_used_bytes, args.fraction, seed=args.seed,
+            workers=args.workers, result_cache=result_cache,
         )
         print(render_policy_ranking(
             sweep, infinite,
@@ -244,6 +266,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         ))
         secondary = secondary_key_sweep(
             trace, infinite.max_used_bytes, args.fraction, seed=args.seed,
+            workers=args.workers, result_cache=result_cache,
         )
         baseline = secondary["RANDOM"].weighted_hit_rate
         print()
@@ -298,6 +321,76 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run the full 36-policy taxonomy grid through the sweep engine."""
+    from repro.core.policy import taxonomy_policies
+    from repro.core.sweep import (
+        PolicySpec,
+        SimOptions,
+        SweepJob,
+        run_sweep,
+    )
+
+    if args.trace:
+        valid, _ = _load_valid_trace(args.trace, args.epoch)
+        label = args.trace
+    else:
+        valid = generate(
+            args.workload, seed=args.seed, scale=args.scale,
+        ).valid()
+        label = f"workload {args.workload} at scale {args.scale}"
+    if not valid:
+        print("trace contains no valid requests", file=sys.stderr)
+        return 1
+    infinite = run_infinite_cache(valid)
+    capacity = max(1, int(args.fraction * infinite.max_used_bytes))
+    jobs = [
+        SweepJob(
+            spec=PolicySpec.from_policy(policy),
+            capacity=capacity,
+            options=SimOptions(seed=args.seed),
+            name=policy.name,
+        )
+        for policy in taxonomy_policies()
+    ]
+    report = run_sweep(
+        valid, jobs,
+        workers=args.workers,
+        result_cache=_result_cache(args),
+    )
+    ranked = sorted(
+        report.results, key=lambda jr: jr.result.hit_rate, reverse=True,
+    )
+    rows = [
+        [
+            rank,
+            jr.result.name,
+            f"{jr.result.hit_rate:.2f}",
+            f"{jr.result.weighted_hit_rate:.2f}",
+            jr.result.cache.eviction_count,
+            "cache" if jr.from_cache else f"{jr.seconds:.2f}s",
+        ]
+        for rank, jr in enumerate(ranked, start=1)
+    ]
+    print(render_table(
+        ["rank", "policy", "HR%", "WHR%", "evictions", "computed in"],
+        rows,
+        title=(
+            f"36-policy sweep of {label} "
+            f"({len(valid):,} requests, cache "
+            f"{100 * args.fraction:.0f}% of MaxNeeded)"
+        ),
+    ))
+    print(
+        f"\nsweep engine: {len(jobs)} runs in {report.wall_seconds:.2f}s "
+        f"({report.workers} workers, "
+        f"{report.requests_per_second:,.0f} simulated requests/s, "
+        f"result cache {report.cache_hits} hits / "
+        f"{report.cache_misses} misses)"
+    )
+    return 0
+
+
 def cmd_proxy(args: argparse.Namespace) -> int:
     from repro.proxy import CachingProxy, ConsistencyEstimator, ProxyStore
 
@@ -343,6 +436,7 @@ def cmd_mrc(args: argparse.Namespace) -> int:
         return 1
     max_needed = max_needed_for(valid)
     fractions = tuple(args.fractions)
+    result_cache = _result_cache(args)
     curves = {}
     for policy_text in args.policy or ["SIZE", "LRU"]:
         # A fresh policy per point is built inside the sweep; pass a
@@ -354,6 +448,8 @@ def cmd_mrc(args: argparse.Namespace) -> int:
             fractions,
             weighted=args.weighted,
             seed=args.seed,
+            workers=args.workers,
+            result_cache=result_cache,
         ))
     headers = ["fraction of MaxNeeded"] + list(curves)
     rows = []
@@ -487,7 +583,29 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", type=float, default=0.05)
     experiment.add_argument("--seed", type=int, default=1996)
     experiment.add_argument("--fraction", type=float, default=0.10)
+    experiment.add_argument("--workers", type=_positive_int, default=1,
+                            help="processes for the policy sweeps")
+    experiment.add_argument("--cache-dir", default="",
+                            help="memoize sweep runs in this directory")
     experiment.set_defaults(func=cmd_experiment)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="the full 36-policy taxonomy grid via the sweep engine",
+    )
+    sweep.add_argument("trace", nargs="?", default="",
+                       help="CLF trace (synthesises --workload when omitted)")
+    sweep.add_argument("--epoch", type=float, default=800_000_000.0)
+    sweep.add_argument("--workload", default="BL",
+                       choices=sorted(PROFILES))
+    sweep.add_argument("--scale", type=float, default=0.05)
+    sweep.add_argument("--seed", type=int, default=1996)
+    sweep.add_argument("--fraction", type=float, default=0.10)
+    sweep.add_argument("--workers", type=_positive_int, default=1,
+                       help="processes to fan the grid out over")
+    sweep.add_argument("--cache-dir", default="",
+                       help="memoize sweep runs in this directory")
+    sweep.set_defaults(func=cmd_sweep)
 
     proxy = commands.add_parser("proxy", help="run the live caching proxy")
     proxy.add_argument("--capacity", type=parse_capacity, default=64 * 2**20)
@@ -516,6 +634,10 @@ def build_parser() -> argparse.ArgumentParser:
     mrc.add_argument("--weighted", action="store_true",
                      help="byte miss ratio instead of request miss ratio")
     mrc.add_argument("--seed", type=int, default=0)
+    mrc.add_argument("--workers", type=_positive_int, default=1,
+                     help="processes for the size sweep")
+    mrc.add_argument("--cache-dir", default="",
+                     help="memoize sweep runs in this directory")
     mrc.set_defaults(func=cmd_mrc)
 
     clone = commands.add_parser(

@@ -63,6 +63,16 @@ from repro.core.metrics import (
     series_mean,
 )
 from repro.core.simulator import SimulationResult, simulate
+from repro.core.sweep import (
+    ENGINE_VERSION,
+    PolicySpec,
+    ResultCache,
+    SimOptions,
+    SweepJob,
+    SweepReport,
+    run_sweep,
+    trace_fingerprint,
+)
 from repro.core.multilevel import (
     SharedSecondLevel,
     TwoLevelCache,
@@ -148,6 +158,14 @@ __all__ = [
     "series_mean",
     "SimulationResult",
     "simulate",
+    "ENGINE_VERSION",
+    "PolicySpec",
+    "ResultCache",
+    "SimOptions",
+    "SweepJob",
+    "SweepReport",
+    "run_sweep",
+    "trace_fingerprint",
     "SharedSecondLevel",
     "TwoLevelCache",
     "TwoLevelResult",

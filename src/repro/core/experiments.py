@@ -33,6 +33,13 @@ from repro.core.partitioned import (
 )
 from repro.core.policy import KeyPolicy, RemovalPolicy, taxonomy_policies
 from repro.core.simulator import SimulationResult, simulate
+from repro.core.sweep import (
+    PolicySpec,
+    ResultCache,
+    SimOptions,
+    SweepJob,
+    run_sweep,
+)
 from repro.trace.record import Request
 
 __all__ = [
@@ -85,17 +92,33 @@ def primary_key_sweep(
     fraction: float = 0.10,
     primaries: Sequence[SortKey] = TAXONOMY_KEYS,
     seed: int = 0,
+    workers: int = 1,
+    result_cache: Optional[ResultCache] = None,
 ) -> Dict[str, SimulationResult]:
     """Experiment 2 (Figures 8-12): each primary key with a RANDOM
-    secondary, at ``fraction`` of MaxNeeded."""
+    secondary, at ``fraction`` of MaxNeeded.
+
+    Runs through the :mod:`repro.core.sweep` engine: the trace is shared
+    across all runs, ``workers > 1`` fans the grid out over processes,
+    and ``result_cache`` memoizes completed runs on disk.
+    """
     capacity = max(1, int(max_needed * fraction))
-    results = {}
-    for primary in primaries:
-        policy = KeyPolicy([primary, RANDOM])
-        results[primary.name] = run_policy(
-            trace, policy, capacity, name=primary.name, seed=seed,
+    jobs = [
+        SweepJob(
+            spec=PolicySpec((primary.name, RANDOM.name)),
+            capacity=capacity,
+            options=SimOptions(seed=seed),
+            name=primary.name,
         )
-    return results
+        for primary in primaries
+    ]
+    report = run_sweep(
+        trace, jobs, workers=workers, result_cache=result_cache,
+    )
+    return {
+        primary.name: job_result.result
+        for primary, job_result in zip(primaries, report.results)
+    }
 
 
 def secondary_key_sweep(
@@ -104,6 +127,8 @@ def secondary_key_sweep(
     fraction: float = 0.10,
     primary: SortKey = LOG2SIZE,
     seed: int = 0,
+    workers: int = 1,
+    result_cache: Optional[ResultCache] = None,
 ) -> Dict[str, SimulationResult]:
     """Experiment 2 (Figure 15): fixed primary key (⌊log2 SIZE⌋, which
     produces the most ties), every other Table 1 key plus RANDOM as the
@@ -112,14 +137,22 @@ def secondary_key_sweep(
     secondaries: List[SortKey] = [
         key for key in TAXONOMY_KEYS if key != primary
     ] + [RANDOM]
-    results = {}
-    for secondary in secondaries:
-        policy = KeyPolicy([primary, secondary])
-        results[secondary.name] = run_policy(
-            trace, policy, capacity,
-            name=f"{primary.name}+{secondary.name}", seed=seed,
+    jobs = [
+        SweepJob(
+            spec=PolicySpec((primary.name, secondary.name)),
+            capacity=capacity,
+            options=SimOptions(seed=seed),
+            name=f"{primary.name}+{secondary.name}",
         )
-    return results
+        for secondary in secondaries
+    ]
+    report = run_sweep(
+        trace, jobs, workers=workers, result_cache=result_cache,
+    )
+    return {
+        secondary.name: job_result.result
+        for secondary, job_result in zip(secondaries, report.results)
+    }
 
 
 def full_taxonomy_sweep(
@@ -127,16 +160,28 @@ def full_taxonomy_sweep(
     max_needed: int,
     fraction: float = 0.10,
     seed: int = 0,
+    workers: int = 1,
+    result_cache: Optional[ResultCache] = None,
 ) -> Dict[Tuple[str, str], SimulationResult]:
     """All 36 primary/secondary combinations of Section 1.2."""
     capacity = max(1, int(max_needed * fraction))
-    results = {}
-    for policy in taxonomy_policies():
-        key = (policy.keys[0].name, policy.keys[1].name)
-        results[key] = run_policy(
-            trace, policy, capacity, name=policy.name, seed=seed,
+    policies = taxonomy_policies()
+    jobs = [
+        SweepJob(
+            spec=PolicySpec.from_policy(policy),
+            capacity=capacity,
+            options=SimOptions(seed=seed),
+            name=policy.name,
         )
-    return results
+        for policy in policies
+    ]
+    report = run_sweep(
+        trace, jobs, workers=workers, result_cache=result_cache,
+    )
+    return {
+        (policy.keys[0].name, policy.keys[1].name): job_result.result
+        for policy, job_result in zip(policies, report.results)
+    }
 
 
 def run_two_level(

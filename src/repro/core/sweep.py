@@ -1,0 +1,491 @@
+"""Parallel multi-policy sweep engine with an on-disk result cache.
+
+The paper's central experiment is a grid: 36 primary/secondary key
+combinations x five traces x two cache fractions.  The naive driver
+replays the trace once per policy, serially; this module turns that into
+a *sweep*:
+
+* the trace is decoded and validated **once** and the in-memory request
+  list is shared across every policy run;
+* the policy x capacity grid fans out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` (``workers > 1``) or a
+  plain loop (``workers = 1`` — the safe serial fallback, bit-identical
+  to the parallel path because every job seeds its own RNG);
+* completed runs are memoized in an on-disk :class:`ResultCache` keyed by
+  ``(trace content hash, policy spec, capacity, simulator options,
+  engine version)``, so re-running a sweep only computes the delta.
+
+Determinism guarantee: a :class:`SweepJob` fully describes one
+simulation.  Workers rebuild the policy from its :class:`PolicySpec` and
+construct a fresh :class:`~repro.core.cache.SimCache` seeded from the
+job's :class:`SimOptions`; no RNG state is ever shared between jobs, so
+serial, parallel, and cached replays of the same job produce identical
+HR/WHR, eviction counts, and day series.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.cache import AccessOutcome, SimCache
+from repro.core.metrics import DayStats, MetricsCollector
+from repro.core.policy import KeyPolicy
+from repro.core.simulator import SimulationResult, simulate
+from repro.trace.record import Request
+
+__all__ = [
+    "ENGINE_VERSION",
+    "PolicySpec",
+    "SimOptions",
+    "SweepJob",
+    "JobResult",
+    "SweepReport",
+    "ResultCache",
+    "CacheStats",
+    "run_sweep",
+    "trace_fingerprint",
+]
+
+#: Bumped whenever simulation semantics change in a way that invalidates
+#: previously cached results.  Part of every result-cache key.
+ENGINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A picklable, hashable description of one :class:`KeyPolicy`.
+
+    Policies themselves close over lambdas (the sort keys) and cannot
+    cross a process boundary; the spec carries only key *names* and is
+    rebuilt into a fresh policy inside each worker.
+    """
+
+    keys: Tuple[str, ...]
+    name: Optional[str] = None
+
+    @classmethod
+    def from_policy(cls, policy: KeyPolicy) -> "PolicySpec":
+        """Describe an existing key policy (including its tie-breaks)."""
+        derived = "/".join(k.name for k in policy.keys[:2])
+        return cls(
+            keys=tuple(key.name for key in policy.keys),
+            name=None if policy.name == derived else policy.name,
+        )
+
+    def build(self) -> KeyPolicy:
+        """Rebuild the concrete policy (fresh instance, never shared)."""
+        from repro.core.keys import key_by_name
+
+        return KeyPolicy(
+            [key_by_name(name) for name in self.keys], name=self.name,
+        )
+
+    @property
+    def label(self) -> str:
+        """Display name, matching what the built policy reports."""
+        return self.name or "/".join(self.keys[:2])
+
+
+@dataclass(frozen=True)
+class SimOptions:
+    """Simulator options that shape the outcome of a run.
+
+    Every field here is part of the result-cache key: changing any option
+    **must** bust the cache rather than return a stale result.
+    """
+
+    seed: int = 0
+    use_heap_index: bool = True
+    track_positions_every: int = 0
+
+    def cache_fields(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "use_heap_index": self.use_heap_index,
+            "track_positions_every": self.track_positions_every,
+        }
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One cell of the sweep grid: a policy at a capacity, with options.
+
+    ``name`` is a display label only — it is *not* part of the cache key,
+    so the same simulation labelled differently is still one cached run.
+    """
+
+    spec: PolicySpec
+    capacity: Optional[int]
+    options: SimOptions = SimOptions()
+    name: str = ""
+
+    def cache_fields(self, trace_hash: str) -> Dict[str, object]:
+        fields: Dict[str, object] = {
+            "engine": ENGINE_VERSION,
+            "trace": trace_hash,
+            "keys": list(self.spec.keys),
+            "policy_name": self.spec.name,
+            "capacity": self.capacity,
+        }
+        fields.update(self.options.cache_fields())
+        return fields
+
+
+def trace_fingerprint(trace: Sequence[Request]) -> str:
+    """Content hash of a decoded trace (the fields the simulator reads).
+
+    Hashes ``(timestamp, url, size, doc_type)`` per request, so any
+    change that could perturb a simulation changes the fingerprint while
+    re-decoding an identical log file does not.
+    """
+    digest = hashlib.sha256()
+    for request in trace:
+        doc_type = request.doc_type.value if request.doc_type else ""
+        digest.update(
+            f"{request.timestamp!r}\x1f{request.url}\x1f"
+            f"{request.size}\x1f{doc_type}\n".encode("utf-8")
+        )
+    return digest.hexdigest()
+
+
+# -- portable results ---------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Occupancy/eviction counters standing in for a live ``SimCache``.
+
+    Results that crossed a process boundary or were loaded from the
+    result cache cannot carry the cache object itself; this shim exposes
+    the fields reports and figures actually read.
+    """
+
+    capacity: Optional[int]
+    used_bytes: int
+    max_used_bytes: int
+    eviction_count: int
+    evicted_bytes: int
+    policy: KeyPolicy
+
+
+def result_to_record(result: SimulationResult) -> dict:
+    """Flatten a simulation result into a JSON-serialisable record."""
+    metrics = result.metrics
+    return {
+        "name": result.name,
+        "policy_name": result.policy_name,
+        "capacity": result.capacity,
+        "days": {
+            str(day): [
+                stats.requests, stats.hits,
+                stats.bytes_requested, stats.bytes_hit,
+            ]
+            for day, stats in metrics.days.items()
+        },
+        "totals": [
+            metrics.total_requests, metrics.total_hits,
+            metrics.total_bytes_requested, metrics.total_bytes_hit,
+        ],
+        "outcomes": {
+            outcome.value: count
+            for outcome, count in result.outcomes.items()
+        },
+        "hit_positions": [list(pair) for pair in result.hit_positions],
+        "cache": {
+            "used_bytes": result.cache.used_bytes,
+            "max_used_bytes": result.cache.max_used_bytes,
+            "eviction_count": result.cache.eviction_count,
+            "evicted_bytes": result.cache.evicted_bytes,
+        },
+        "policy_keys": (
+            [key.name for key in result.cache.policy.keys]
+            if isinstance(result.cache.policy, KeyPolicy) else []
+        ),
+    }
+
+
+def record_to_result(record: dict) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` (with a :class:`CacheStats`
+    shim in place of the live cache) from a flattened record."""
+    metrics = MetricsCollector()
+    for day, (requests, hits, bytes_requested, bytes_hit) in sorted(
+        record["days"].items(), key=lambda item: int(item[0]),
+    ):
+        metrics.days[int(day)] = DayStats(
+            requests=requests, hits=hits,
+            bytes_requested=bytes_requested, bytes_hit=bytes_hit,
+        )
+    (metrics.total_requests, metrics.total_hits,
+     metrics.total_bytes_requested, metrics.total_bytes_hit) = (
+        record["totals"]
+    )
+    outcomes: Counter = Counter({
+        AccessOutcome(value): count
+        for value, count in record["outcomes"].items()
+    })
+    keys = record.get("policy_keys") or []
+    if keys:
+        policy = PolicySpec(
+            keys=tuple(keys),
+            name=record["policy_name"],
+        ).build()
+    else:  # pragma: no cover - key policies always carry their keys
+        policy = KeyPolicy.__new__(KeyPolicy)
+        policy.name = record["policy_name"]
+    shim = CacheStats(capacity=record["capacity"], policy=policy,
+                      **record["cache"])
+    return SimulationResult(
+        name=record["name"],
+        policy_name=record["policy_name"],
+        capacity=record["capacity"],
+        metrics=metrics,
+        cache=shim,  # type: ignore[arg-type]
+        outcomes=outcomes,
+        hit_positions=[tuple(pair) for pair in record["hit_positions"]],
+    )
+
+
+# -- the on-disk result cache -------------------------------------------------
+
+
+class ResultCache:
+    """Directory of memoized sweep runs, one JSON file per cache key.
+
+    The key covers the trace content hash, the full policy spec, the
+    capacity, every simulator option, and :data:`ENGINE_VERSION` — any
+    input that could change a result busts the cache (see
+    :meth:`SweepJob.cache_fields`).  Display names are excluded, so
+    relabelled reruns of the same simulation still hit.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @staticmethod
+    def key_for(job: SweepJob, trace_hash: str) -> str:
+        """Deterministic key for one job against one trace."""
+        canonical = json.dumps(
+            job.cache_fields(trace_hash), sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, job: SweepJob, trace_hash: str) -> Optional[dict]:
+        """The stored record for a job, or ``None`` (counted as a miss)."""
+        path = self._path(self.key_for(job, trace_hash))
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, job: SweepJob, trace_hash: str, record: dict) -> Path:
+        """Store a completed run (atomically, for concurrent sweeps)."""
+        path = self._path(self.key_for(job, trace_hash))
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(record), encoding="utf-8")
+        os.replace(tmp, path)
+        self.stores += 1
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits, "misses": self.misses, "stores": self.stores,
+        }
+
+
+# -- execution ----------------------------------------------------------------
+
+#: Trace installed into each worker process by the pool initializer, so
+#: the (large) request list is shipped once per worker, not once per job.
+_WORKER_TRACE: Optional[Sequence[Request]] = None
+
+
+def _init_worker(trace: Sequence[Request]) -> None:
+    global _WORKER_TRACE
+    _WORKER_TRACE = trace
+
+
+def _execute(trace: Sequence[Request], job: SweepJob) -> SimulationResult:
+    """Run one job against the shared trace (worker and serial path)."""
+    options = job.options
+    cache = SimCache(
+        capacity=job.capacity,
+        policy=job.spec.build(),
+        seed=options.seed,
+        use_heap_index=options.use_heap_index,
+    )
+    return simulate(
+        trace, cache, name=job.name or job.spec.label,
+        track_positions_every=options.track_positions_every,
+    )
+
+
+def _run_job_in_worker(payload: Tuple[int, SweepJob]) -> Tuple[int, float, dict]:
+    index, job = payload
+    start = time.perf_counter()
+    result = _execute(_WORKER_TRACE, job)
+    return index, time.perf_counter() - start, result_to_record(result)
+
+
+@dataclass
+class JobResult:
+    """One grid cell's outcome, with provenance."""
+
+    job: SweepJob
+    result: SimulationResult
+    seconds: float
+    from_cache: bool
+
+
+@dataclass
+class SweepReport:
+    """All results of one sweep, in job order, plus engine telemetry."""
+
+    results: List[JobResult]
+    wall_seconds: float
+    workers: int
+    trace_hash: str
+    trace_requests: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def by_name(self) -> Dict[str, SimulationResult]:
+        """Results keyed by job display name (order-preserving)."""
+        return {jr.result.name: jr.result for jr in self.results}
+
+    @property
+    def simulated_requests(self) -> int:
+        """Requests actually replayed (cache hits replay nothing)."""
+        return self.trace_requests * sum(
+            1 for jr in self.results if not jr.from_cache
+        )
+
+    @property
+    def requests_per_second(self) -> float:
+        """Aggregate simulated-request throughput of the whole sweep."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.simulated_requests / self.wall_seconds
+
+    def summary(self) -> dict:
+        """Engine telemetry as a plain dict (for BENCH_sweep.json)."""
+        return {
+            "jobs": len(self.results),
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "trace_requests": self.trace_requests,
+            "simulated_requests": self.simulated_requests,
+            "requests_per_second": self.requests_per_second,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "per_job_seconds": {
+                jr.result.name: jr.seconds for jr in self.results
+            },
+        }
+
+
+def run_sweep(
+    trace: Sequence[Request],
+    jobs: Sequence[SweepJob],
+    workers: int = 1,
+    result_cache: Optional[ResultCache] = None,
+    trace_hash: Optional[str] = None,
+) -> SweepReport:
+    """Run a policy x capacity grid over one shared, already-decoded trace.
+
+    Args:
+        trace: the validated request list, decoded exactly once by the
+            caller and shared (by fork/pickle) with every worker.
+        jobs: the grid cells; results come back in the same order.
+        workers: process count.  ``1`` runs everything in-process (the
+            serial fallback); higher values fan uncached jobs out over a
+            :class:`ProcessPoolExecutor`.
+        result_cache: optional :class:`ResultCache`; completed runs are
+            looked up before simulating and stored after.
+        trace_hash: precomputed :func:`trace_fingerprint`, for callers
+            sweeping the same trace repeatedly.
+
+    Returns:
+        a :class:`SweepReport` whose ``results`` align 1:1 with ``jobs``.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    start = time.perf_counter()
+    if trace_hash is None and result_cache is not None:
+        trace_hash = trace_fingerprint(trace)
+    slots: List[Optional[JobResult]] = [None] * len(jobs)
+
+    pending: List[Tuple[int, SweepJob]] = []
+    cache_hits = 0
+    for index, job in enumerate(jobs):
+        record = (
+            result_cache.get(job, trace_hash)
+            if result_cache is not None else None
+        )
+        if record is not None:
+            record = dict(record, name=job.name or job.spec.label)
+            slots[index] = JobResult(
+                job=job, result=record_to_result(record),
+                seconds=0.0, from_cache=True,
+            )
+            cache_hits += 1
+        else:
+            pending.append((index, job))
+
+    def finish(index: int, seconds: float, record: dict) -> None:
+        job = jobs[index]
+        if result_cache is not None:
+            result_cache.put(job, trace_hash, record)
+        slots[index] = JobResult(
+            job=job, result=record_to_result(record),
+            seconds=seconds, from_cache=False,
+        )
+
+    if pending and workers > 1:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)),
+            initializer=_init_worker,
+            initargs=(trace,),
+        ) as pool:
+            for index, seconds, record in pool.map(
+                _run_job_in_worker, pending,
+            ):
+                finish(index, seconds, record)
+    else:
+        for index, job in pending:
+            job_start = time.perf_counter()
+            result = _execute(trace, job)
+            finish(
+                index, time.perf_counter() - job_start,
+                result_to_record(result),
+            )
+
+    return SweepReport(
+        results=[slot for slot in slots if slot is not None],
+        wall_seconds=time.perf_counter() - start,
+        workers=workers,
+        trace_hash=trace_hash or "",
+        trace_requests=len(trace),
+        cache_hits=cache_hits,
+        cache_misses=len(pending),
+    )

@@ -1,0 +1,92 @@
+"""Golden regression tests for the Figures 8-12 reproduction numbers.
+
+The seed-state HR/WHR of every primary key on every workload — as
+committed in ``benchmarks/results/fig08_12_primary_keys.txt`` (scale
+0.05, seed 1996, cache at 10% of MaxNeeded) — is frozen here and the
+sweep engine must reproduce each value exactly (tolerance 0 at the
+artifact's two-decimal precision) on the bundled synthetic traces.  Any
+drift means either the workload generator or the simulator changed
+behaviour, which invalidates every committed artifact.
+"""
+
+import pytest
+
+from repro.core.experiments import primary_key_sweep, run_infinite_cache
+from repro.core.sweep import ResultCache
+from repro.workloads import generate_valid
+
+GOLDEN_SCALE = 0.05
+GOLDEN_SEED = 1996
+GOLDEN_FRACTION = 0.10
+
+#: (HR%, WHR%) per primary key, per workload, copied verbatim from
+#: benchmarks/results/fig08_12_primary_keys.txt at the seed state.
+GOLDEN_HR_WHR = {
+    "U": {
+        "SIZE": (48.30, 24.52), "LOG2SIZE": (47.90, 24.65),
+        "ETIME": (38.35, 26.60), "ATIME": (40.73, 27.84),
+        "DAY(ATIME)": (40.65, 27.83), "NREF": (43.09, 25.63),
+    },
+    "G": {
+        "SIZE": (46.30, 12.22), "LOG2SIZE": (46.18, 12.90),
+        "ETIME": (34.43, 16.19), "ATIME": (36.57, 16.62),
+        "DAY(ATIME)": (36.65, 16.91), "NREF": (35.67, 14.05),
+    },
+    "C": {
+        "SIZE": (55.91, 33.47), "LOG2SIZE": (56.44, 35.22),
+        "ETIME": (50.17, 38.91), "ATIME": (52.01, 39.74),
+        "DAY(ATIME)": (52.01, 39.74), "NREF": (50.63, 39.07),
+    },
+    "BL": {
+        "SIZE": (39.61, 14.05), "LOG2SIZE": (39.20, 14.01),
+        "ETIME": (26.95, 15.64), "ATIME": (29.51, 16.37),
+        "DAY(ATIME)": (29.99, 16.72), "NREF": (26.39, 11.65),
+    },
+    "BR": {
+        "SIZE": (83.49, 12.74), "LOG2SIZE": (83.09, 12.46),
+        "ETIME": (64.04, 15.47), "ATIME": (67.95, 16.58),
+        "DAY(ATIME)": (67.66, 16.10), "NREF": (73.41, 16.93),
+    },
+}
+
+
+@pytest.fixture(scope="module", params=sorted(GOLDEN_HR_WHR))
+def workload_sweep(request):
+    workload = request.param
+    trace = generate_valid(workload, seed=GOLDEN_SEED, scale=GOLDEN_SCALE)
+    infinite = run_infinite_cache(trace, workload)
+    sweep = primary_key_sweep(
+        trace, infinite.max_used_bytes, GOLDEN_FRACTION, seed=0,
+    )
+    return workload, sweep
+
+
+def test_sweep_engine_reproduces_golden_numbers(workload_sweep):
+    workload, sweep = workload_sweep
+    golden = GOLDEN_HR_WHR[workload]
+    assert set(sweep) == set(golden)
+    for key, (golden_hr, golden_whr) in golden.items():
+        assert round(sweep[key].hit_rate, 2) == golden_hr, (workload, key)
+        assert round(sweep[key].weighted_hit_rate, 2) == golden_whr, (
+            workload, key,
+        )
+
+
+def test_cached_replay_reproduces_golden_numbers(tmp_path):
+    """The result cache serves the same golden numbers it stored."""
+    workload = "C"
+    trace = generate_valid(workload, seed=GOLDEN_SEED, scale=GOLDEN_SCALE)
+    infinite = run_infinite_cache(trace, workload)
+    cache = ResultCache(tmp_path)
+    primary_key_sweep(
+        trace, infinite.max_used_bytes, GOLDEN_FRACTION, seed=0,
+        result_cache=cache,
+    )
+    cached = primary_key_sweep(
+        trace, infinite.max_used_bytes, GOLDEN_FRACTION, seed=0,
+        result_cache=cache,
+    )
+    assert cache.hits == len(GOLDEN_HR_WHR[workload])
+    for key, (golden_hr, golden_whr) in GOLDEN_HR_WHR[workload].items():
+        assert round(cached[key].hit_rate, 2) == golden_hr, key
+        assert round(cached[key].weighted_hit_rate, 2) == golden_whr, key

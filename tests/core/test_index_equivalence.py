@@ -6,11 +6,13 @@ divergence in hit sequence, eviction order, or final contents between
 :class:`HeapIndex` and :class:`NaiveIndex` is a bug.
 """
 
+import itertools
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import KeyPolicy, SimCache, taxonomy_policies
+from repro.core import RANDOM, TAXONOMY_KEYS, KeyPolicy, SimCache, taxonomy_policies
 from repro.trace import Request
 
 POLICIES = taxonomy_policies()
@@ -62,6 +64,49 @@ def test_heap_equals_naive(policy_index, trace, capacity):
     assert heap_out == naive_out
     assert heap_cache.used_bytes == naive_cache.used_bytes
     assert heap_cache.eviction_count == naive_cache.eviction_count
+
+
+#: Primary/secondary pairs of distinct Table 1 keys — the RANDOM tertiary
+#: tie-break is appended implicitly by KeyPolicy, which is exactly the
+#: configuration under test below.
+TERTIARY_PAIRS = [
+    (primary, secondary)
+    for primary, secondary in itertools.permutations(TAXONOMY_KEYS, 2)
+]
+
+
+@given(
+    pair=st.sampled_from(TERTIARY_PAIRS),
+    trace=trace_strategy,
+    capacity=st.integers(min_value=50, max_value=900),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=120, deadline=None)
+def test_random_tertiary_key_heap_equals_naive(pair, trace, capacity, seed):
+    """With the implicit RANDOM tertiary tie-break and a fixed seed, the
+    heap and naive indexes produce identical eviction sequences for every
+    primary/secondary key pair.
+
+    RANDOM stamps are drawn per admitted copy from the cache's seeded
+    RNG, so two caches built with the same seed assign identical stamps
+    request-for-request — index choice must not change anything.
+    """
+    primary, secondary = pair
+    policy_keys = KeyPolicy([primary, secondary]).keys
+    assert policy_keys[-1] is RANDOM  # the tertiary tie-break is in play
+    heap_cache = SimCache(
+        capacity=capacity, policy=KeyPolicy([primary, secondary]),
+        seed=seed, use_heap_index=True,
+    )
+    naive_cache = SimCache(
+        capacity=capacity, policy=KeyPolicy([primary, secondary]),
+        seed=seed, use_heap_index=False,
+    )
+    heap_hits, heap_evictions, heap_urls = drive(heap_cache, trace)
+    naive_hits, naive_evictions, naive_urls = drive(naive_cache, trace)
+    assert heap_evictions == naive_evictions
+    assert heap_hits == naive_hits
+    assert heap_urls == naive_urls
 
 
 @given(trace=trace_strategy, capacity=st.integers(min_value=50, max_value=900))

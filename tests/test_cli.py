@@ -138,6 +138,47 @@ class TestParser:
             )
 
 
+class TestSweepCommand:
+    def test_sweep_on_synthetic_workload(self, capsys):
+        assert main([
+            "sweep", "--workload", "C", "--scale", "0.01",
+        ]) == 0
+        captured = capsys.readouterr().out
+        assert "36-policy sweep" in captured
+        assert "sweep engine: 36 runs" in captured
+        assert "SIZE/RANDOM" in captured
+
+    def test_sweep_result_cache_round_trip(self, tmp_path, capsys):
+        cache_dir = tmp_path / "sweep-cache"
+        args = [
+            "sweep", "--workload", "C", "--scale", "0.01",
+            "--cache-dir", str(cache_dir),
+        ]
+        assert main(args) == 0
+        assert "36 misses" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "36 hits / 0 misses" in capsys.readouterr().out
+
+    def test_sweep_on_trace_file(self, tmp_path, capsys):
+        out = tmp_path / "c.log"
+        main(["generate", "C", "--scale", "0.01", "--out", str(out)])
+        capsys.readouterr()
+        assert main(["sweep", str(out), "--workers", "2"]) == 0
+        assert str(out) in capsys.readouterr().out
+
+    def test_sweep_empty_trace(self, tmp_path):
+        empty = tmp_path / "empty.log"
+        empty.write_text("")
+        assert main(["sweep", str(empty)]) == 1
+
+    def test_experiment_2_accepts_workers(self, capsys):
+        assert main([
+            "experiment", "2", "--workload", "C", "--scale", "0.01",
+            "--workers", "2",
+        ]) == 0
+        assert "Experiment 2" in capsys.readouterr().out
+
+
 class TestMrcCommand:
     def test_mrc_output(self, tmp_path, capsys):
         out = tmp_path / "c.log"
