@@ -12,6 +12,8 @@ Commands:
 * ``report``       full reproduction run with the claims checklist
 * ``proxy``        start the live caching proxy
 * ``origin``       start the toy origin server
+* ``chaos``        replay a trace through the proxy under an injected
+  fault plan and report the degradation
 
 Examples::
 
@@ -22,6 +24,7 @@ Examples::
     python -m repro mrc bl.log --policy SIZE --policy GDSF
     python -m repro experiment 2 --workload BL --scale 0.05
     python -m repro sweep --workload BL --workers 4 --cache-dir .sweep-cache
+    python -m repro chaos --workload BL --scale 0.02 --drop-rate 0.2 --out chaos.json
     python -m repro report --out report.md
 """
 
@@ -393,6 +396,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def cmd_proxy(args: argparse.Namespace) -> int:
     from repro.proxy import CachingProxy, ConsistencyEstimator, ProxyStore
+    from repro.retry import RetryPolicy
 
     store = ProxyStore(
         capacity=args.capacity, policy=parse_policy(args.policy),
@@ -408,6 +412,10 @@ def cmd_proxy(args: argparse.Namespace) -> int:
         estimator=ConsistencyEstimator(default_ttl=args.ttl),
         host=args.host,
         port=args.port,
+        timeout=args.timeout,
+        retry_policy=RetryPolicy(
+            timeout=args.timeout, max_retries=args.retries,
+        ),
     ).start()
     print(f"caching proxy on {proxy.address[0]}:{proxy.address[1]} "
           f"({args.capacity / 2**20:.1f} MB, policy {store._cache.policy.name})")
@@ -417,7 +425,10 @@ def cmd_proxy(args: argparse.Namespace) -> int:
             time.sleep(5.0)
             print(f"  requests={proxy.stats.requests} "
                   f"HR={proxy.stats.hit_rate:.1f}% "
-                  f"stored={len(store)} used={store.used_bytes // 1024} kB")
+                  f"stored={len(store)} used={store.used_bytes // 1024} kB "
+                  f"retries={proxy.stats.retries} "
+                  f"stale={proxy.stats.stale_served} "
+                  f"errors={proxy.stats.errors}")
     except KeyboardInterrupt:
         pass
     finally:
@@ -505,6 +516,60 @@ def cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote reproduction report to {args.out}")
     else:
         print(text)
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Replay a trace through the live proxy under an injected fault
+    plan and report how gracefully it degraded."""
+    from repro.faults import FaultPlan
+    from repro.proxy.chaos import run_chaos
+    from repro.retry import RetryPolicy
+
+    if args.trace:
+        valid, _ = _load_valid_trace(args.trace, args.epoch)
+        label = args.trace
+    else:
+        valid = generate(
+            args.workload, seed=args.seed, scale=args.scale,
+        ).valid()
+        label = f"workload {args.workload} at scale {args.scale}"
+    if not valid:
+        print("trace contains no valid requests", file=sys.stderr)
+        return 1
+    if args.fault_plan:
+        plan = FaultPlan.load(args.fault_plan)
+        plan_label = args.fault_plan
+    else:
+        plan = FaultPlan.basic(
+            drop=args.drop_rate,
+            error=args.error_rate,
+            truncate=args.truncate_rate,
+            seed=args.seed,
+        )
+        plan_label = (
+            f"drop={args.drop_rate} error={args.error_rate} "
+            f"truncate={args.truncate_rate}"
+        )
+    report = run_chaos(
+        valid,
+        plan,
+        fraction=args.fraction,
+        policy=parse_policy(args.policy),
+        ttl=args.ttl if args.ttl > 0 else None,
+        retry_policy=RetryPolicy(
+            timeout=args.timeout,
+            max_retries=args.retries,
+            backoff_base=0.01,
+            max_backoff=0.25,
+        ),
+    )
+    print(f"chaos replay of {label} ({len(valid):,} requests) "
+          f"under fault plan [{plan_label}]\n")
+    print(report.render())
+    if args.out:
+        report.write(args.out)
+        print(f"\nwrote degradation report to {args.out}")
     return 0
 
 
@@ -615,7 +680,47 @@ def build_parser() -> argparse.ArgumentParser:
     proxy.add_argument("--port", type=int, default=8080)
     proxy.add_argument("--origin", default="",
                        help="route every request to this host:port")
+    proxy.add_argument("--timeout", type=float, default=5.0,
+                       help="per-attempt origin timeout, seconds")
+    proxy.add_argument("--retries", type=int, default=2,
+                       help="origin fetch retries after the first attempt")
     proxy.set_defaults(func=cmd_proxy)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help=(
+            "replay a trace through the proxy under an injected fault "
+            "plan and report the degradation"
+        ),
+    )
+    chaos.add_argument("trace", nargs="?", default="",
+                       help="CLF trace (synthesises --workload when omitted)")
+    chaos.add_argument("--epoch", type=float, default=800_000_000.0)
+    chaos.add_argument("--workload", default="BL", choices=sorted(PROFILES))
+    chaos.add_argument("--scale", type=float, default=0.02)
+    chaos.add_argument("--seed", type=int, default=1996)
+    chaos.add_argument("--fraction", type=float, default=0.25,
+                       help="store size as a fraction of the unique footprint")
+    chaos.add_argument("--policy", default="SIZE")
+    chaos.add_argument("--ttl", type=float, default=0.0,
+                       help="pinned freshness TTL, seconds (0 = auto from "
+                            "the trace span)")
+    chaos.add_argument("--fault-plan", default="",
+                       help="JSON fault plan file (overrides the --*-rate "
+                            "flags)")
+    chaos.add_argument("--drop-rate", type=float, default=0.2,
+                       help="fraction of origin connections dropped")
+    chaos.add_argument("--error-rate", type=float, default=0.0,
+                       help="fraction of origin responses turned into 503s")
+    chaos.add_argument("--truncate-rate", type=float, default=0.0,
+                       help="fraction of origin responses truncated")
+    chaos.add_argument("--timeout", type=float, default=1.0,
+                       help="per-attempt origin timeout, seconds")
+    chaos.add_argument("--retries", type=int, default=2,
+                       help="origin fetch retries after the first attempt")
+    chaos.add_argument("--out", default="",
+                       help="write the JSON degradation report here")
+    chaos.set_defaults(func=cmd_chaos)
 
     origin = commands.add_parser("origin", help="run the toy origin server")
     origin.add_argument("--host", default="127.0.0.1")

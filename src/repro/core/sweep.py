@@ -30,10 +30,11 @@ import json
 import os
 import time
 from collections import Counter
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.cache import AccessOutcome, SimCache
 from repro.core.metrics import DayStats, MetricsCollector
@@ -43,6 +44,7 @@ from repro.trace.record import Request
 
 __all__ = [
     "ENGINE_VERSION",
+    "RESULT_SCHEMA_VERSION",
     "PolicySpec",
     "SimOptions",
     "SweepJob",
@@ -57,6 +59,11 @@ __all__ = [
 #: Bumped whenever simulation semantics change in a way that invalidates
 #: previously cached results.  Part of every result-cache key.
 ENGINE_VERSION = 1
+
+#: On-disk envelope format of :class:`ResultCache` entries.  Bumped when
+#: the envelope (not the simulation) changes; entries with any other
+#: version are quarantined and recomputed, never silently reinterpreted.
+RESULT_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -264,6 +271,13 @@ class ResultCache:
     input that could change a result busts the cache (see
     :meth:`SweepJob.cache_fields`).  Display names are excluded, so
     relabelled reruns of the same simulation still hit.
+
+    Integrity: entries are stored in an envelope carrying
+    :data:`RESULT_SCHEMA_VERSION` and a SHA-256 checksum of the record.
+    A file that fails to parse, fails the checksum, or carries another
+    schema version is *quarantined* — moved into a ``quarantine/``
+    subdirectory, counted in ``corrupt_entries``, and treated as a miss
+    so the run is recomputed rather than crashing or silently skipping.
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
@@ -272,6 +286,11 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt_entries = 0
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
 
     @staticmethod
     def key_for(job: SweepJob, trace_hash: str) -> str:
@@ -281,15 +300,50 @@ class ResultCache:
         )
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
+    @staticmethod
+    def checksum(record: dict) -> str:
+        """Content hash of a result record (canonical JSON)."""
+        canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a bad entry aside (kept for post-mortems, never reread)."""
+        self.corrupt_entries += 1
+        try:
+            self.quarantine_dir.mkdir(exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:  # pragma: no cover - racing cleanup
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
     def get(self, job: SweepJob, trace_hash: str) -> Optional[dict]:
-        """The stored record for a job, or ``None`` (counted as a miss)."""
+        """The stored record for a job, or ``None`` (counted as a miss).
+
+        Corrupt, truncated, tampered, or stale-schema entries are
+        quarantined and reported as misses.
+        """
         path = self._path(self.key_for(job, trace_hash))
         try:
-            record = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            envelope = json.loads(text)
+            if not isinstance(envelope, dict) or "record" not in envelope:
+                raise ValueError("not a result envelope")
+            if envelope.get("schema") != RESULT_SCHEMA_VERSION:
+                raise ValueError("stale schema version")
+            record = envelope["record"]
+            if envelope.get("checksum") != self.checksum(record):
+                raise ValueError("checksum mismatch")
+        except (ValueError, TypeError):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
@@ -298,8 +352,13 @@ class ResultCache:
     def put(self, job: SweepJob, trace_hash: str, record: dict) -> Path:
         """Store a completed run (atomically, for concurrent sweeps)."""
         path = self._path(self.key_for(job, trace_hash))
+        envelope = {
+            "schema": RESULT_SCHEMA_VERSION,
+            "checksum": self.checksum(record),
+            "record": record,
+        }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(record), encoding="utf-8")
+        tmp.write_text(json.dumps(envelope), encoding="utf-8")
         os.replace(tmp, path)
         self.stores += 1
         return path
@@ -309,7 +368,10 @@ class ResultCache:
 
     def stats(self) -> Dict[str, int]:
         return {
-            "hits": self.hits, "misses": self.misses, "stores": self.stores,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt_entries": self.corrupt_entries,
         }
 
 
@@ -319,10 +381,17 @@ class ResultCache:
 #: the (large) request list is shipped once per worker, not once per job.
 _WORKER_TRACE: Optional[Sequence[Request]] = None
 
+#: Job indices at which a worker kills itself (fault injection: the
+#: deterministic stand-in for OOM kills and segfaults mid-grid).
+_WORKER_KILL_INDICES: frozenset = frozenset()
 
-def _init_worker(trace: Sequence[Request]) -> None:
-    global _WORKER_TRACE
+
+def _init_worker(
+    trace: Sequence[Request], kill_indices: frozenset = frozenset(),
+) -> None:
+    global _WORKER_TRACE, _WORKER_KILL_INDICES
     _WORKER_TRACE = trace
+    _WORKER_KILL_INDICES = kill_indices
 
 
 def _execute(trace: Sequence[Request], job: SweepJob) -> SimulationResult:
@@ -342,6 +411,10 @@ def _execute(trace: Sequence[Request], job: SweepJob) -> SimulationResult:
 
 def _run_job_in_worker(payload: Tuple[int, SweepJob]) -> Tuple[int, float, dict]:
     index, job = payload
+    if index in _WORKER_KILL_INDICES:
+        # Injected crash: die the way a real worker does — no exception,
+        # no cleanup — so the parent sees a broken pool, not an error.
+        os._exit(73)
     start = time.perf_counter()
     result = _execute(_WORKER_TRACE, job)
     return index, time.perf_counter() - start, result_to_record(result)
@@ -368,6 +441,15 @@ class SweepReport:
     trace_requests: int
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Job executions re-attempted after a worker crash or job failure.
+    retried_jobs: int = 0
+    #: Jobs that completed successfully after at least one failure.
+    recovered_jobs: int = 0
+    #: Times the process pool broke and was rebuilt (worker death).
+    pool_restarts: int = 0
+    #: Jobs that finished on the in-process fallback path after the
+    #: pool-retry budget was exhausted.
+    fallback_jobs: int = 0
 
     def by_name(self) -> Dict[str, SimulationResult]:
         """Results keyed by job display name (order-preserving)."""
@@ -398,6 +480,10 @@ class SweepReport:
             "requests_per_second": self.requests_per_second,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "retried_jobs": self.retried_jobs,
+            "recovered_jobs": self.recovered_jobs,
+            "pool_restarts": self.pool_restarts,
+            "fallback_jobs": self.fallback_jobs,
             "per_job_seconds": {
                 jr.result.name: jr.seconds for jr in self.results
             },
@@ -410,8 +496,16 @@ def run_sweep(
     workers: int = 1,
     result_cache: Optional[ResultCache] = None,
     trace_hash: Optional[str] = None,
+    fault_plan=None,
+    max_pool_restarts: int = 2,
 ) -> SweepReport:
     """Run a policy x capacity grid over one shared, already-decoded trace.
+
+    Worker crashes do not abort the grid: jobs lost to a broken pool are
+    resubmitted to a fresh pool (up to ``max_pool_restarts`` rebuilds)
+    and, past that budget, finished on the in-process serial path — so a
+    sweep always returns every result, bit-identical to a serial run,
+    because each job is self-contained and seeds its own RNG.
 
     Args:
         trace: the validated request list, decoded exactly once by the
@@ -424,6 +518,12 @@ def run_sweep(
             looked up before simulating and stored after.
         trace_hash: precomputed :func:`trace_fingerprint`, for callers
             sweeping the same trace repeatedly.
+        fault_plan: optional :class:`~repro.faults.FaultPlan` (anything
+            with a ``kill_indices()`` method); a worker that picks up a
+            job whose index is listed dies mid-grid.  Kills are one-shot:
+            retries run without them.
+        max_pool_restarts: pool rebuilds before falling back to
+            in-process execution for whatever is still unfinished.
 
     Returns:
         a :class:`SweepReport` whose ``results`` align 1:1 with ``jobs``.
@@ -452,7 +552,14 @@ def run_sweep(
         else:
             pending.append((index, job))
 
+    retried_jobs = 0
+    recovered_jobs = 0
+    pool_restarts = 0
+    fallback_jobs = 0
+    failed_once: Set[int] = set()
+
     def finish(index: int, seconds: float, record: dict) -> None:
+        nonlocal recovered_jobs
         job = jobs[index]
         if result_cache is not None:
             result_cache.put(job, trace_hash, record)
@@ -460,25 +567,70 @@ def run_sweep(
             job=job, result=record_to_result(record),
             seconds=seconds, from_cache=False,
         )
+        if index in failed_once:
+            recovered_jobs += 1
 
-    if pending and workers > 1:
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(pending)),
-            initializer=_init_worker,
-            initargs=(trace,),
-        ) as pool:
-            for index, seconds, record in pool.map(
-                _run_job_in_worker, pending,
-            ):
-                finish(index, seconds, record)
-    else:
-        for index, job in pending:
-            job_start = time.perf_counter()
-            result = _execute(trace, job)
-            finish(
-                index, time.perf_counter() - job_start,
-                result_to_record(result),
-            )
+    remaining = list(pending)
+    if remaining and workers > 1:
+        kill_indices = (
+            frozenset(fault_plan.kill_indices())
+            if fault_plan is not None else frozenset()
+        )
+        rounds = 0
+        while remaining and rounds <= max_pool_restarts:
+            completed: Set[int] = set()
+            pool_broke = False
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(remaining)),
+                    initializer=_init_worker,
+                    initargs=(trace, kill_indices),
+                ) as pool:
+                    futures = {
+                        pool.submit(_run_job_in_worker, payload): payload
+                        for payload in remaining
+                    }
+                    for future in as_completed(futures):
+                        try:
+                            index, seconds, record = future.result()
+                        except BrokenProcessPool:
+                            pool_broke = True
+                        except Exception:
+                            # Job-level failure (not a dead worker):
+                            # retried too; a permanent failure surfaces
+                            # from the in-process fallback with a real
+                            # traceback.
+                            pass
+                        else:
+                            finish(index, seconds, record)
+                            completed.add(index)
+            except BrokenProcessPool:
+                # The pool died while submitting or shutting down.
+                pool_broke = True
+            failures = [
+                payload for payload in remaining
+                if payload[0] not in completed
+            ]
+            if failures:
+                if pool_broke:
+                    pool_restarts += 1
+                retried_jobs += len(failures)
+                failed_once.update(index for index, _ in failures)
+                # Scheduled worker kills are one-shot faults.
+                kill_indices = frozenset()
+                rounds += 1
+            remaining = failures
+
+    for index, job in remaining:
+        if index in failed_once:
+            fallback_jobs += 1
+        job_start = time.perf_counter()
+        result = _execute(trace, job)
+        finish(
+            index, time.perf_counter() - job_start,
+            result_to_record(result),
+        )
+    # (workers == 1 lands here directly: the plain serial path.)
 
     return SweepReport(
         results=[slot for slot in slots if slot is not None],
@@ -488,4 +640,8 @@ def run_sweep(
         trace_requests=len(trace),
         cache_hits=cache_hits,
         cache_misses=len(pending),
+        retried_jobs=retried_jobs,
+        recovered_jobs=recovered_jobs,
+        pool_restarts=pool_restarts,
+        fallback_jobs=fallback_jobs,
     )

@@ -1,0 +1,340 @@
+"""Deterministic fault injection for the proxy and the sweep engine.
+
+A :class:`FaultPlan` is a seeded, serialisable schedule of failures:
+dropped connections, delayed responses, truncated bodies, 5xx errors
+(origin-side faults consumed by :class:`FaultyOriginServer`), and
+worker kills (consumed by :func:`repro.core.sweep.run_sweep`).  Every
+decision is a pure function of ``(plan seed, event index, rule index)``,
+so a chaos run replays bit-identically: the same plan against the same
+trace injects the same faults in the same places.
+
+Fault *events* are origin contacts: the injector assigns each incoming
+origin request the next event index and asks every rule whether it
+fires.  Rules select events by probability (a seeded coin), explicit
+indices, an ``every``-nth stride, or URL substring, and can be limited
+to conditional (``If-Modified-Since``) requests — the revalidation
+traffic whose failure exercises the proxy's stale-if-error path.
+
+``KILL_WORKER`` rules are different: their ``at`` indices name *sweep
+job indices*, and the sweep engine arranges for the worker process that
+picks up such a job to die mid-grid (see ``run_sweep``'s fault_plan
+argument).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import socket
+import threading
+import time as _time
+from collections import Counter
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.httpnet.message import HttpMessageError, HttpRequest, HttpResponse
+from repro.proxy.origin import OriginServer, SyntheticSite, _read_request
+
+__all__ = [
+    "FaultKind",
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultyOriginServer",
+]
+
+
+class FaultKind(str, enum.Enum):
+    """The failure modes a plan can schedule."""
+
+    DROP = "drop"                # close the connection without responding
+    DELAY = "delay"              # sleep before responding normally
+    TRUNCATE = "truncate"        # send a prefix of the response body
+    ERROR = "error"              # respond with a 5xx status
+    KILL_WORKER = "kill_worker"  # a sweep worker exits mid-job
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One line of a fault plan: which events fail, and how.
+
+    Selection fields compose with AND: an event fires the rule when it
+    matches ``at``/``every``/``after``, the URL filter, the
+    conditional-only filter, the remaining ``limit`` budget, and the
+    seeded coin all at once.
+
+    Args:
+        kind: the failure mode.
+        probability: chance an eligible event fires (seeded coin; 1.0
+            fires every eligible event).
+        at: explicit 0-based event indices (job indices for
+            ``KILL_WORKER`` rules); empty = any index.
+        every: fire only every Nth event (1-based stride; 0 = any).
+        after: ignore events before this index.
+        limit: total fires allowed (0 = unlimited).
+        url_substring: only URLs containing this substring.
+        conditional_only: only conditional (If-Modified-Since) requests
+            — i.e. the proxy's revalidation traffic.
+        delay_seconds: sleep for ``DELAY`` rules.
+        truncate_to: body bytes kept for ``TRUNCATE`` rules.
+        status: response code for ``ERROR`` rules.
+    """
+
+    kind: FaultKind
+    probability: float = 1.0
+    at: Tuple[int, ...] = ()
+    every: int = 0
+    after: int = 0
+    limit: int = 0
+    url_substring: str = ""
+    conditional_only: bool = False
+    delay_seconds: float = 0.1
+    truncate_to: int = 32
+    status: int = 503
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", FaultKind(self.kind))
+        object.__setattr__(self, "at", tuple(self.at))
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.every < 0 or self.after < 0 or self.limit < 0:
+            raise ValueError("every/after/limit must be >= 0")
+        if not 500 <= self.status <= 599:
+            raise ValueError("ERROR rules must use a 5xx status")
+
+    def matches(self, index: int, url: str, conditional: bool) -> bool:
+        """Deterministic (coin-free) eligibility of event ``index``."""
+        if self.at and index not in self.at:
+            return False
+        if self.every and (index + 1) % self.every != 0:
+            return False
+        if index < self.after:
+            return False
+        if self.url_substring and self.url_substring not in url:
+            return False
+        if self.conditional_only and not conditional:
+            return False
+        return True
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {"kind": self.kind.value}
+        for spec in fields(self):
+            if spec.name == "kind":
+                continue
+            value = getattr(self, spec.name)
+            if value != spec.default:
+                record[spec.name] = list(value) if spec.name == "at" else value
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "FaultRule":
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(record) - known
+        if unknown:
+            raise ValueError(f"unknown fault rule fields {sorted(unknown)}")
+        kwargs = dict(record)
+        if "at" in kwargs:
+            kwargs["at"] = tuple(kwargs["at"])  # type: ignore[arg-type]
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serialisable set of fault rules."""
+
+    rules: Tuple[FaultRule, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    @classmethod
+    def basic(
+        cls,
+        drop: float = 0.0,
+        error: float = 0.0,
+        delay: float = 0.0,
+        truncate: float = 0.0,
+        seed: int = 0,
+        delay_seconds: float = 0.1,
+    ) -> "FaultPlan":
+        """The common chaos mix: independent per-event probabilities for
+        each origin-side failure mode."""
+        rules = []
+        if drop:
+            rules.append(FaultRule(FaultKind.DROP, probability=drop))
+        if error:
+            rules.append(FaultRule(FaultKind.ERROR, probability=error))
+        if delay:
+            rules.append(FaultRule(
+                FaultKind.DELAY, probability=delay,
+                delay_seconds=delay_seconds,
+            ))
+        if truncate:
+            rules.append(FaultRule(FaultKind.TRUNCATE, probability=truncate))
+        return cls(rules=tuple(rules), seed=seed)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "FaultPlan":
+        rules = tuple(
+            FaultRule.from_dict(entry)
+            for entry in record.get("rules", ())  # type: ignore[union-attr]
+        )
+        return cls(rules=rules, seed=int(record.get("seed", 0)))  # type: ignore[arg-type]
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultPlan":
+        """Read a plan from a JSON file (the CLI's ``--fault-plan``)."""
+        record = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(record, dict):
+            raise ValueError(f"{path}: fault plan must be a JSON object")
+        return cls.from_dict(record)
+
+    def dump(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8",
+        )
+
+    def kill_indices(self) -> frozenset:
+        """Sweep job indices at which a worker should die."""
+        indices = set()
+        for rule in self.rules:
+            if rule.kind is FaultKind.KILL_WORKER:
+                indices.update(rule.at)
+        return frozenset(indices)
+
+    def injector(self) -> "FaultInjector":
+        return FaultInjector(self)
+
+
+class FaultInjector:
+    """Stateful, thread-safe executor of a :class:`FaultPlan`.
+
+    Each call to :meth:`next_fault` consumes one event index and returns
+    the first matching rule (plan order), or ``None``.  The coin for
+    ``(event, rule)`` is an independent seeded RNG, so outcomes do not
+    depend on how many other rules were consulted.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._event = 0
+        self._fired: Counter = Counter()
+        #: Fault counts by kind value, for chaos reports.
+        self.counts: Counter = Counter()
+
+    @property
+    def events(self) -> int:
+        """Events (origin contacts) seen so far."""
+        return self._event
+
+    def _coin(self, rule_index: int, event_index: int, p: float) -> bool:
+        if p >= 1.0:
+            return True
+        rng = __import__("random").Random(
+            (self.plan.seed * 1_000_003 + event_index) * 97 + rule_index
+        )
+        return rng.random() < p
+
+    def next_fault(
+        self, url: str = "", conditional: bool = False,
+    ) -> Optional[FaultRule]:
+        """Decide the fate of the next origin contact."""
+        with self._lock:
+            index = self._event
+            self._event += 1
+            for rule_index, rule in enumerate(self.plan.rules):
+                if rule.kind is FaultKind.KILL_WORKER:
+                    continue
+                if rule.limit and self._fired[rule_index] >= rule.limit:
+                    continue
+                if not rule.matches(index, url, conditional):
+                    continue
+                if not self._coin(rule_index, index, rule.probability):
+                    continue
+                self._fired[rule_index] += 1
+                self.counts[rule.kind.value] += 1
+                return rule
+        return None
+
+    def summary(self) -> Dict[str, int]:
+        """Events seen and faults injected, by kind."""
+        report = {"events": self._event}
+        report.update(sorted(self.counts.items()))
+        return report
+
+
+class FaultyOriginServer(OriginServer):
+    """An :class:`OriginServer` that fails on schedule.
+
+    Wraps the normal request handling with a :class:`FaultInjector`
+    consult: matched requests are dropped, delayed, truncated, or
+    answered with a 5xx instead of (or around) the synthetic document.
+    """
+
+    def __init__(
+        self,
+        injector: FaultInjector,
+        site: Optional[SyntheticSite] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 5.0,
+        sleep=_time.sleep,
+    ) -> None:
+        super().__init__(site=site, host=host, port=port, timeout=timeout)
+        self.injector = injector
+        self._sleep = sleep
+
+    def _handle(self, connection: socket.socket) -> None:
+        with connection:
+            try:
+                data = _read_request(connection, timeout=self.timeout)
+                request = HttpRequest.parse(data)
+            except (HttpMessageError, OSError):
+                return
+            self.request_count += 1
+            fault = self.injector.next_fault(
+                url=request.url,
+                conditional=request.if_modified_since is not None,
+            )
+            try:
+                self._respond_with_fault(connection, request, fault)
+            except OSError:  # pragma: no cover - client went away
+                pass
+
+    def _respond_with_fault(
+        self,
+        connection: socket.socket,
+        request: HttpRequest,
+        fault: Optional[FaultRule],
+    ) -> None:
+        if fault is None:
+            connection.sendall(self.respond(request).serialize())
+            return
+        if fault.kind is FaultKind.DROP:
+            return  # close without a byte: the client sees EOF
+        if fault.kind is FaultKind.ERROR:
+            connection.sendall(HttpResponse(
+                status=fault.status, headers={"X-Fault": "error"},
+            ).serialize())
+            return
+        if fault.kind is FaultKind.DELAY:
+            self._sleep(fault.delay_seconds)
+            connection.sendall(self.respond(request).serialize())
+            return
+        # TRUNCATE: full headers (so Content-Length promises the whole
+        # body) but only a prefix of the body itself.
+        raw = self.respond(request).serialize()
+        head, sep, body = raw.partition(b"\r\n\r\n")
+        connection.sendall(head + sep + body[:max(0, fault.truncate_to)])

@@ -12,13 +12,16 @@ cheap in a live server.
 * :mod:`repro.proxy.store` -- a thread-safe document store driven by any
   :mod:`repro.core` removal policy.
 * :mod:`repro.proxy.origin` -- a toy origin server for demos and tests.
-* :mod:`repro.proxy.server` -- the caching proxy itself.
+* :mod:`repro.proxy.server` -- the caching proxy itself (retries, per-origin
+  circuit breakers, stale-if-error serving; see :mod:`repro.retry`).
+* :mod:`repro.proxy.chaos` -- fault-injected trace replay and degradation
+  reports (see :mod:`repro.faults`).
 """
 
 from repro.proxy.consistency import ConsistencyEstimator, Freshness
 from repro.proxy.store import CachedDocument, ProxyStore, StoreStats
 from repro.proxy.origin import OriginServer, SyntheticSite
-from repro.proxy.server import CachingProxy, ProxyStats
+from repro.proxy.server import CachingProxy, OriginError, ProxyStats
 
 __all__ = [
     "ConsistencyEstimator",
@@ -29,5 +32,6 @@ __all__ = [
     "OriginServer",
     "SyntheticSite",
     "CachingProxy",
+    "OriginError",
     "ProxyStats",
 ]

@@ -87,8 +87,10 @@ class OriginServer:
         site: Optional[SyntheticSite] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        timeout: float = 5.0,
     ) -> None:
         self.site = site if site is not None else SyntheticSite()
+        self.timeout = timeout
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -137,7 +139,7 @@ class OriginServer:
     def _handle(self, connection: socket.socket) -> None:
         with connection:
             try:
-                data = _read_request(connection)
+                data = _read_request(connection, timeout=self.timeout)
                 request = HttpRequest.parse(data)
             except (HttpMessageError, OSError):
                 return
@@ -177,9 +179,13 @@ class OriginServer:
         )
 
 
-def _read_request(connection: socket.socket, limit: int = 1 << 20) -> bytes:
+def _read_request(
+    connection: socket.socket,
+    limit: int = 1 << 20,
+    timeout: float = 5.0,
+) -> bytes:
     """Read until the end of a GET/HEAD request head."""
-    connection.settimeout(5.0)
+    connection.settimeout(timeout)
     chunks = bytearray()
     while b"\r\n\r\n" not in chunks and b"\n\n" not in chunks:
         chunk = connection.recv(4096)

@@ -16,10 +16,11 @@ tests pin that.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from urllib.parse import urlsplit
 
 from repro.httpnet.client import fetch
+from repro.httpnet.message import HttpMessageError
 from repro.proxy.origin import SyntheticSite
 from repro.proxy.server import CachingProxy
 from repro.trace.record import Request
@@ -71,15 +72,37 @@ class ReplayReport:
     hits: int = 0
     revalidated: int = 0
     misses: int = 0
+    #: Stale copies served because revalidation failed (``X-Cache: STALE``).
+    stale: int = 0
+    #: 5xx responses from the proxy (origin failures it could not absorb).
+    server_errors: int = 0
+    #: Requests whose client-side fetch itself failed.
+    client_errors: int = 0
     mismatched_sizes: int = 0
     outcomes: List[str] = field(default_factory=list)
 
     @property
     def hit_rate(self) -> float:
-        """Live HR in percent, counting revalidations as hits."""
+        """Live HR in percent, counting revalidations and stale-if-error
+        serves as hits (both are served from the cache)."""
         if not self.requests:
             return 0.0
-        return 100.0 * (self.hits + self.revalidated) / self.requests
+        served = self.hits + self.revalidated + self.stale
+        return 100.0 * served / self.requests
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary for chaos/degradation reports."""
+        return {
+            "requests": self.requests,
+            "hits": self.hits,
+            "revalidated": self.revalidated,
+            "stale": self.stale,
+            "misses": self.misses,
+            "server_errors": self.server_errors,
+            "client_errors": self.client_errors,
+            "mismatched_sizes": self.mismatched_sizes,
+            "hit_rate": self.hit_rate,
+        }
 
 
 def replay_through_proxy(
@@ -87,6 +110,8 @@ def replay_through_proxy(
     proxy: CachingProxy,
     origin_site: TraceOriginSite,
     record_outcomes: bool = False,
+    timeout: float = 5.0,
+    advance_clock: Optional[Callable[[float], None]] = None,
 ) -> ReplayReport:
     """Replay a validated trace through a running proxy.
 
@@ -95,19 +120,40 @@ def replay_through_proxy(
     origin-side edits).  The proxy's clock is expected to be driven by the
     caller when freshness matters; with a large ``default_ttl`` replay
     semantics match the simulator's.
+
+    Args:
+        timeout: client-side timeout per fetch; size it above the proxy's
+            worst case (``proxy.retry_policy.worst_case_seconds()``) or
+            slow origins surface as ``client_errors``.
+        advance_clock: called with each request's trace timestamp before
+            fetching — chaos runs use it to drive the proxy's injected
+            clock from trace time so freshness (and thus revalidation
+            traffic) follows the trace rather than the wall clock.
     """
     report = ReplayReport()
     for request in trace:
+        if advance_clock is not None:
+            advance_clock(request.timestamp)
         origin_site.register(request.url, request.size)
-        response = fetch(proxy.address, request.url)
-        tag = response.headers.get("x-cache", "?")
         report.requests += 1
+        try:
+            response = fetch(proxy.address, request.url, timeout=timeout)
+        except (OSError, HttpMessageError, ValueError):
+            report.client_errors += 1
+            if record_outcomes:
+                report.outcomes.append("CLIENT-ERROR")
+            continue
+        tag = response.headers.get("x-cache", "?")
         if tag == "HIT":
             report.hits += 1
         elif tag == "REVALIDATED":
             report.revalidated += 1
+        elif tag == "STALE":
+            report.stale += 1
         else:
             report.misses += 1
+        if response.status >= 500:
+            report.server_errors += 1
         if len(response.body) != request.size:
             report.mismatched_sizes += 1
         if record_outcomes:

@@ -16,6 +16,7 @@ and tests can observe the path taken.
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
 import time as _time
@@ -32,8 +33,15 @@ from repro.httpnet.message import (
 from repro.proxy.consistency import ConsistencyEstimator, Freshness
 from repro.proxy.origin import _read_request
 from repro.proxy.store import CachedDocument, ProxyStore
+from repro.retry import BreakerRegistry, RetryPolicy
 
-__all__ = ["ProxyStats", "CachingProxy"]
+__all__ = ["OriginError", "ProxyStats", "CachingProxy"]
+
+
+class OriginError(OSError):
+    """A terminal origin-fetch failure (after retries), or a fast-fail
+    from an open circuit breaker.  Subclasses :class:`OSError` so every
+    pre-existing ``except OSError`` failure path still applies."""
 
 #: Resolves a URL's host to a (address, port) the proxy should connect to.
 #: Tests and demos point every host at a local toy origin.
@@ -52,14 +60,25 @@ class ProxyStats:
     errors: int = 0
     bytes_from_cache: int = 0
     bytes_from_origin: int = 0
+    #: Origin fetch attempts retried after a transient failure.
+    retries: int = 0
+    #: Cached copies served because revalidation/refetch failed
+    #: (stale-if-error; tagged ``X-Cache: STALE``).
+    stale_served: int = 0
+    #: Requests failed fast by an open per-origin circuit breaker.
+    breaker_open: int = 0
 
     @property
     def hit_rate(self) -> float:
         """HR in percent, counting revalidated copies as hits (the paper's
-        case (2) hit)."""
+        case (2) hit) and stale-if-error serves (still served from the
+        cache, no origin transfer)."""
         if not self.requests:
             return 0.0
-        return 100.0 * (self.hits + self.revalidation_hits) / self.requests
+        served_from_cache = (
+            self.hits + self.revalidation_hits + self.stale_served
+        )
+        return 100.0 * served_from_cache / self.requests
 
 
 class CachingProxy:
@@ -72,6 +91,13 @@ class CachingProxy:
         estimator: freshness heuristics for cached copies.
         host, port: listen address (port 0 picks a free port).
         clock: time source, injectable for tests.
+        timeout: per-attempt origin socket timeout, seconds (also used
+            when reading client requests).
+        retry_policy: origin retry/backoff schedule; defaults to
+            ``RetryPolicy(timeout=timeout)``.
+        breakers: per-origin circuit breakers; pass a configured
+            :class:`~repro.retry.BreakerRegistry` to tune thresholds.
+        sleep: how backoff waits are performed (injectable for tests).
     """
 
     def __init__(
@@ -83,11 +109,23 @@ class CachingProxy:
         port: int = 0,
         clock=_time.time,
         access_log=None,
+        timeout: float = 5.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        breakers: Optional[BreakerRegistry] = None,
+        sleep=_time.sleep,
     ) -> None:
         self.store = store
         self.resolver = resolver if resolver is not None else self._default_resolver
         self.estimator = estimator if estimator is not None else ConsistencyEstimator()
         self.stats = ProxyStats()
+        self.timeout = timeout
+        self.retry_policy = (
+            retry_policy if retry_policy is not None
+            else RetryPolicy(timeout=timeout)
+        )
+        self.breakers = breakers if breakers is not None else BreakerRegistry()
+        self._sleep = sleep
+        self._retry_rng = random.Random(0)
         self._clock = clock
         #: Optional writable text stream receiving one common-log-format
         #: line per proxied request — so a running proxy produces exactly
@@ -148,7 +186,9 @@ class CachingProxy:
             except OSError:  # pragma: no cover - racing disconnect
                 peer = "-"
             try:
-                request = HttpRequest.parse(_read_request(connection))
+                request = HttpRequest.parse(
+                    _read_request(connection, timeout=self.timeout)
+                )
             except (HttpMessageError, OSError):
                 self.stats.errors += 1
                 return
@@ -161,9 +201,18 @@ class CachingProxy:
     # -- the proxy decision procedure -------------------------------------------------
 
     def handle(self, request: HttpRequest, client: str = "-") -> HttpResponse:
-        """Process one proxied request (socket-free core, used by tests)."""
+        """Process one proxied request (socket-free core, used by tests).
+
+        Never raises: any unexpected failure degrades to a well-formed
+        502 so one bad request can never take a client connection (or a
+        chaos replay) down with an unhandled exception.
+        """
         self.stats.requests += 1
-        response = self._dispatch(request)
+        try:
+            response = self._dispatch(request)
+        except Exception:
+            self.stats.errors += 1
+            response = HttpResponse(status=502)
         self._log_access(request, response, client)
         return response
 
@@ -179,7 +228,7 @@ class CachingProxy:
                 response = self._forward(request)
             except OSError:
                 self.stats.errors += 1
-                return HttpResponse(status=504)
+                return HttpResponse(status=502)
             self.stats.misses += 1
             return self._tag(response, "PASS")
         if request.method != "GET":
@@ -235,8 +284,13 @@ class CachingProxy:
         try:
             origin_response = self._forward(conditional)
         except OSError:
-            self.stats.errors += 1
-            return HttpResponse(status=504)
+            # Stale-if-error: the origin is unreachable, but we still
+            # hold a copy — serving it beats erroring (availability over
+            # strict consistency, the deployed-proxy tradeoff).
+            return self._serve_stale(cached)
+        if origin_response.status >= 500:
+            # The origin answered but is unhealthy; same tradeoff.
+            return self._serve_stale(cached)
         if origin_response.status == 304:
             # Copy confirmed consistent: refresh and serve it (a hit).
             self.stats.revalidation_hits += 1
@@ -258,12 +312,18 @@ class CachingProxy:
         self._maybe_cache(request.url, origin_response, now)
         return self._tag(origin_response, "MISS")
 
+    def _serve_stale(self, cached: CachedDocument) -> HttpResponse:
+        """Serve a cached copy we could not revalidate (stale-if-error)."""
+        self.stats.stale_served += 1
+        self.stats.bytes_from_cache += cached.size
+        return self._respond_from(cached, "STALE")
+
     def _fetch_and_cache(self, request: HttpRequest, now: float) -> HttpResponse:
         try:
             origin_response = self._forward(request)
         except OSError:
             self.stats.errors += 1
-            return HttpResponse(status=504)
+            return HttpResponse(status=502)
         self.stats.misses += 1
         self._maybe_cache(request.url, origin_response, now)
         return self._tag(origin_response, "MISS")
@@ -297,19 +357,57 @@ class CachingProxy:
     # -- plumbing -----------------------------------------------------------------------
 
     def _forward(self, request: HttpRequest) -> HttpResponse:
-        """Send a request to the origin and read the full response."""
+        """Fetch from the origin with retries, behind its circuit breaker.
+
+        Raises:
+            OriginError: breaker open, or every attempt failed (refused,
+                timed out, reset, or returned malformed/truncated bytes).
+        """
         host = urlsplit(request.url).netloc
+        breaker = self.breakers.for_host(host)
+        if not breaker.allow(self._clock()):
+            self.stats.breaker_open += 1
+            raise OriginError(f"circuit breaker open for {host}")
+        policy = self.retry_policy
+        for retry_index in range(policy.attempts):
+            try:
+                response = self._fetch_once(request, host)
+            except (OSError, HttpMessageError) as error:
+                if retry_index >= policy.max_retries:
+                    breaker.record_failure(self._clock())
+                    raise OriginError(
+                        f"origin fetch failed after {policy.attempts} "
+                        f"attempt(s): {error}"
+                    ) from error
+                self.stats.retries += 1
+                self._sleep(policy.delay(retry_index, self._retry_rng))
+            else:
+                breaker.record_success()
+                return response
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _fetch_once(self, request: HttpRequest, host: str) -> HttpResponse:
+        """One origin attempt: connect, send, read to EOF, validate."""
         address = self.resolver(host)
-        with socket.create_connection(address, timeout=5.0) as upstream:
+        with socket.create_connection(address, timeout=self.timeout) as upstream:
             upstream.sendall(request.serialize())
             data = bytearray()
-            upstream.settimeout(5.0)
+            upstream.settimeout(self.timeout)
             while True:
                 chunk = upstream.recv(65536)
                 if not chunk:
                     break
                 data.extend(chunk)
-        return HttpResponse.parse(bytes(data))
+        if not data:
+            raise OriginError("origin closed the connection with no response")
+        response = HttpResponse.parse(bytes(data))
+        declared = response.content_length
+        if declared is not None and len(response.body) < declared:
+            raise OriginError(
+                f"truncated origin response: {len(response.body)} of "
+                f"{declared} promised bytes"
+            )
+        return response
 
     @staticmethod
     def _respond_from(cached: CachedDocument, tag: str) -> HttpResponse:

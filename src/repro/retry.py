@@ -1,0 +1,185 @@
+"""Retry and circuit-breaking primitives for the operational substrate.
+
+The paper's proxy sits between unreliable clients and unreliable origins;
+a production cache must keep serving when an origin flaps.  This module
+provides the two standard mechanisms the proxy composes:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  deterministic (seedable) jitter.  A policy is pure configuration: it
+  computes delays but never sleeps, so callers inject their own clock
+  and sleep function and tests run instantly.
+* :class:`CircuitBreaker` — a per-origin failure gate.  After
+  ``failure_threshold`` consecutive terminal failures the breaker
+  *opens* and requests fail fast (no connection attempt) until
+  ``reset_after`` seconds pass, at which point one probe request is
+  allowed through (*half-open*); its outcome closes or re-opens the
+  breaker.
+
+Neither class knows anything about HTTP or sockets; the proxy wires them
+around its origin fetches (see :mod:`repro.proxy.server`).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "BreakerRegistry"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry configuration with exponential backoff + jitter.
+
+    Args:
+        timeout: per-attempt socket timeout in seconds.
+        max_retries: retries *after* the first attempt (0 = no retries).
+        backoff_base: delay before the first retry, seconds.
+        backoff_factor: multiplier applied per subsequent retry.
+        max_backoff: upper bound on any single delay.
+        jitter: fraction of each delay randomized away (0 = none,
+            0.5 = delay drawn uniformly from [0.5d, d]).  Jitter draws
+            come from the caller-supplied RNG, so a seeded
+            ``random.Random`` makes the schedule fully deterministic.
+    """
+
+    timeout: float = 5.0
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    @property
+    def attempts(self) -> int:
+        """Total attempts including the first."""
+        return 1 + self.max_retries
+
+    def delay(self, retry_index: int, rng: random.Random) -> float:
+        """Backoff before retry ``retry_index`` (0-based), jittered."""
+        if retry_index < 0:
+            raise ValueError("retry_index must be >= 0")
+        delay = min(
+            self.max_backoff,
+            self.backoff_base * self.backoff_factor ** retry_index,
+        )
+        if self.jitter:
+            delay *= 1.0 - self.jitter * rng.random()
+        return delay
+
+    def delays(self, rng: random.Random) -> Iterator[float]:
+        """The full backoff schedule, one delay per permitted retry."""
+        for index in range(self.max_retries):
+            yield self.delay(index, rng)
+
+    def worst_case_seconds(self) -> float:
+        """Upper bound on one fetch: every attempt times out, every
+        backoff runs un-jittered.  Callers waiting on the proxy (the
+        replay client, tests) use this to size their own timeouts."""
+        backoff = sum(
+            min(self.max_backoff, self.backoff_base * self.backoff_factor ** i)
+            for i in range(self.max_retries)
+        )
+        return self.attempts * self.timeout + backoff
+
+
+class CircuitBreaker:
+    """A consecutive-failure gate for one origin.
+
+    States: *closed* (requests flow), *open* (requests fail fast),
+    *half-open* (one probe allowed).  Thread-safe; time is passed in by
+    the caller so the proxy's injectable clock drives it.
+    """
+
+    def __init__(
+        self, failure_threshold: int = 5, reset_after: float = 30.0,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_after <= 0:
+            raise ValueError("reset_after must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self._lock = threading.Lock()
+        self._consecutive_failures = 0
+        self._opened_at: float = 0.0
+        self._state = "closed"
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def allow(self, now: float) -> bool:
+        """May a request proceed at time ``now``?  In the open state one
+        probe is let through once ``reset_after`` has elapsed."""
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if now - self._opened_at >= self.reset_after:
+                    self._state = "half-open"
+                    self._probing = True
+                    return True
+                return False
+            # half-open: exactly one in-flight probe at a time.
+            if self._probing:
+                return False
+            self._probing = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._state = "closed"
+            self._probing = False
+
+    def record_failure(self, now: float) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            self._probing = False
+            if (self._state == "half-open"
+                    or self._consecutive_failures >= self.failure_threshold):
+                self._state = "open"
+                self._opened_at = now
+
+
+class BreakerRegistry:
+    """Thread-safe map of origin host -> :class:`CircuitBreaker`."""
+
+    def __init__(
+        self, failure_threshold: int = 5, reset_after: float = 30.0,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def for_host(self, host: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(host)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    self.failure_threshold, self.reset_after,
+                )
+                self._breakers[host] = breaker
+            return breaker
+
+    def open_hosts(self) -> Dict[str, str]:
+        """host -> state snapshot for diagnostics."""
+        with self._lock:
+            return {
+                host: breaker.state
+                for host, breaker in self._breakers.items()
+                if breaker.state != "closed"
+            }

@@ -1,0 +1,196 @@
+"""Unit tests for the deterministic fault-injection framework."""
+
+import pytest
+
+from repro.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    FaultyOriginServer,
+)
+from repro.httpnet.client import fetch
+from repro.httpnet.message import HttpMessageError
+
+
+class TestFaultRule:
+    def test_matching_composes_with_and(self):
+        rule = FaultRule(
+            FaultKind.DROP, at=(3, 5), url_substring="/a/",
+            conditional_only=True,
+        )
+        assert rule.matches(3, "http://x/a/y.html", conditional=True)
+        assert not rule.matches(4, "http://x/a/y.html", conditional=True)
+        assert not rule.matches(3, "http://x/b/y.html", conditional=True)
+        assert not rule.matches(3, "http://x/a/y.html", conditional=False)
+
+    def test_every_and_after(self):
+        rule = FaultRule(FaultKind.ERROR, every=3, after=3)
+        fired = [i for i in range(12) if rule.matches(i, "", False)]
+        assert fired == [5, 8, 11]
+
+    def test_round_trip_keeps_only_non_defaults(self):
+        rule = FaultRule(FaultKind.TRUNCATE, probability=0.5, at=(1, 2))
+        record = rule.to_dict()
+        assert record == {
+            "kind": "truncate", "probability": 0.5, "at": [1, 2],
+        }
+        assert FaultRule.from_dict(record) == rule
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule.from_dict({"kind": "drop", "frequency": 2})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultRule(FaultKind.DROP, probability=1.5)
+        with pytest.raises(ValueError):
+            FaultRule(FaultKind.ERROR, status=404)
+        with pytest.raises(ValueError):
+            FaultRule("not-a-kind")
+
+
+class TestFaultPlan:
+    def test_basic_mix(self):
+        plan = FaultPlan.basic(drop=0.2, error=0.1, seed=9)
+        kinds = {rule.kind for rule in plan.rules}
+        assert kinds == {FaultKind.DROP, FaultKind.ERROR}
+        assert plan.seed == 9
+
+    def test_json_file_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(FaultKind.DROP, probability=0.25),
+                FaultRule(FaultKind.KILL_WORKER, at=(7,)),
+            ),
+            seed=3,
+        )
+        path = tmp_path / "plan.json"
+        plan.dump(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(ValueError):
+            FaultPlan.load(path)
+
+    def test_kill_indices_collects_kill_rules_only(self):
+        plan = FaultPlan(rules=(
+            FaultRule(FaultKind.KILL_WORKER, at=(2, 9)),
+            FaultRule(FaultKind.KILL_WORKER, at=(9, 11)),
+            FaultRule(FaultKind.DROP, at=(5,)),
+        ))
+        assert plan.kill_indices() == frozenset({2, 9, 11})
+
+
+class TestFaultInjector:
+    def test_decisions_are_deterministic_per_seed(self):
+        plan = FaultPlan.basic(drop=0.3, seed=12)
+        first, second = plan.injector(), plan.injector()
+        a = [first.next_fault() for _ in range(200)]
+        b = [second.next_fault() for _ in range(200)]
+        assert [f is not None for f in a] == [f is not None for f in b]
+        fired = sum(1 for f in a if f is not None)
+        assert 0 < fired < 200  # the coin actually varies
+
+    def test_different_seed_changes_the_schedule(self):
+        pattern = {}
+        for seed in (1, 2):
+            injector = FaultPlan.basic(drop=0.3, seed=seed).injector()
+            pattern[seed] = [
+                injector.next_fault() is not None for _ in range(200)
+            ]
+        assert pattern[1] != pattern[2]
+
+    def test_limit_caps_total_fires(self):
+        plan = FaultPlan(rules=(FaultRule(FaultKind.DROP, limit=3),))
+        injector = plan.injector()
+        fired = [injector.next_fault() for _ in range(10)]
+        assert sum(1 for f in fired if f is not None) == 3
+        assert injector.counts["drop"] == 3
+        assert injector.events == 10
+
+    def test_kill_worker_rules_never_fire_on_origin_events(self):
+        plan = FaultPlan(rules=(FaultRule(FaultKind.KILL_WORKER, at=(0,)),))
+        injector = plan.injector()
+        assert injector.next_fault() is None
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan(rules=(
+            FaultRule(FaultKind.ERROR, at=(0,)),
+            FaultRule(FaultKind.DROP),
+        ))
+        injector = plan.injector()
+        assert injector.next_fault().kind is FaultKind.ERROR
+        assert injector.next_fault().kind is FaultKind.DROP
+
+    def test_summary(self):
+        plan = FaultPlan(rules=(FaultRule(FaultKind.ERROR, every=2),))
+        injector = plan.injector()
+        for _ in range(4):
+            injector.next_fault()
+        assert injector.summary() == {"events": 4, "error": 2}
+
+
+class TestFaultyOriginServer:
+    """Socket-level behaviour of each fault kind."""
+
+    def run_against(self, plan):
+        injector = plan.injector()
+        origin = FaultyOriginServer(injector, timeout=2.0).start()
+        try:
+            return fetch(
+                origin.address, "http://a.edu/doc.html", timeout=5.0,
+            ), injector
+        finally:
+            origin.stop()
+
+    def test_no_fault_serves_normally(self):
+        response, injector = self.run_against(FaultPlan())
+        assert response.status == 200
+        assert injector.summary() == {"events": 1}
+
+    def test_drop_closes_without_a_byte(self):
+        plan = FaultPlan(rules=(FaultRule(FaultKind.DROP),))
+        with pytest.raises((HttpMessageError, OSError)):
+            self.run_against(plan)
+
+    def test_error_returns_the_configured_5xx(self):
+        plan = FaultPlan(rules=(FaultRule(FaultKind.ERROR, status=503),))
+        response, _ = self.run_against(plan)
+        assert response.status == 503
+
+    def test_truncate_underdelivers_the_declared_body(self):
+        plan = FaultPlan(rules=(FaultRule(FaultKind.TRUNCATE, truncate_to=5),))
+        response, _ = self.run_against(plan)
+        assert response.status == 200
+        assert len(response.body) == 5
+        assert response.content_length > 5
+
+    def test_delay_still_serves(self):
+        plan = FaultPlan(rules=(
+            FaultRule(FaultKind.DELAY, delay_seconds=0.05),
+        ))
+        response, _ = self.run_against(plan)
+        assert response.status == 200
+
+    def test_conditional_only_faults_spare_plain_gets(self):
+        plan = FaultPlan(rules=(
+            FaultRule(FaultKind.DROP, conditional_only=True),
+        ))
+        injector = plan.injector()
+        origin = FaultyOriginServer(injector, timeout=2.0).start()
+        try:
+            plain = fetch(origin.address, "http://a.edu/x.html", timeout=5.0)
+            assert plain.status == 200
+            with pytest.raises((HttpMessageError, OSError)):
+                fetch(
+                    origin.address, "http://a.edu/x.html",
+                    headers={
+                        "If-Modified-Since": "Sun, 06 Nov 1994 08:49:37 GMT",
+                    },
+                    timeout=5.0,
+                )
+        finally:
+            origin.stop()
+        assert injector.counts["drop"] == 1

@@ -1,0 +1,119 @@
+"""Unit tests for the retry/backoff and circuit-breaker primitives."""
+
+import random
+
+import pytest
+
+from repro.retry import BreakerRegistry, CircuitBreaker, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_defaults_are_bounded(self):
+        policy = RetryPolicy()
+        assert policy.attempts == 3
+        assert policy.worst_case_seconds() < 60.0
+
+    def test_backoff_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(
+            backoff_base=0.1, backoff_factor=2.0, max_backoff=10.0,
+            jitter=0.0, max_retries=4,
+        )
+        rng = random.Random(0)
+        delays = list(policy.delays(rng))
+        assert delays == [0.1, 0.2, 0.4, 0.8]
+
+    def test_backoff_is_capped(self):
+        policy = RetryPolicy(
+            backoff_base=1.0, backoff_factor=10.0, max_backoff=2.5,
+            jitter=0.0, max_retries=3,
+        )
+        assert list(policy.delays(random.Random(0))) == [1.0, 2.5, 2.5]
+
+    def test_jitter_is_deterministic_for_a_seeded_rng(self):
+        policy = RetryPolicy(jitter=0.5, max_retries=3)
+        first = list(policy.delays(random.Random(7)))
+        second = list(policy.delays(random.Random(7)))
+        assert first == second
+        # Jitter only ever shrinks the delay, never grows it.
+        unjittered = list(
+            RetryPolicy(jitter=0.0, max_retries=3).delays(random.Random(7))
+        )
+        for jittered, bound in zip(first, unjittered):
+            assert 0.0 < jittered <= bound
+
+    def test_worst_case_covers_every_attempt_and_backoff(self):
+        policy = RetryPolicy(
+            timeout=2.0, max_retries=2, backoff_base=0.5,
+            backoff_factor=2.0, max_backoff=10.0, jitter=0.5,
+        )
+        # 3 attempts x 2 s + (0.5 + 1.0) backoff.
+        assert policy.worst_case_seconds() == pytest.approx(7.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(-1, random.Random(0))
+
+
+class TestCircuitBreaker:
+    def test_closed_until_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_after=10.0)
+        for _ in range(2):
+            assert breaker.allow(0.0)
+            breaker.record_failure(0.0)
+        assert breaker.state == "closed"
+        assert breaker.allow(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.state == "open"
+        assert not breaker.allow(1.0)
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, reset_after=10.0)
+        breaker.record_failure(0.0)
+        breaker.record_success()
+        breaker.record_failure(0.0)
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_closes_on_success(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=5.0)
+        breaker.record_failure(0.0)
+        assert not breaker.allow(4.9)
+        assert breaker.allow(5.0)          # the probe
+        assert not breaker.allow(5.0)      # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow(5.0)
+
+    def test_half_open_probe_reopens_on_failure(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=5.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(6.0)
+        breaker.record_failure(6.0)
+        assert breaker.state == "open"
+        assert not breaker.allow(10.9)
+        assert breaker.allow(11.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_after=0.0)
+
+
+class TestBreakerRegistry:
+    def test_one_breaker_per_host(self):
+        registry = BreakerRegistry(failure_threshold=1, reset_after=5.0)
+        a = registry.for_host("a.edu")
+        assert registry.for_host("a.edu") is a
+        assert registry.for_host("b.edu") is not a
+
+    def test_open_hosts_snapshot(self):
+        registry = BreakerRegistry(failure_threshold=1, reset_after=5.0)
+        registry.for_host("a.edu").record_failure(0.0)
+        registry.for_host("b.edu")
+        assert registry.open_hosts() == {"a.edu": "open"}

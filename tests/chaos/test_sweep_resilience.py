@@ -1,0 +1,190 @@
+"""Resilience tests for the sweep engine and its result cache.
+
+Covers the :class:`ResultCache` integrity envelope (corrupt, tampered,
+and stale-schema entries are quarantined and recomputed, never silently
+reused) and :func:`run_sweep`'s crash recovery (killed workers, retry
+accounting, and the in-process fallback path).
+"""
+
+import json
+
+import pytest
+
+from repro.core.sweep import (
+    RESULT_SCHEMA_VERSION,
+    PolicySpec,
+    ResultCache,
+    SimOptions,
+    SweepJob,
+    run_sweep,
+    trace_fingerprint,
+)
+from repro.faults import FaultKind, FaultPlan, FaultRule
+from repro.workloads import generate_valid
+
+SEED = 20260806
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_valid("BL", seed=SEED, scale=0.01)
+
+
+def make_job(name="SIZE", capacity=50_000):
+    return SweepJob(
+        spec=PolicySpec(("SIZE", "ATIME")),
+        capacity=capacity,
+        options=SimOptions(seed=SEED),
+        name=name,
+    )
+
+
+class TestResultCacheIntegrity:
+    def entry_path(self, cache, job, trace_hash):
+        return cache.root / f"{ResultCache.key_for(job, trace_hash)}.json"
+
+    def seed_entry(self, tmp_path, trace):
+        """A cache holding one genuine entry, plus the pieces to break it."""
+        cache = ResultCache(tmp_path / "cache")
+        job = make_job()
+        trace_hash = trace_fingerprint(trace)
+        run_sweep(trace, [job], workers=1, result_cache=cache,
+                  trace_hash=trace_hash)
+        path = self.entry_path(cache, job, trace_hash)
+        assert path.exists()
+        return cache, job, trace_hash, path
+
+    def test_round_trip_hits(self, tmp_path, trace):
+        cache, job, trace_hash, _ = self.seed_entry(tmp_path, trace)
+        assert cache.get(job, trace_hash) is not None
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["corrupt_entries"] == 0
+
+    def test_unparseable_json_is_quarantined(self, tmp_path, trace):
+        cache, job, trace_hash, path = self.seed_entry(tmp_path, trace)
+        path.write_text("{ this is not json", encoding="utf-8")
+        assert cache.get(job, trace_hash) is None
+        assert cache.stats()["corrupt_entries"] == 1
+        assert not path.exists()
+        assert (cache.quarantine_dir / path.name).exists()
+
+    def test_checksum_tamper_is_quarantined(self, tmp_path, trace):
+        cache, job, trace_hash, path = self.seed_entry(tmp_path, trace)
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope["record"]["totals"][1] += 1  # nudge the hit count
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert cache.get(job, trace_hash) is None
+        assert cache.stats()["corrupt_entries"] == 1
+        assert (cache.quarantine_dir / path.name).exists()
+
+    def test_stale_schema_is_quarantined(self, tmp_path, trace):
+        cache, job, trace_hash, path = self.seed_entry(tmp_path, trace)
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope["schema"] = RESULT_SCHEMA_VERSION - 1
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert cache.get(job, trace_hash) is None
+        assert cache.stats()["corrupt_entries"] == 1
+
+    def test_pre_envelope_record_is_quarantined(self, tmp_path, trace):
+        """A bare record from the schema-1 era (no envelope at all) is
+        treated as stale, not misread as a result."""
+        cache, job, trace_hash, path = self.seed_entry(tmp_path, trace)
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        path.write_text(json.dumps(envelope["record"]), encoding="utf-8")
+        assert cache.get(job, trace_hash) is None
+        assert cache.stats()["corrupt_entries"] == 1
+
+    def test_corrupt_entry_is_recomputed_and_restored(self, tmp_path, trace):
+        """A sweep over a corrupted cache self-heals: the damaged entry is
+        quarantined, the job reruns, and a pristine entry is re-stored."""
+        cache, job, trace_hash, path = self.seed_entry(tmp_path, trace)
+        reference = cache.get(job, trace_hash)
+        path.write_text("garbage", encoding="utf-8")
+        report = run_sweep(trace, [job], workers=1, result_cache=cache,
+                           trace_hash=trace_hash)
+        assert report.cache_hits == 0
+        assert cache.stats()["corrupt_entries"] == 1
+        assert cache.get(job, trace_hash) == reference
+        # Only the healthy entry remains in the main directory.
+        assert len(cache) == 1
+
+    def test_quarantine_does_not_count_as_cache_entries(self, tmp_path, trace):
+        cache, job, trace_hash, path = self.seed_entry(tmp_path, trace)
+        path.write_text("garbage", encoding="utf-8")
+        cache.get(job, trace_hash)
+        assert len(cache) == 0  # *.json glob excludes quarantine/
+
+
+class TestWorkerCrashRecovery:
+    def jobs_for(self, count, capacity=50_000):
+        return [make_job(name=f"SIZE#{i}", capacity=capacity)
+                for i in range(count)]
+
+    def test_killed_worker_jobs_are_retried(self, trace):
+        jobs = self.jobs_for(4)
+        plan = FaultPlan(rules=(
+            FaultRule(FaultKind.KILL_WORKER, at=(1,)),
+        ))
+        report = run_sweep(trace, jobs, workers=2, fault_plan=plan)
+        assert len(report.results) == 4
+        assert report.pool_restarts == 1
+        assert report.retried_jobs >= 1
+        assert report.recovered_jobs >= 1
+        assert report.fallback_jobs == 0
+        rates = {
+            (jr.result.hit_rate, jr.result.weighted_hit_rate)
+            for jr in report.results
+        }
+        assert len(rates) == 1  # identical jobs -> identical numbers
+
+    def test_recovery_fields_appear_in_summary(self, trace):
+        plan = FaultPlan(rules=(
+            FaultRule(FaultKind.KILL_WORKER, at=(0,)),
+        ))
+        report = run_sweep(trace, self.jobs_for(2), workers=2,
+                           fault_plan=plan)
+        summary = report.summary()
+        for field in ("retried_jobs", "recovered_jobs", "pool_restarts",
+                      "fallback_jobs"):
+            assert field in summary
+        assert summary["retried_jobs"] >= 1
+
+    def test_fallback_runs_in_process_when_restarts_exhausted(self, trace):
+        """With no pool-restart budget, lost jobs finish on the serial
+        fallback path instead of being dropped."""
+        jobs = self.jobs_for(3)
+        plan = FaultPlan(rules=(
+            FaultRule(FaultKind.KILL_WORKER, at=(2,)),
+        ))
+        report = run_sweep(trace, jobs, workers=2, fault_plan=plan,
+                           max_pool_restarts=0)
+        assert len(report.results) == 3
+        assert report.fallback_jobs >= 1
+        assert report.recovered_jobs >= 1
+        rates = {
+            (jr.result.hit_rate, jr.result.weighted_hit_rate)
+            for jr in report.results
+        }
+        assert len(rates) == 1
+
+    def test_fault_free_sweep_reports_clean_telemetry(self, trace):
+        report = run_sweep(trace, self.jobs_for(2), workers=2)
+        assert report.retried_jobs == 0
+        assert report.recovered_jobs == 0
+        assert report.pool_restarts == 0
+        assert report.fallback_jobs == 0
+
+    def test_crash_recovered_results_are_cached_normally(self, trace, tmp_path):
+        """Results salvaged from a crashed round land in the result cache
+        like any other: the rerun is all cache hits."""
+        cache = ResultCache(tmp_path / "cache")
+        jobs = self.jobs_for(3)
+        plan = FaultPlan(rules=(
+            FaultRule(FaultKind.KILL_WORKER, at=(1,)),
+        ))
+        first = run_sweep(trace, jobs, workers=2, fault_plan=plan,
+                          result_cache=cache)
+        assert first.pool_restarts == 1
+        second = run_sweep(trace, jobs, workers=2, result_cache=cache)
+        assert second.cache_hits == 3
+        assert second.retried_jobs == 0

@@ -29,26 +29,30 @@ def capacity(trace):
     return max(1, int(FRACTION * max_needed_for(trace)))
 
 
-def test_parallel_sweep_matches_serial_experiments_path(trace, capacity):
-    policies = taxonomy_policies()
-    serial = {
+@pytest.fixture(scope="module")
+def serial(trace, capacity):
+    """The legacy serial path's results, keyed by policy name."""
+    return {
         policy.name: run_policy(
             trace, policy, capacity, name=policy.name, seed=SEED,
         )
-        for policy in policies
+        for policy in taxonomy_policies()
     }
 
-    jobs = [
+
+def grid_jobs(capacity):
+    return [
         SweepJob(
             spec=PolicySpec.from_policy(policy),
             capacity=capacity,
             options=SimOptions(seed=SEED),
             name=policy.name,
         )
-        for policy in policies
+        for policy in taxonomy_policies()
     ]
-    report = run_sweep(trace, jobs, workers=2)
 
+
+def assert_bit_identical(report, serial):
     assert len(report.results) == 36
     for job_result in report.results:
         name = job_result.result.name
@@ -68,6 +72,30 @@ def test_parallel_sweep_matches_serial_experiments_path(trace, capacity):
                 == reference.metrics.hr_series()), name
         assert (job_result.result.metrics.whr_series()
                 == reference.metrics.whr_series()), name
+
+
+def test_parallel_sweep_matches_serial_experiments_path(
+    trace, capacity, serial,
+):
+    report = run_sweep(trace, grid_jobs(capacity), workers=2)
+    assert_bit_identical(report, serial)
+
+
+def test_sweep_with_killed_worker_matches_serial(trace, capacity, serial):
+    """A worker killed mid-grid must not cost results or determinism:
+    the lost jobs are retried and every one of the 36 cells still comes
+    back bit-identical to the serial path."""
+    from repro.faults import FaultKind, FaultPlan, FaultRule
+
+    plan = FaultPlan(rules=(
+        FaultRule(FaultKind.KILL_WORKER, at=(7,)),
+    ))
+    report = run_sweep(trace, grid_jobs(capacity), workers=2,
+                       fault_plan=plan)
+    assert report.pool_restarts == 1
+    assert report.retried_jobs >= 1
+    assert report.recovered_jobs >= 1
+    assert_bit_identical(report, serial)
 
 
 def test_rng_is_seeded_per_run_not_shared(trace, capacity):

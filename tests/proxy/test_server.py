@@ -87,7 +87,7 @@ class TestProxyPaths:
         response = fetch(proxy.address, "/not-proxied.html")
         assert response.status == 400
 
-    def test_unreachable_origin_is_504(self):
+    def test_unreachable_origin_is_502(self):
         store = ProxyStore(capacity=1024)
         # Point at a closed port.
         with socket.socket() as probe:
@@ -98,7 +98,8 @@ class TestProxyPaths:
         ).start()
         try:
             response = fetch(proxy.address, "http://gone.edu/x.html")
-            assert response.status == 504
+            assert response.status == 502
+            assert proxy.stats.errors == 1
         finally:
             proxy.stop()
 
