@@ -14,6 +14,13 @@ Commands:
 * ``origin``       start the toy origin server
 * ``chaos``        replay a trace through the proxy under an injected
   fault plan and report the degradation
+* ``obs``          observability utilities: ``obs check`` lints the
+  metric catalog, ``obs summarize`` renders run artifacts
+
+Observability: ``sweep``, ``experiment``, ``chaos`` and ``proxy`` accept
+``--log-level``, ``--trace-out`` (Chrome trace JSON, viewable in
+Perfetto), ``--metrics-out`` (Prometheus text) and ``--events-out``
+(JSONL event log).
 
 Examples::
 
@@ -24,6 +31,8 @@ Examples::
     python -m repro mrc bl.log --policy SIZE --policy GDSF
     python -m repro experiment 2 --workload BL --scale 0.05
     python -m repro sweep --workload BL --workers 4 --cache-dir .sweep-cache
+    python -m repro sweep --workers 4 --trace-out t.json --metrics-out m.prom
+    python -m repro obs summarize --trace t.json --metrics m.prom
     python -m repro chaos --workload BL --scale 0.02 --drop-rate 0.2 --out chaos.json
     python -m repro report --out report.md
 """
@@ -145,6 +154,52 @@ def _result_cache(args: argparse.Namespace):
     return None
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags (sweep/experiment/chaos/proxy)."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--log-level", default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="event-log threshold (debug streams eviction decisions)",
+    )
+    group.add_argument(
+        "--trace-out", default="", metavar="PATH",
+        help="write spans as Chrome trace_event JSON "
+             "(open in Perfetto / about:tracing)",
+    )
+    group.add_argument(
+        "--metrics-out", default="", metavar="PATH",
+        help="write the metrics registry in Prometheus text format",
+    )
+    group.add_argument(
+        "--events-out", default="", metavar="PATH",
+        help="write the structured event log as JSONL",
+    )
+
+
+def _build_obs(args: argparse.Namespace):
+    from repro.obs import Obs
+
+    return Obs.create(log_level=args.log_level)
+
+
+def _export_obs(obs, args: argparse.Namespace) -> None:
+    """Write whichever artifacts the obs flags requested."""
+    from pathlib import Path
+
+    if args.trace_out:
+        count = obs.tracer.write_chrome_trace(args.trace_out)
+        print(f"wrote {count} trace event(s) to {args.trace_out}")
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(
+            obs.registry.render(), encoding="utf-8",
+        )
+        print(f"wrote metrics snapshot to {args.metrics_out}")
+    if args.events_out:
+        count = obs.events.write_jsonl(args.events_out)
+        print(f"wrote {count} event(s) to {args.events_out}")
+
+
 # -- command implementations -------------------------------------------------
 
 
@@ -242,6 +297,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         f"WHR {infinite.weighted_hit_rate:.1f}%, "
         f"MaxNeeded {infinite.max_used_bytes / 2**20:.1f} MB\n"
     )
+    obs = _build_obs(args)
     if args.number == 1:
         smoothed = infinite.metrics.smoothed_hr()
         rows = [
@@ -258,7 +314,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         result_cache = _result_cache(args)
         sweep = primary_key_sweep(
             trace, infinite.max_used_bytes, args.fraction, seed=args.seed,
-            workers=args.workers, result_cache=result_cache,
+            workers=args.workers, result_cache=result_cache, obs=obs,
         )
         print(render_policy_ranking(
             sweep, infinite,
@@ -269,7 +325,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         ))
         secondary = secondary_key_sweep(
             trace, infinite.max_used_bytes, args.fraction, seed=args.seed,
-            workers=args.workers, result_cache=result_cache,
+            workers=args.workers, result_cache=result_cache, obs=obs,
         )
         baseline = secondary["RANDOM"].weighted_hit_rate
         print()
@@ -321,6 +377,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             rows,
             title="Experiment 4: partitioned cache",
         ))
+    _export_obs(obs, args)
     return 0
 
 
@@ -356,10 +413,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
         for policy in taxonomy_policies()
     ]
+    obs = _build_obs(args)
     report = run_sweep(
         valid, jobs,
         workers=args.workers,
         result_cache=_result_cache(args),
+        obs=obs,
     )
     ranked = sorted(
         report.results, key=lambda jr: jr.result.hit_rate, reverse=True,
@@ -391,6 +450,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"result cache {report.cache_hits} hits / "
         f"{report.cache_misses} misses)"
     )
+    _export_obs(obs, args)
     return 0
 
 
@@ -398,6 +458,7 @@ def cmd_proxy(args: argparse.Namespace) -> int:
     from repro.proxy import CachingProxy, ConsistencyEstimator, ProxyStore
     from repro.retry import RetryPolicy
 
+    obs = _build_obs(args)
     store = ProxyStore(
         capacity=args.capacity, policy=parse_policy(args.policy),
     )
@@ -416,9 +477,12 @@ def cmd_proxy(args: argparse.Namespace) -> int:
         retry_policy=RetryPolicy(
             timeout=args.timeout, max_retries=args.retries,
         ),
+        obs=obs,
     ).start()
     print(f"caching proxy on {proxy.address[0]}:{proxy.address[1]} "
           f"({args.capacity / 2**20:.1f} MB, policy {store._cache.policy.name})")
+    print(f"metrics exposition: "
+          f"curl http://{proxy.address[0]}:{proxy.address[1]}/metrics")
     try:
         import time
         while True:
@@ -433,6 +497,7 @@ def cmd_proxy(args: argparse.Namespace) -> int:
         pass
     finally:
         proxy.stop()
+    _export_obs(obs, args)
     return 0
 
 
@@ -551,6 +616,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             f"drop={args.drop_rate} error={args.error_rate} "
             f"truncate={args.truncate_rate}"
         )
+    obs = _build_obs(args)
     report = run_chaos(
         valid,
         plan,
@@ -563,6 +629,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             backoff_base=0.01,
             max_backoff=0.25,
         ),
+        obs=obs,
     )
     print(f"chaos replay of {label} ({len(valid):,} requests) "
           f"under fault plan [{plan_label}]\n")
@@ -570,6 +637,26 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if args.out:
         report.write(args.out)
         print(f"\nwrote degradation report to {args.out}")
+    _export_obs(obs, args)
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Observability utilities: the metric-name lint and the artifact
+    summarizer."""
+    if args.obs_command == "check":
+        from repro.obs.check import render_problems, run_check
+
+        problems, registered = run_check()
+        print(render_problems(problems, registered))
+        return 1 if problems else 0
+    from repro.obs.summarize import summarize_run
+
+    print(summarize_run(
+        events_path=args.events or None,
+        trace_path=args.trace or None,
+        metrics_path=args.metrics or None,
+    ))
     return 0
 
 
@@ -652,6 +739,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="processes for the policy sweeps")
     experiment.add_argument("--cache-dir", default="",
                             help="memoize sweep runs in this directory")
+    _add_obs_flags(experiment)
     experiment.set_defaults(func=cmd_experiment)
 
     sweep = commands.add_parser(
@@ -670,6 +758,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="processes to fan the grid out over")
     sweep.add_argument("--cache-dir", default="",
                        help="memoize sweep runs in this directory")
+    _add_obs_flags(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     proxy = commands.add_parser("proxy", help="run the live caching proxy")
@@ -684,6 +773,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-attempt origin timeout, seconds")
     proxy.add_argument("--retries", type=int, default=2,
                        help="origin fetch retries after the first attempt")
+    _add_obs_flags(proxy)
     proxy.set_defaults(func=cmd_proxy)
 
     chaos = commands.add_parser(
@@ -720,7 +810,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="origin fetch retries after the first attempt")
     chaos.add_argument("--out", default="",
                        help="write the JSON degradation report here")
+    _add_obs_flags(chaos)
     chaos.set_defaults(func=cmd_chaos)
+
+    obs = commands.add_parser(
+        "obs", help="observability utilities (lint, summarize)",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_check = obs_sub.add_parser(
+        "check",
+        help="lint metric names: catalog conventions, duplicates, "
+             "unregistered literals",
+    )
+    obs_check.set_defaults(func=cmd_obs)
+    obs_summarize = obs_sub.add_parser(
+        "summarize", help="summarize run artifacts into tables",
+    )
+    obs_summarize.add_argument("--events", default="", metavar="PATH",
+                               help="JSONL event log (--events-out)")
+    obs_summarize.add_argument("--trace", default="", metavar="PATH",
+                               help="Chrome trace JSON (--trace-out)")
+    obs_summarize.add_argument("--metrics", default="", metavar="PATH",
+                               help="Prometheus text file (--metrics-out)")
+    obs_summarize.set_defaults(func=cmd_obs)
 
     origin = commands.add_parser("origin", help="run the toy origin server")
     origin.add_argument("--host", default="127.0.0.1")

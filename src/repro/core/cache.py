@@ -240,6 +240,19 @@ class SimCache:
             return self.policy.order(self._entries.values())
         raise TypeError("removal_order is only defined for key policies")
 
+    def stats_snapshot(self) -> Dict[str, Optional[int]]:
+        """Occupancy and eviction counters as one plain dict — the shape
+        the observability layer reports (simulator events, the proxy's
+        ``GET /metrics`` store gauges)."""
+        return {
+            "capacity": self.capacity,
+            "used_bytes": self.used_bytes,
+            "max_used_bytes": self.max_used_bytes,
+            "documents": len(self._entries),
+            "eviction_count": self.eviction_count,
+            "evicted_bytes": self.evicted_bytes,
+        }
+
     # -- the Section 1.1 access path ------------------------------------------
 
     def access(self, request: Request, now: Optional[float] = None) -> AccessResult:

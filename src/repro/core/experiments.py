@@ -94,6 +94,7 @@ def primary_key_sweep(
     seed: int = 0,
     workers: int = 1,
     result_cache: Optional[ResultCache] = None,
+    obs=None,
 ) -> Dict[str, SimulationResult]:
     """Experiment 2 (Figures 8-12): each primary key with a RANDOM
     secondary, at ``fraction`` of MaxNeeded.
@@ -113,7 +114,7 @@ def primary_key_sweep(
         for primary in primaries
     ]
     report = run_sweep(
-        trace, jobs, workers=workers, result_cache=result_cache,
+        trace, jobs, workers=workers, result_cache=result_cache, obs=obs,
     )
     return {
         primary.name: job_result.result
@@ -129,6 +130,7 @@ def secondary_key_sweep(
     seed: int = 0,
     workers: int = 1,
     result_cache: Optional[ResultCache] = None,
+    obs=None,
 ) -> Dict[str, SimulationResult]:
     """Experiment 2 (Figure 15): fixed primary key (⌊log2 SIZE⌋, which
     produces the most ties), every other Table 1 key plus RANDOM as the
@@ -147,7 +149,7 @@ def secondary_key_sweep(
         for secondary in secondaries
     ]
     report = run_sweep(
-        trace, jobs, workers=workers, result_cache=result_cache,
+        trace, jobs, workers=workers, result_cache=result_cache, obs=obs,
     )
     return {
         secondary.name: job_result.result
@@ -162,6 +164,7 @@ def full_taxonomy_sweep(
     seed: int = 0,
     workers: int = 1,
     result_cache: Optional[ResultCache] = None,
+    obs=None,
 ) -> Dict[Tuple[str, str], SimulationResult]:
     """All 36 primary/secondary combinations of Section 1.2."""
     capacity = max(1, int(max_needed * fraction))
@@ -176,7 +179,7 @@ def full_taxonomy_sweep(
         for policy in policies
     ]
     report = run_sweep(
-        trace, jobs, workers=workers, result_cache=result_cache,
+        trace, jobs, workers=workers, result_cache=result_cache, obs=obs,
     )
     return {
         (policy.keys[0].name, policy.keys[1].name): job_result.result

@@ -14,6 +14,7 @@ policy was about to evict documents that were still useful.
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
@@ -87,6 +88,7 @@ def simulate(
     cache: SimCache,
     name: str = "",
     track_positions_every: int = 0,
+    obs=None,
 ) -> SimulationResult:
     """Drive ``cache`` over a *valid* trace.
 
@@ -101,6 +103,12 @@ def simulate(
         track_positions_every: when > 0 (and the policy is a key policy),
             sample the hit document's position in the removal order every
             N-th hit — the Appendix A "location in sorted list" output.
+        obs: optional :class:`repro.obs.Obs` context.  Outcome counters
+            are flushed to its registry *after* the replay (the hot loop
+            stays untouched), eviction decisions stream to the ``sim``
+            event channel at debug level, and the whole replay runs
+            under a ``sim.replay`` span.  Instrumentation reads state
+            only — it can never perturb HR/WHR.
     """
     metrics = MetricsCollector()
     outcomes: Counter = Counter()
@@ -109,11 +117,33 @@ def simulate(
         track_positions_every > 0
         and isinstance(cache.policy, KeyPolicy)
     )
+    channel = obs.channel("sim") if obs is not None else None
+    log_evictions = (
+        channel is not None and channel.enabled_for("debug")
+    )
+    start_evictions = cache.eviction_count
+    start_evicted_bytes = cache.evicted_bytes
+    start_seconds = time.perf_counter()
+    span_cm = (
+        obs.span(
+            "sim.replay", label=name, policy=cache.policy.name,
+            capacity=cache.capacity,
+        )
+        if obs is not None else None
+    )
+    if span_cm is not None:
+        span_cm.__enter__()
     hit_count = 0
     for request in trace:
         result = cache.access(request)
         outcomes[result.outcome] += 1
         metrics.record(request, result.is_hit)
+        if log_evictions and result.evicted:
+            for entry in result.evicted:
+                channel.debug(
+                    "evict", url=entry.url, size=entry.size,
+                    nref=entry.nref, for_url=request.url,
+                )
         if result.is_hit and track:
             hit_count += 1
             if hit_count % track_positions_every == 0:
@@ -122,6 +152,16 @@ def simulate(
                     if entry.url == request.url:
                         hit_positions.append((position, len(order)))
                         break
+    if span_cm is not None:
+        span_cm.__exit__(None, None, None)
+    if obs is not None:
+        _flush_obs(
+            obs, name, cache, metrics, outcomes,
+            evictions=cache.eviction_count - start_evictions,
+            evicted_bytes=cache.evicted_bytes - start_evicted_bytes,
+            seconds=time.perf_counter() - start_seconds,
+            channel=channel,
+        )
     return SimulationResult(
         name=name,
         policy_name=cache.policy.name,
@@ -130,4 +170,35 @@ def simulate(
         cache=cache,
         outcomes=outcomes,
         hit_positions=hit_positions,
+    )
+
+
+def _flush_obs(
+    obs, name, cache, metrics, outcomes, evictions, evicted_bytes,
+    seconds, channel,
+) -> None:
+    """Record one finished replay into an obs context (post-loop, so the
+    per-request path pays nothing for instrumentation)."""
+    from repro.obs.catalog import sim_metrics
+
+    m = sim_metrics(obs.registry)
+    for outcome, count in sorted(
+        outcomes.items(), key=lambda item: item[0].value,
+    ):
+        m.requests.labels(outcome=outcome.value).inc(count)
+        if outcome.is_hit:
+            m.hits.inc(count)
+    m.evictions.inc(evictions)
+    m.evicted_bytes.inc(evicted_bytes)
+    m.replays.inc()
+    m.replay_seconds.observe(seconds)
+    channel.info(
+        "replay.done",
+        name=name,
+        policy=cache.policy.name,
+        requests=metrics.total_requests,
+        hit_rate=round(metrics.hit_rate, 4),
+        weighted_hit_rate=round(metrics.weighted_hit_rate, 4),
+        evictions=evictions,
+        **cache.stats_snapshot(),
     )

@@ -32,7 +32,7 @@ import time
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -40,6 +40,8 @@ from repro.core.cache import AccessOutcome, SimCache
 from repro.core.metrics import DayStats, MetricsCollector
 from repro.core.policy import KeyPolicy
 from repro.core.simulator import SimulationResult, simulate
+from repro.obs import EventLog, Obs
+from repro.obs.catalog import sweep_metrics
 from repro.trace.record import Request
 
 __all__ = [
@@ -385,16 +387,25 @@ _WORKER_TRACE: Optional[Sequence[Request]] = None
 #: deterministic stand-in for OOM kills and segfaults mid-grid).
 _WORKER_KILL_INDICES: frozenset = frozenset()
 
+#: Event-log threshold inherited from the parent's obs context, so a
+#: ``--log-level debug`` sweep streams worker eviction events too.
+_WORKER_LOG_LEVEL: int = 20
+
 
 def _init_worker(
-    trace: Sequence[Request], kill_indices: frozenset = frozenset(),
+    trace: Sequence[Request],
+    kill_indices: frozenset = frozenset(),
+    log_level: int = 20,
 ) -> None:
-    global _WORKER_TRACE, _WORKER_KILL_INDICES
+    global _WORKER_TRACE, _WORKER_KILL_INDICES, _WORKER_LOG_LEVEL
     _WORKER_TRACE = trace
     _WORKER_KILL_INDICES = kill_indices
+    _WORKER_LOG_LEVEL = log_level
 
 
-def _execute(trace: Sequence[Request], job: SweepJob) -> SimulationResult:
+def _execute(
+    trace: Sequence[Request], job: SweepJob, obs: Optional[Obs] = None,
+) -> SimulationResult:
     """Run one job against the shared trace (worker and serial path)."""
     options = job.options
     cache = SimCache(
@@ -403,21 +414,39 @@ def _execute(trace: Sequence[Request], job: SweepJob) -> SimulationResult:
         seed=options.seed,
         use_heap_index=options.use_heap_index,
     )
-    return simulate(
-        trace, cache, name=job.name or job.spec.label,
-        track_positions_every=options.track_positions_every,
-    )
+    if obs is None:
+        return simulate(
+            trace, cache, name=job.name or job.spec.label,
+            track_positions_every=options.track_positions_every,
+        )
+    with obs.span(
+        "sweep.job", policy=job.spec.label, capacity=job.capacity,
+    ):
+        return simulate(
+            trace, cache, name=job.name or job.spec.label,
+            track_positions_every=options.track_positions_every,
+            obs=obs,
+        )
 
 
-def _run_job_in_worker(payload: Tuple[int, SweepJob]) -> Tuple[int, float, dict]:
+def _run_job_in_worker(
+    payload: Tuple[int, SweepJob],
+) -> Tuple[int, float, dict, dict]:
     index, job = payload
     if index in _WORKER_KILL_INDICES:
         # Injected crash: die the way a real worker does — no exception,
         # no cleanup — so the parent sees a broken pool, not an error.
         os._exit(73)
     start = time.perf_counter()
-    result = _execute(_WORKER_TRACE, job)
-    return index, time.perf_counter() - start, result_to_record(result)
+    # Each job collects into a private obs context whose export rides
+    # the result pipeline back; the parent merges payloads in job order
+    # so parallel aggregation stays deterministic.
+    obs = Obs(events=EventLog(level=_WORKER_LOG_LEVEL))
+    result = _execute(_WORKER_TRACE, job, obs=obs)
+    return (
+        index, time.perf_counter() - start,
+        result_to_record(result), obs.export(),
+    )
 
 
 @dataclass
@@ -432,24 +461,69 @@ class JobResult:
 
 @dataclass
 class SweepReport:
-    """All results of one sweep, in job order, plus engine telemetry."""
+    """All results of one sweep, in job order, plus engine telemetry.
+
+    Engine telemetry lives in the run's :class:`~repro.obs.Obs` context
+    (the ``repro_sweep_*`` metric families); the counter attributes the
+    pre-obs report carried (``cache_hits``, ``retried_jobs``, ...) are
+    kept as read-through properties over that registry, so existing
+    callers and tests see the same numbers.
+    """
 
     results: List[JobResult]
     wall_seconds: float
     workers: int
     trace_hash: str
     trace_requests: int
-    cache_hits: int = 0
-    cache_misses: int = 0
-    #: Job executions re-attempted after a worker crash or job failure.
-    retried_jobs: int = 0
-    #: Jobs that completed successfully after at least one failure.
-    recovered_jobs: int = 0
-    #: Times the process pool broke and was rebuilt (worker death).
-    pool_restarts: int = 0
-    #: Jobs that finished on the in-process fallback path after the
-    #: pool-retry budget was exhausted.
-    fallback_jobs: int = 0
+    #: The run-local observability context: every sweep metric, span and
+    #: event of this run (workers included), merged in job order.
+    obs: Obs = field(default_factory=Obs, repr=False, compare=False)
+
+    def _count(self, name: str, **labels: object) -> int:
+        return int(self.obs.registry.value(name, **labels))
+
+    @property
+    def cache_hits(self) -> int:
+        """Jobs served straight from the on-disk result cache."""
+        return self._count("repro_sweep_jobs_total", source="cached")
+
+    @property
+    def cache_misses(self) -> int:
+        """Jobs that had to be computed (no usable cached result)."""
+        return self._count("repro_sweep_jobs_total", source="computed")
+
+    @property
+    def cache_stores(self) -> int:
+        """Computed results persisted into the result cache."""
+        return self._count("repro_sweep_result_cache_total", event="store")
+
+    @property
+    def cache_quarantined(self) -> int:
+        """Corrupt/stale result-cache entries quarantined this run."""
+        return self._count(
+            "repro_sweep_result_cache_total", event="quarantined",
+        )
+
+    @property
+    def retried_jobs(self) -> int:
+        """Job executions re-attempted after a worker crash or failure."""
+        return self._count("repro_sweep_retried_jobs_total")
+
+    @property
+    def recovered_jobs(self) -> int:
+        """Jobs that completed successfully after at least one failure."""
+        return self._count("repro_sweep_recovered_jobs_total")
+
+    @property
+    def pool_restarts(self) -> int:
+        """Times the process pool broke and was rebuilt (worker death)."""
+        return self._count("repro_sweep_pool_restarts_total")
+
+    @property
+    def fallback_jobs(self) -> int:
+        """Jobs finished on the in-process fallback path after the
+        pool-retry budget was exhausted."""
+        return self._count("repro_sweep_fallback_jobs_total")
 
     def by_name(self) -> Dict[str, SimulationResult]:
         """Results keyed by job display name (order-preserving)."""
@@ -484,6 +558,12 @@ class SweepReport:
             "recovered_jobs": self.recovered_jobs,
             "pool_restarts": self.pool_restarts,
             "fallback_jobs": self.fallback_jobs,
+            "result_cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "stores": self.cache_stores,
+                "quarantined": self.cache_quarantined,
+            },
             "per_job_seconds": {
                 jr.result.name: jr.seconds for jr in self.results
             },
@@ -498,6 +578,7 @@ def run_sweep(
     trace_hash: Optional[str] = None,
     fault_plan=None,
     max_pool_restarts: int = 2,
+    obs: Optional[Obs] = None,
 ) -> SweepReport:
     """Run a policy x capacity grid over one shared, already-decoded trace.
 
@@ -524,6 +605,14 @@ def run_sweep(
             retries run without them.
         max_pool_restarts: pool rebuilds before falling back to
             in-process execution for whatever is still unfinished.
+        obs: optional :class:`repro.obs.Obs` context owned by the caller.
+            The run collects into a private per-run context (so the
+            report's counter properties describe *this* run, not the
+            caller's lifetime totals) and merges it into ``obs`` at the
+            end.  Workers collect into their own contexts and ship the
+            export back with each result; the parent absorbs those
+            payloads in job order, so the merged event stream of a
+            parallel run is as reproducible as a serial one.
 
     Returns:
         a :class:`SweepReport` whose ``results`` align 1:1 with ``jobs``.
@@ -531,117 +620,173 @@ def run_sweep(
     if workers < 1:
         raise ValueError("workers must be >= 1")
     start = time.perf_counter()
-    if trace_hash is None and result_cache is not None:
-        trace_hash = trace_fingerprint(trace)
-    slots: List[Optional[JobResult]] = [None] * len(jobs)
+    run_obs = Obs(events=EventLog(
+        level=obs.events.level if obs is not None else "info",
+    ))
+    m = sweep_metrics(run_obs.registry)
+    channel = run_obs.channel("sweep")
+    run_span = run_obs.span(
+        "sweep.run", jobs=len(jobs), workers=workers,
+    )
+    run_span.__enter__()
+    try:
+        if trace_hash is None and result_cache is not None:
+            trace_hash = trace_fingerprint(trace)
+        slots: List[Optional[JobResult]] = [None] * len(jobs)
 
-    pending: List[Tuple[int, SweepJob]] = []
-    cache_hits = 0
-    for index, job in enumerate(jobs):
-        record = (
-            result_cache.get(job, trace_hash)
-            if result_cache is not None else None
-        )
-        if record is not None:
-            record = dict(record, name=job.name or job.spec.label)
+        pending: List[Tuple[int, SweepJob]] = []
+        for index, job in enumerate(jobs):
+            if result_cache is not None:
+                quarantined_before = result_cache.corrupt_entries
+                record = result_cache.get(job, trace_hash)
+                quarantined = (
+                    result_cache.corrupt_entries - quarantined_before
+                )
+                if quarantined:
+                    m.result_cache.labels(event="quarantined").inc(
+                        quarantined,
+                    )
+                    channel.warning(
+                        "cache.quarantined", index=index,
+                        policy=job.spec.label, capacity=job.capacity,
+                    )
+            else:
+                record = None
+            if record is not None:
+                m.jobs.labels(source="cached").inc()
+                m.result_cache.labels(event="hit").inc()
+                record = dict(record, name=job.name or job.spec.label)
+                slots[index] = JobResult(
+                    job=job, result=record_to_result(record),
+                    seconds=0.0, from_cache=True,
+                )
+            else:
+                if result_cache is not None:
+                    m.result_cache.labels(event="miss").inc()
+                pending.append((index, job))
+
+        failed_once: Set[int] = set()
+        #: index -> worker obs export, absorbed in job order at the end.
+        worker_exports: Dict[int, dict] = {}
+
+        def finish(index: int, seconds: float, record: dict) -> None:
+            job = jobs[index]
+            if result_cache is not None:
+                result_cache.put(job, trace_hash, record)
+                m.result_cache.labels(event="store").inc()
             slots[index] = JobResult(
                 job=job, result=record_to_result(record),
-                seconds=0.0, from_cache=True,
+                seconds=seconds, from_cache=False,
             )
-            cache_hits += 1
-        else:
-            pending.append((index, job))
+            m.jobs.labels(source="computed").inc()
+            m.job_seconds.observe(seconds)
+            if index in failed_once:
+                m.recovered.inc()
 
-    retried_jobs = 0
-    recovered_jobs = 0
-    pool_restarts = 0
-    fallback_jobs = 0
-    failed_once: Set[int] = set()
+        remaining = list(pending)
+        if remaining and workers > 1:
+            kill_indices = (
+                frozenset(fault_plan.kill_indices())
+                if fault_plan is not None else frozenset()
+            )
+            rounds = 0
+            while remaining and rounds <= max_pool_restarts:
+                completed: Set[int] = set()
+                pool_broke = False
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=min(workers, len(remaining)),
+                        initializer=_init_worker,
+                        initargs=(
+                            trace, kill_indices, run_obs.events.level,
+                        ),
+                    ) as pool:
+                        futures = {
+                            pool.submit(_run_job_in_worker, payload): payload
+                            for payload in remaining
+                        }
+                        for future in as_completed(futures):
+                            try:
+                                index, seconds, record, export = (
+                                    future.result()
+                                )
+                            except BrokenProcessPool:
+                                pool_broke = True
+                            except Exception:
+                                # Job-level failure (not a dead worker):
+                                # retried too; a permanent failure surfaces
+                                # from the in-process fallback with a real
+                                # traceback.
+                                pass
+                            else:
+                                worker_exports[index] = export
+                                finish(index, seconds, record)
+                                completed.add(index)
+                except BrokenProcessPool:
+                    # The pool died while submitting or shutting down.
+                    pool_broke = True
+                failures = [
+                    payload for payload in remaining
+                    if payload[0] not in completed
+                ]
+                if failures:
+                    if pool_broke:
+                        m.pool_restarts.inc()
+                        channel.warning(
+                            "pool.broken", round=rounds,
+                            lost_jobs=len(failures),
+                        )
+                    m.retried.inc(len(failures))
+                    failed_once.update(index for index, _ in failures)
+                    channel.warning(
+                        "jobs.retried",
+                        indices=sorted(index for index, _ in failures),
+                    )
+                    # Scheduled worker kills are one-shot faults.
+                    kill_indices = frozenset()
+                    rounds += 1
+                remaining = failures
 
-    def finish(index: int, seconds: float, record: dict) -> None:
-        nonlocal recovered_jobs
-        job = jobs[index]
-        if result_cache is not None:
-            result_cache.put(job, trace_hash, record)
-        slots[index] = JobResult(
-            job=job, result=record_to_result(record),
-            seconds=seconds, from_cache=False,
-        )
-        if index in failed_once:
-            recovered_jobs += 1
+        for index, job in remaining:
+            if index in failed_once:
+                m.fallback.inc()
+                channel.warning(
+                    "job.fallback", index=index, policy=job.spec.label,
+                )
+            job_start = time.perf_counter()
+            result = _execute(trace, job, obs=run_obs)
+            finish(
+                index, time.perf_counter() - job_start,
+                result_to_record(result),
+            )
+        # (workers == 1 lands here directly: the plain serial path.)
 
-    remaining = list(pending)
-    if remaining and workers > 1:
-        kill_indices = (
-            frozenset(fault_plan.kill_indices())
-            if fault_plan is not None else frozenset()
-        )
-        rounds = 0
-        while remaining and rounds <= max_pool_restarts:
-            completed: Set[int] = set()
-            pool_broke = False
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=min(workers, len(remaining)),
-                    initializer=_init_worker,
-                    initargs=(trace, kill_indices),
-                ) as pool:
-                    futures = {
-                        pool.submit(_run_job_in_worker, payload): payload
-                        for payload in remaining
-                    }
-                    for future in as_completed(futures):
-                        try:
-                            index, seconds, record = future.result()
-                        except BrokenProcessPool:
-                            pool_broke = True
-                        except Exception:
-                            # Job-level failure (not a dead worker):
-                            # retried too; a permanent failure surfaces
-                            # from the in-process fallback with a real
-                            # traceback.
-                            pass
-                        else:
-                            finish(index, seconds, record)
-                            completed.add(index)
-            except BrokenProcessPool:
-                # The pool died while submitting or shutting down.
-                pool_broke = True
-            failures = [
-                payload for payload in remaining
-                if payload[0] not in completed
-            ]
-            if failures:
-                if pool_broke:
-                    pool_restarts += 1
-                retried_jobs += len(failures)
-                failed_once.update(index for index, _ in failures)
-                # Scheduled worker kills are one-shot faults.
-                kill_indices = frozenset()
-                rounds += 1
-            remaining = failures
+        # Fold worker telemetry in by ascending job index — never in
+        # completion order — so the merged stream is reproducible.
+        for index in sorted(worker_exports):
+            run_obs.absorb(worker_exports[index])
 
-    for index, job in remaining:
-        if index in failed_once:
-            fallback_jobs += 1
-        job_start = time.perf_counter()
-        result = _execute(trace, job)
-        finish(
-            index, time.perf_counter() - job_start,
-            result_to_record(result),
-        )
-    # (workers == 1 lands here directly: the plain serial path.)
+        # Completion events, one per grid cell in job order, timing-free
+        # (timings live in spans and the job_seconds histogram).
+        for index, slot in enumerate(slots):
+            if slot is None:  # pragma: no cover - every job finishes
+                continue
+            channel.info(
+                "job.done", index=index, name=slot.result.name,
+                policy=slot.job.spec.label, capacity=slot.job.capacity,
+                source="cached" if slot.from_cache else "computed",
+                recovered=index in failed_once,
+            )
+    finally:
+        run_span.__exit__(None, None, None)
 
+    if obs is not None:
+        obs.absorb(run_obs.export())
     return SweepReport(
         results=[slot for slot in slots if slot is not None],
         wall_seconds=time.perf_counter() - start,
         workers=workers,
         trace_hash=trace_hash or "",
         trace_requests=len(trace),
-        cache_hits=cache_hits,
-        cache_misses=len(pending),
-        retried_jobs=retried_jobs,
-        recovered_jobs=recovered_jobs,
-        pool_restarts=pool_restarts,
-        fallback_jobs=fallback_jobs,
+        obs=run_obs,
     )

@@ -31,7 +31,7 @@ import time as _time
 from collections import Counter
 from dataclasses import dataclass, field, fields
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 from repro.httpnet.message import HttpMessageError, HttpRequest, HttpResponse
 from repro.proxy.origin import OriginServer, SyntheticSite, _read_request
@@ -233,6 +233,10 @@ class FaultInjector:
         self._fired: Counter = Counter()
         #: Fault counts by kind value, for chaos reports.
         self.counts: Counter = Counter()
+        #: Optional ``f(kind_value)`` observability hook, called outside
+        #: the injector's lock for every fault that fires (the chaos
+        #: harness points it at its metrics registry).
+        self.on_fault: Optional[Callable[[str], None]] = None
 
     @property
     def events(self) -> int:
@@ -251,6 +255,7 @@ class FaultInjector:
         self, url: str = "", conditional: bool = False,
     ) -> Optional[FaultRule]:
         """Decide the fate of the next origin contact."""
+        fired: Optional[FaultRule] = None
         with self._lock:
             index = self._event
             self._event += 1
@@ -265,8 +270,11 @@ class FaultInjector:
                     continue
                 self._fired[rule_index] += 1
                 self.counts[rule.kind.value] += 1
-                return rule
-        return None
+                fired = rule
+                break
+        if fired is not None and self.on_fault is not None:
+            self.on_fault(fired.kind.value)
+        return fired
 
     def summary(self) -> Dict[str, int]:
         """Events seen and faults injected, by kind."""

@@ -1,0 +1,194 @@
+"""The catalog: every metric the codebase exposes, declared in one place.
+
+Each ``*_metrics`` function registers (idempotently) one subsystem's
+metric families on a registry and returns them as a namespace, so call
+sites write ``m.hits.inc()`` instead of repeating name strings.  Because
+registration is centralised here, ``repro obs check`` can build the
+canonical registry by applying :data:`ALL_METRIC_SETS` and then verify
+that (a) no two declarations collide, (b) every name follows the
+``repro_<subsystem>_<name>`` convention, and (c) no metric-name literal
+anywhere else in the source tree bypasses the catalog.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.obs.metrics import Registry
+
+__all__ = [
+    "sim_metrics",
+    "sweep_metrics",
+    "proxy_metrics",
+    "chaos_metrics",
+    "ALL_METRIC_SETS",
+]
+
+#: Wall-time buckets for simulation/sweep jobs (seconds): jobs range
+#: from milliseconds (tiny test grids) to minutes (full-scale traces).
+JOB_SECONDS_BUCKETS = (
+    0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+#: Origin-fetch latency buckets (seconds), shaped for LAN origins with
+#: retry/backoff tails.
+FETCH_SECONDS_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 15.0,
+)
+
+
+def sim_metrics(registry: Registry) -> SimpleNamespace:
+    """Trace-driven simulator metrics (``repro_sim_*``)."""
+    return SimpleNamespace(
+        requests=registry.counter(
+            "repro_sim_requests_total",
+            "Simulated cache accesses by outcome",
+            labelnames=("outcome",),
+        ),
+        hits=registry.counter(
+            "repro_sim_hits_total", "Simulated cache hits",
+        ),
+        evictions=registry.counter(
+            "repro_sim_evictions_total",
+            "Documents removed on demand by the removal policy",
+        ),
+        evicted_bytes=registry.counter(
+            "repro_sim_evicted_bytes_total",
+            "Bytes removed on demand by the removal policy",
+        ),
+        replays=registry.counter(
+            "repro_sim_replays_total", "Completed trace replays",
+        ),
+        replay_seconds=registry.histogram(
+            "repro_sim_replay_seconds",
+            "Wall time of one trace replay",
+            buckets=JOB_SECONDS_BUCKETS,
+        ),
+    )
+
+
+def sweep_metrics(registry: Registry) -> SimpleNamespace:
+    """Sweep-engine metrics (``repro_sweep_*``)."""
+    return SimpleNamespace(
+        jobs=registry.counter(
+            "repro_sweep_jobs_total",
+            "Grid cells finished, by source (computed vs result cache)",
+            labelnames=("source",),
+        ),
+        retried=registry.counter(
+            "repro_sweep_retried_jobs_total",
+            "Job executions re-attempted after a worker crash or failure",
+        ),
+        recovered=registry.counter(
+            "repro_sweep_recovered_jobs_total",
+            "Jobs that completed after at least one failure",
+        ),
+        pool_restarts=registry.counter(
+            "repro_sweep_pool_restarts_total",
+            "Process-pool rebuilds after worker death",
+        ),
+        fallback=registry.counter(
+            "repro_sweep_fallback_jobs_total",
+            "Jobs finished on the in-process fallback path",
+        ),
+        job_seconds=registry.histogram(
+            "repro_sweep_job_seconds",
+            "Wall time of one computed grid cell",
+            buckets=JOB_SECONDS_BUCKETS,
+        ),
+        result_cache=registry.counter(
+            "repro_sweep_result_cache_total",
+            "On-disk result cache operations",
+            labelnames=("event",),
+        ),
+    )
+
+
+def proxy_metrics(registry: Registry) -> SimpleNamespace:
+    """Live caching-proxy metrics (``repro_proxy_*``)."""
+    return SimpleNamespace(
+        requests=registry.counter(
+            "repro_proxy_requests_total", "Client requests handled",
+        ),
+        hits=registry.counter(
+            "repro_proxy_hits_total", "Fresh cached copies served",
+        ),
+        revalidations=registry.counter(
+            "repro_proxy_revalidations_total",
+            "Conditional GETs sent for stale copies",
+        ),
+        revalidation_hits=registry.counter(
+            "repro_proxy_revalidation_hits_total",
+            "Revalidations answered 304 (copy confirmed, a hit)",
+        ),
+        misses=registry.counter(
+            "repro_proxy_misses_total", "Requests served from the origin",
+        ),
+        errors=registry.counter(
+            "repro_proxy_errors_total",
+            "Requests that failed (client or origin side)",
+        ),
+        bytes_from_cache=registry.counter(
+            "repro_proxy_bytes_from_cache_total",
+            "Body bytes served from the store",
+        ),
+        bytes_from_origin=registry.counter(
+            "repro_proxy_bytes_from_origin_total",
+            "Body bytes fetched and cached from origins",
+        ),
+        retries=registry.counter(
+            "repro_proxy_retries_total",
+            "Origin fetch attempts retried after a transient failure",
+        ),
+        stale_served=registry.counter(
+            "repro_proxy_stale_served_total",
+            "Cached copies served because revalidation/refetch failed",
+        ),
+        breaker_open=registry.counter(
+            "repro_proxy_breaker_open_total",
+            "Requests failed fast by an open circuit breaker",
+        ),
+        breaker_transitions=registry.counter(
+            "repro_proxy_breaker_transitions_total",
+            "Circuit-breaker state transitions, by new state",
+            labelnames=("state",),
+        ),
+        origin_fetch_seconds=registry.histogram(
+            "repro_proxy_origin_fetch_seconds",
+            "Origin fetch wall time including retries and backoff",
+            buckets=FETCH_SECONDS_BUCKETS,
+        ),
+        store_used_bytes=registry.gauge(
+            "repro_proxy_store_used_bytes",
+            "Bytes currently held by the document store",
+        ),
+        store_documents=registry.gauge(
+            "repro_proxy_store_documents",
+            "Documents currently held by the store",
+        ),
+    )
+
+
+def chaos_metrics(registry: Registry) -> SimpleNamespace:
+    """Chaos-harness metrics (``repro_chaos_*``)."""
+    return SimpleNamespace(
+        faults=registry.counter(
+            "repro_chaos_faults_injected_total",
+            "Faults injected into origin traffic, by kind",
+            labelnames=("kind",),
+        ),
+        replays=registry.counter(
+            "repro_chaos_replays_total",
+            "Full trace replays completed, by phase",
+            labelnames=("phase",),
+        ),
+        degradation_points=registry.gauge(
+            "repro_chaos_degradation_points",
+            "Hit-rate points lost to injected faults in the last run",
+        ),
+    )
+
+
+#: Everything ``repro obs check`` applies to one registry to build the
+#: canonical declaration set.
+ALL_METRIC_SETS = (sim_metrics, sweep_metrics, proxy_metrics, chaos_metrics)

@@ -1,0 +1,130 @@
+"""``repro obs check`` — the metric-name lint.
+
+Builds the canonical registry from :data:`repro.obs.catalog.ALL_METRIC_SETS`
+and fails on:
+
+* **duplicates** — two declarations claiming one name with different
+  signatures (raises inside the registry and is reported here);
+* **convention violations** — names not matching
+  ``repro_<subsystem>_<name>``, counters not suffixed ``_total``,
+  histograms not suffixed with a unit, or empty help strings;
+* **unregistered names** — ``"repro_*"`` string literals anywhere in
+  the source tree that are not declared in the catalog (the way ad-hoc
+  metrics would sneak past the registry).
+
+Run by CI as a lint step; exits non-zero when any problem is found.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.catalog import ALL_METRIC_SETS
+from repro.obs.metrics import Histogram, MetricError, Registry
+
+__all__ = ["run_check", "render_problems"]
+
+#: The DESIGN.md §8 naming convention.
+_CONVENTION_RE = re.compile(r"^repro_[a-z0-9]+_[a-z0-9_]*[a-z0-9]$")
+
+#: Histogram names must state their unit.
+_HISTOGRAM_UNITS = ("_seconds", "_bytes", "_requests")
+
+#: Metric-name-shaped string literals in source files.
+_LITERAL_RE = re.compile(r"[\"'](repro_[a-z0-9_]+)[\"']")
+
+
+def _build_canonical() -> Tuple[Registry, List[str]]:
+    """Apply every catalog declaration to one registry."""
+    problems: List[str] = []
+    registry = Registry()
+    for build in ALL_METRIC_SETS:
+        try:
+            build(registry)
+        except MetricError as error:
+            problems.append(f"catalog: {build.__name__}: {error}")
+    return registry, problems
+
+
+def _check_conventions(registry: Registry) -> List[str]:
+    problems = []
+    for name in registry.names():
+        family = registry.get(name)
+        if not _CONVENTION_RE.match(name):
+            problems.append(
+                f"{name}: does not match repro_<subsystem>_<name>"
+            )
+        if family.kind == "counter" and not name.endswith("_total"):
+            problems.append(f"{name}: counter names must end in _total")
+        if isinstance(family, Histogram) and not name.endswith(
+            _HISTOGRAM_UNITS
+        ):
+            problems.append(
+                f"{name}: histogram names must end in a unit suffix "
+                f"{_HISTOGRAM_UNITS}"
+            )
+        if not family.help:
+            problems.append(f"{name}: empty help string")
+    return problems
+
+
+def scan_source_literals(root: Path) -> Dict[str, List[str]]:
+    """``repro_*`` string literals under ``root``: name -> locations."""
+    found: Dict[str, List[str]] = {}
+    for path in sorted(root.rglob("*.py")):
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:  # pragma: no cover - unreadable source file
+            continue
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            for match in _LITERAL_RE.finditer(line):
+                found.setdefault(match.group(1), []).append(
+                    f"{path}:{line_number}"
+                )
+    return found
+
+
+def run_check(root: Optional[Path] = None) -> Tuple[List[str], List[str]]:
+    """Run the full lint.
+
+    Args:
+        root: source tree to scan for stray metric-name literals;
+            defaults to the installed ``repro`` package directory.
+
+    Returns:
+        ``(problems, registered_names)``.
+    """
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+    registry, problems = _build_canonical()
+    problems.extend(_check_conventions(registry))
+    registered = set(registry.names())
+    # Histogram exposition derives _bucket/_sum/_count series; literals
+    # naming those are still rooted in a registered family.
+    derived = set()
+    for name in registered:
+        derived.update({f"{name}_bucket", f"{name}_sum", f"{name}_count"})
+    for name, locations in sorted(scan_source_literals(root).items()):
+        if name in registered or name in derived:
+            continue
+        problems.append(
+            f"{name}: metric-name literal not declared in the catalog "
+            f"({', '.join(locations[:3])})"
+        )
+    return problems, sorted(registered)
+
+
+def render_problems(problems: List[str], registered: List[str]) -> str:
+    """Human-readable lint report."""
+    if not problems:
+        return (
+            f"obs check: {len(registered)} metric names registered, "
+            f"no problems"
+        )
+    lines = [f"obs check: {len(problems)} problem(s):"]
+    lines.extend(f"  - {problem}" for problem in problems)
+    return "\n".join(lines)

@@ -1,0 +1,216 @@
+"""Structured event log: levelled, channelled, JSONL-serialisable.
+
+An :class:`EventLog` collects events — plain dicts with a monotonic
+``seq``, a ``channel`` (the emitting subsystem: ``sim``, ``sweep``,
+``proxy``, ``chaos``...), a ``level`` and an ``event`` name plus
+arbitrary structured fields.  It is the replacement for ad-hoc prints:
+components hold a :class:`Channel` and emit through it.
+
+Reproducibility: events carry no wall-clock timestamp unless a clock is
+injected, so a seeded run produces a byte-identical event stream —
+ordering comes from ``seq``, which the log assigns.  Worker logs are
+:meth:`absorbed <EventLog.absorb>` in deterministic (job) order by the
+sweep engine, re-stamping ``seq`` so the merged stream is totally
+ordered.
+
+The log is bounded (a ring of ``max_events``); overflow drops the
+oldest events and counts them in :attr:`dropped`, so a long-lived proxy
+cannot leak memory through its own telemetry.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import Counter, deque
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, TextIO, Union
+
+__all__ = ["LEVELS", "Channel", "EventLog"]
+
+#: Level name -> numeric threshold (stdlib-compatible ordering).
+LEVELS: Dict[str, int] = {
+    "debug": 10,
+    "info": 20,
+    "warning": 30,
+    "error": 40,
+}
+
+
+def _level_number(level: Union[str, int]) -> int:
+    if isinstance(level, int):
+        return level
+    try:
+        return LEVELS[level.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown level {level!r}; use one of {sorted(LEVELS)}"
+        ) from None
+
+
+class Channel:
+    """A named emitter bound to one :class:`EventLog`."""
+
+    __slots__ = ("log", "name")
+
+    def __init__(self, log: "EventLog", name: str) -> None:
+        self.log = log
+        self.name = name
+
+    def enabled_for(self, level: Union[str, int]) -> bool:
+        return self.log.enabled_for(self.name, level)
+
+    def debug(self, event: str, **fields: object) -> None:
+        self.log.emit(self.name, "debug", event, **fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self.log.emit(self.name, "info", event, **fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self.log.emit(self.name, "warning", event, **fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self.log.emit(self.name, "error", event, **fields)
+
+
+class EventLog:
+    """A bounded, levelled, channelled structured log.
+
+    Args:
+        level: default threshold; events below it are discarded at the
+            emit site (cheap when disabled).
+        max_events: ring-buffer capacity; the oldest events are dropped
+            (and counted) past it.
+        clock: optional ``() -> float``; when provided every event gains
+            a ``ts`` field.  Leave unset for reproducible seeded runs.
+        sink: optional writable text stream that receives each event as
+            one JSONL line at emit time (live tailing).
+    """
+
+    def __init__(
+        self,
+        level: Union[str, int] = "info",
+        max_events: int = 65536,
+        clock: Optional[Callable[[], float]] = None,
+        sink: Optional[TextIO] = None,
+    ) -> None:
+        self.level = _level_number(level)
+        self.clock = clock
+        self.sink = sink
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._events: deque = deque()
+        self._max_events = max_events
+        self._seq = 0
+        self._channel_levels: Dict[str, int] = {}
+
+    # -- configuration -------------------------------------------------------
+
+    def set_level(
+        self, level: Union[str, int], channel: Optional[str] = None,
+    ) -> None:
+        """Set the default threshold, or override one channel's."""
+        number = _level_number(level)
+        if channel is None:
+            self.level = number
+        else:
+            self._channel_levels[channel] = number
+
+    def enabled_for(self, channel: str, level: Union[str, int]) -> bool:
+        threshold = self._channel_levels.get(channel, self.level)
+        return _level_number(level) >= threshold
+
+    def channel(self, name: str) -> Channel:
+        return Channel(self, name)
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(
+        self, channel: str, level: Union[str, int], event: str,
+        **fields: object,
+    ) -> None:
+        number = _level_number(level)
+        if number < self._channel_levels.get(channel, self.level):
+            return
+        levelname = level if isinstance(level, str) else str(level)
+        with self._lock:
+            self._seq += 1
+            record: Dict[str, object] = {
+                "seq": self._seq,
+                "channel": channel,
+                "level": levelname,
+                "event": event,
+            }
+            if self.clock is not None:
+                record["ts"] = self.clock()
+            record.update(fields)
+            self._events.append(record)
+            if len(self._events) > self._max_events:
+                self._events.popleft()
+                self.dropped += 1
+        if self.sink is not None:
+            self.sink.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def absorb(self, records: Iterable[dict], channel_prefix: str = "") -> None:
+        """Fold another log's exported events in, re-stamping ``seq`` so
+        the merged stream stays totally ordered.  The caller controls
+        reproducibility by absorbing in a deterministic order."""
+        for record in records:
+            record = dict(record)
+            record.pop("seq", None)
+            channel = str(record.pop("channel", ""))
+            if channel_prefix:
+                channel = f"{channel_prefix}{channel}"
+            level = record.pop("level", "info")
+            event = str(record.pop("event", ""))
+            self.emit(channel, level, event, **record)
+
+    # -- inspection ----------------------------------------------------------
+
+    def events(
+        self,
+        channel: Optional[str] = None,
+        event: Optional[str] = None,
+    ) -> List[dict]:
+        with self._lock:
+            records = list(self._events)
+        if channel is not None:
+            records = [r for r in records if r["channel"] == channel]
+        if event is not None:
+            records = [r for r in records if r["event"] == event]
+        return records
+
+    def counts(self) -> Counter:
+        """(channel, event) -> occurrences, over retained events."""
+        with self._lock:
+            return Counter(
+                (r["channel"], r["event"]) for r in self._events
+            )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dicts(self) -> List[dict]:
+        with self._lock:
+            return [dict(r) for r in self._events]
+
+    def write_jsonl(self, path: Union[str, Path]) -> int:
+        """Write retained events as JSONL; returns the line count."""
+        records = self.to_dicts()
+        with Path(path).open("w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(records)
+
+    @staticmethod
+    def read_jsonl(path: Union[str, Path]) -> List[dict]:
+        """Parse an events file back into records (for ``obs summarize``)."""
+        records = []
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        return records

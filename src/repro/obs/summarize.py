@@ -1,0 +1,163 @@
+"""``repro obs summarize`` — render a run's artifacts as a report.
+
+Takes any subset of the three artifacts a run writes (``--events-out``
+JSONL, ``--trace-out`` Chrome trace JSON, ``--metrics-out`` Prometheus
+text) and produces a human-readable summary: event volumes by channel
+and level, the hottest event types, per-phase wall-time breakdowns from
+the spans, and every non-zero metric sample.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.analysis.report import render_table
+from repro.obs.events import EventLog
+
+__all__ = ["parse_prometheus_text", "summarize_run"]
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL_PAIR_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus_text(
+    text: str,
+) -> List[Tuple[str, Dict[str, str], float]]:
+    """Parse exposition-format text into (name, labels, value) samples."""
+    samples = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            continue
+        labels = {
+            key: value.replace(r"\"", '"').replace(r"\n", "\n")
+            .replace(r"\\", "\\")
+            for key, value in _LABEL_PAIR_RE.findall(
+                match.group("labels") or ""
+            )
+        }
+        raw = match.group("value")
+        value = float("inf") if raw == "+Inf" else float(raw)
+        samples.append((match.group("name"), labels, value))
+    return samples
+
+
+def _summarize_events(path: Path) -> str:
+    records = EventLog.read_jsonl(path)
+    if not records:
+        return f"events: {path} is empty"
+    by_channel_level: Counter = Counter(
+        (r.get("channel", "?"), r.get("level", "?")) for r in records
+    )
+    by_event: Counter = Counter(
+        (r.get("channel", "?"), r.get("event", "?")) for r in records
+    )
+    parts = [render_table(
+        ["channel", "level", "events"],
+        [
+            [channel, level, count]
+            for (channel, level), count in sorted(by_channel_level.items())
+        ],
+        title=f"Event volume ({len(records)} events)",
+    )]
+    top = by_event.most_common(10)
+    parts.append(render_table(
+        ["channel", "event", "count"],
+        [[channel, event, count] for (channel, event), count in top],
+        title="Top event types",
+    ))
+    return "\n\n".join(parts)
+
+
+def _summarize_trace(path: Path) -> str:
+    trace = json.loads(Path(path).read_text(encoding="utf-8"))
+    events = [
+        event for event in trace.get("traceEvents", ())
+        if event.get("ph") == "X"
+    ]
+    if not events:
+        return f"trace: {path} holds no complete spans"
+    phases: Dict[str, Dict[str, float]] = {}
+    for event in events:
+        entry = phases.setdefault(
+            event["name"], {"count": 0, "total_us": 0.0, "max_us": 0.0},
+        )
+        entry["count"] += 1
+        entry["total_us"] += event.get("dur", 0.0)
+        entry["max_us"] = max(entry["max_us"], event.get("dur", 0.0))
+    rows = [
+        [
+            name,
+            int(entry["count"]),
+            f"{entry['total_us'] / 1e6:.3f}",
+            f"{entry['max_us'] / 1e6:.3f}",
+        ]
+        for name, entry in sorted(
+            phases.items(), key=lambda item: -item[1]["total_us"],
+        )
+    ]
+    pids = {event["pid"] for event in events}
+    return render_table(
+        ["phase", "spans", "total s", "max s"],
+        rows,
+        title=(
+            f"Wall-time breakdown ({len(events)} spans over "
+            f"{len(pids)} process(es))"
+        ),
+    )
+
+
+def _summarize_metrics(path: Path) -> str:
+    samples = parse_prometheus_text(
+        Path(path).read_text(encoding="utf-8")
+    )
+    nonzero = [
+        (name, labels, value)
+        for name, labels, value in samples
+        if value and not name.endswith("_bucket")
+    ]
+    if not nonzero:
+        return f"metrics: {path} holds no non-zero samples"
+    rows = [
+        [
+            name,
+            ",".join(
+                f"{k}={v}" for k, v in sorted(labels.items())
+            ) or "-",
+            f"{value:g}",
+        ]
+        for name, labels, value in nonzero
+    ]
+    return render_table(
+        ["metric", "labels", "value"],
+        rows,
+        title=f"Non-zero metrics ({len(nonzero)} samples)",
+    )
+
+
+def summarize_run(
+    events_path: Optional[Union[str, Path]] = None,
+    trace_path: Optional[Union[str, Path]] = None,
+    metrics_path: Optional[Union[str, Path]] = None,
+) -> str:
+    """Render whichever artifacts were provided into one report."""
+    sections = []
+    if events_path:
+        sections.append(_summarize_events(Path(events_path)))
+    if trace_path:
+        sections.append(_summarize_trace(Path(trace_path)))
+    if metrics_path:
+        sections.append(_summarize_metrics(Path(metrics_path)))
+    if not sections:
+        return "nothing to summarize: pass --events, --trace or --metrics"
+    return "\n\n".join(sections)

@@ -1,0 +1,195 @@
+"""Tracing spans with parent/child nesting and Chrome trace export.
+
+A :class:`Tracer` hands out context-managed spans::
+
+    with tracer.span("sweep.job", policy="SIZE", capacity=1 << 20):
+        ...
+
+Spans nest through a per-thread stack, so a span opened inside another
+records it as its parent.  The collected spans serve two outputs:
+
+* :meth:`Tracer.phase_breakdown` — per-span-name wall-time aggregates
+  (count / total / max), the numbers behind ``repro obs summarize``;
+* :meth:`Tracer.to_chrome_trace` — Chrome ``trace_event`` JSON
+  (``"X"`` complete events) loadable in ``about:tracing`` or Perfetto.
+  Spans absorbed from sweep workers keep their own ``pid``, so a
+  parallel sweep renders as one row per worker process.
+
+Timing uses ``time.perf_counter`` and therefore does not perturb any
+simulation state; a tracer can also be constructed ``enabled=False`` to
+make every span a no-op.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+__all__ = ["SpanHandle", "Tracer"]
+
+
+class SpanHandle:
+    """Lets code inside a span attach arguments after the fact."""
+
+    __slots__ = ("record",)
+
+    def __init__(self, record: dict) -> None:
+        self.record = record
+
+    def set(self, **args: object) -> None:
+        self.record["args"].update(args)
+
+    @property
+    def name(self) -> str:
+        return self.record["name"]
+
+
+class Tracer:
+    """Collects nested spans from any number of threads."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        enabled: bool = True,
+    ) -> None:
+        self.clock = clock
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._spans: List[dict] = []
+        self._local = threading.local()
+        self._next_id = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def _stack(self) -> List[dict]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **args: object):
+        """Open a span; nesting is tracked per thread."""
+        if not self.enabled:
+            yield None
+            return
+        stack = self._stack()
+        with self._lock:
+            self._next_id += 1
+            span_id = self._next_id
+        record = {
+            "id": span_id,
+            "parent": stack[-1]["id"] if stack else None,
+            "name": name,
+            "start": self.clock(),
+            "end": None,
+            "args": dict(args),
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+        with self._lock:
+            # Appended at open time: parents precede their children.
+            self._spans.append(record)
+        stack.append(record)
+        try:
+            yield SpanHandle(record)
+        finally:
+            stack.pop()
+            record["end"] = self.clock()
+
+    def absorb(self, spans: Iterable[dict]) -> None:
+        """Fold spans exported from another process in, re-keying ids so
+        they cannot collide with local ones (parent links are remapped
+        within the absorbed batch)."""
+        batch = [dict(span) for span in spans]
+        with self._lock:
+            mapping: Dict[int, int] = {}
+            for span in batch:
+                self._next_id += 1
+                mapping[span["id"]] = self._next_id
+                span["id"] = self._next_id
+            for span in batch:
+                if span.get("parent") is not None:
+                    span["parent"] = mapping.get(span["parent"])
+            self._spans.extend(batch)
+
+    # -- inspection ----------------------------------------------------------
+
+    def spans(self) -> List[dict]:
+        with self._lock:
+            return [dict(span) for span in self._spans]
+
+    def to_dicts(self) -> List[dict]:
+        """Alias of :meth:`spans` (the worker export path)."""
+        return self.spans()
+
+    def phase_breakdown(self) -> Dict[str, dict]:
+        """Per-span-name aggregates: count, total and max seconds."""
+        out: Dict[str, dict] = {}
+        for span in self.spans():
+            if span["end"] is None:
+                continue
+            seconds = span["end"] - span["start"]
+            entry = out.setdefault(
+                span["name"],
+                {"count": 0, "total_seconds": 0.0, "max_seconds": 0.0},
+            )
+            entry["count"] += 1
+            entry["total_seconds"] += seconds
+            entry["max_seconds"] = max(entry["max_seconds"], seconds)
+        return out
+
+    # -- Chrome trace_event export -------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """The span set as Chrome ``trace_event`` JSON (Perfetto-ready).
+
+        Per-pid timebases are normalised independently (worker clocks
+        are process-relative), so every process's first span starts at
+        ts 0 on its own row.
+        """
+        spans = [span for span in self.spans() if span["end"] is not None]
+        epoch_by_pid: Dict[int, float] = {}
+        for span in spans:
+            pid = span["pid"]
+            start = span["start"]
+            if pid not in epoch_by_pid or start < epoch_by_pid[pid]:
+                epoch_by_pid[pid] = start
+        events: List[dict] = []
+        for pid in sorted(epoch_by_pid):
+            events.append({
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {
+                    "name": "repro" if pid == os.getpid()
+                    else f"repro worker {pid}",
+                },
+            })
+        for span in spans:
+            epoch = epoch_by_pid[span["pid"]]
+            events.append({
+                "name": span["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": (span["start"] - epoch) * 1e6,
+                "dur": (span["end"] - span["start"]) * 1e6,
+                "pid": span["pid"],
+                "tid": span["tid"],
+                "args": dict(span["args"], span_id=span["id"]),
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: Union[str, Path]) -> int:
+        """Write the Chrome trace JSON; returns the event count."""
+        trace = self.to_chrome_trace()
+        Path(path).write_text(
+            json.dumps(trace, sort_keys=True), encoding="utf-8",
+        )
+        return len(trace["traceEvents"])

@@ -25,6 +25,8 @@ from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
 from repro.faults import FaultPlan, FaultyOriginServer
+from repro.obs import Obs
+from repro.obs.catalog import chaos_metrics
 from repro.proxy.consistency import ConsistencyEstimator
 from repro.proxy.origin import OriginServer
 from repro.proxy.replay import ReplayReport, TraceOriginSite, replay_through_proxy
@@ -116,6 +118,7 @@ def _replay_once(
     policy,
     ttl: float,
     retry_policy: RetryPolicy,
+    obs: Optional[Obs] = None,
 ) -> tuple:
     """One full stack lifecycle: origin + proxy up, replay, tear down."""
     now_box = [trace[0].timestamp if trace else 0.0]
@@ -129,6 +132,7 @@ def _replay_once(
         clock=lambda: now_box[0],
         timeout=retry_policy.timeout,
         retry_policy=retry_policy,
+        obs=obs,
     )
     origin.start()
     proxy.start()
@@ -152,6 +156,7 @@ def run_chaos(
     policy=None,
     ttl: Optional[float] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    obs: Optional[Obs] = None,
 ) -> ChaosReport:
     """Replay ``trace`` twice — fault-free and under ``plan`` — and
     report the degradation.
@@ -168,6 +173,13 @@ def run_chaos(
             tenth of the trace's time span, so long traces revalidate.
         retry_policy: proxy retry/backoff configuration (default:
             1 s attempts, 2 retries, fast backoff).
+        obs: optional :class:`repro.obs.Obs` context.  Collects the
+            ``repro_chaos_*`` metrics, per-phase spans and chaos events;
+            the *faulted* stack's proxy also reports into it (its
+            ``repro_proxy_*`` counters describe the replay under faults,
+            matching the report's ``proxy`` section).  The baseline
+            proxy keeps a private context so the two replays' proxy
+            counters never mix.
     """
     if not trace:
         raise ValueError("chaos replay needs a non-empty trace")
@@ -181,20 +193,40 @@ def run_chaos(
             timeout=1.0, max_retries=2, backoff_base=0.01, max_backoff=0.1,
         )
 
+    obs = obs if obs is not None else Obs()
+    m = chaos_metrics(obs.registry)
+    channel = obs.channel("chaos")
+
     baseline_site = TraceOriginSite()
-    baseline_report, baseline_stats = _replay_once(
-        trace, OriginServer(site=baseline_site), baseline_site,
-        capacity, policy, ttl, retry_policy,
+    with obs.span("chaos.baseline", requests=len(trace)):
+        baseline_report, baseline_stats = _replay_once(
+            trace, OriginServer(site=baseline_site), baseline_site,
+            capacity, policy, ttl, retry_policy,
+        )
+    m.replays.labels(phase="baseline").inc()
+    channel.info(
+        "replay.done", phase="baseline",
+        requests=baseline_report.requests,
+        hit_rate=round(baseline_report.hit_rate, 4),
     )
 
     injector = plan.injector()
+    injector.on_fault = lambda kind: m.faults.labels(kind=kind).inc()
     faulted_site = TraceOriginSite()
-    faulted_report, faulted_stats = _replay_once(
-        trace, FaultyOriginServer(injector, site=faulted_site), faulted_site,
-        capacity, policy, ttl, retry_policy,
+    with obs.span("chaos.faulted", requests=len(trace)):
+        faulted_report, faulted_stats = _replay_once(
+            trace, FaultyOriginServer(injector, site=faulted_site),
+            faulted_site, capacity, policy, ttl, retry_policy, obs=obs,
+        )
+    m.replays.labels(phase="faulted").inc()
+    channel.info(
+        "replay.done", phase="faulted",
+        requests=faulted_report.requests,
+        hit_rate=round(faulted_report.hit_rate, 4),
+        faults_injected=dict(sorted(injector.counts.items())),
     )
 
-    return ChaosReport(
+    report = ChaosReport(
         baseline=baseline_report,
         faulted=faulted_report,
         baseline_stats=baseline_stats,
@@ -203,3 +235,5 @@ def run_chaos(
         plan=plan,
         capacity=capacity,
     )
+    m.degradation_points.set(report.degradation_points)
+    return report

@@ -20,7 +20,6 @@ import random
 import socket
 import threading
 import time as _time
-from dataclasses import dataclass, field
 from typing import Callable, Optional, Tuple
 from urllib.parse import urlsplit
 
@@ -30,12 +29,21 @@ from repro.httpnet.message import (
     HttpResponse,
     format_http_date,
 )
+from repro.obs import Obs
+from repro.obs.catalog import proxy_metrics
 from repro.proxy.consistency import ConsistencyEstimator, Freshness
 from repro.proxy.origin import _read_request
 from repro.proxy.store import CachedDocument, ProxyStore
 from repro.retry import BreakerRegistry, RetryPolicy
 
-__all__ = ["OriginError", "ProxyStats", "CachingProxy"]
+__all__ = ["OriginError", "ProxyStats", "CachingProxy", "METRICS_PATH"]
+
+#: Local path on the proxy that serves the metrics registry in
+#: Prometheus text format instead of being proxied.
+METRICS_PATH = "/metrics"
+
+#: The exposition content type (Prometheus text format 0.0.4).
+_EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class OriginError(OSError):
@@ -48,25 +56,55 @@ class OriginError(OSError):
 Resolver = Callable[[str], Tuple[str, int]]
 
 
-@dataclass
-class ProxyStats:
-    """Counters describing proxy behaviour since start."""
+def _counter_property(name: str, doc: str) -> property:
+    def read(self: "ProxyStats") -> int:
+        return int(getattr(self.m, name).value)
 
-    requests: int = 0
-    hits: int = 0
-    revalidations: int = 0
-    revalidation_hits: int = 0
-    misses: int = 0
-    errors: int = 0
-    bytes_from_cache: int = 0
-    bytes_from_origin: int = 0
-    #: Origin fetch attempts retried after a transient failure.
-    retries: int = 0
-    #: Cached copies served because revalidation/refetch failed
-    #: (stale-if-error; tagged ``X-Cache: STALE``).
-    stale_served: int = 0
-    #: Requests failed fast by an open per-origin circuit breaker.
-    breaker_open: int = 0
+    read.__doc__ = doc
+    return property(read)
+
+
+class ProxyStats:
+    """Counters describing proxy behaviour since start.
+
+    Backed by the ``repro_proxy_*`` families of an obs metrics registry
+    (the same registry ``GET /metrics`` serves), with the historical int
+    attributes kept as read-through properties so existing callers and
+    tests keep reading plain ints.  Write sites go through :meth:`inc`.
+    """
+
+    def __init__(self, obs: Optional[Obs] = None) -> None:
+        self.obs = obs if obs is not None else Obs()
+        self.m = proxy_metrics(self.obs.registry)
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add to one of the unlabelled proxy counters by field name."""
+        getattr(self.m, name).inc(amount)
+
+    requests = _counter_property("requests", "Client requests handled.")
+    hits = _counter_property("hits", "Fresh cached copies served.")
+    revalidations = _counter_property(
+        "revalidations", "Conditional GETs sent for stale copies.")
+    revalidation_hits = _counter_property(
+        "revalidation_hits",
+        "Revalidations answered 304 (copy confirmed, a hit).")
+    misses = _counter_property("misses", "Requests served from the origin.")
+    errors = _counter_property(
+        "errors", "Requests that failed (client or origin side).")
+    bytes_from_cache = _counter_property(
+        "bytes_from_cache", "Body bytes served from the store.")
+    bytes_from_origin = _counter_property(
+        "bytes_from_origin", "Body bytes fetched and cached from origins.")
+    retries = _counter_property(
+        "retries",
+        "Origin fetch attempts retried after a transient failure.")
+    stale_served = _counter_property(
+        "stale_served",
+        "Cached copies served because revalidation/refetch failed "
+        "(stale-if-error; tagged ``X-Cache: STALE``).")
+    breaker_open = _counter_property(
+        "breaker_open",
+        "Requests failed fast by an open per-origin circuit breaker.")
 
     @property
     def hit_rate(self) -> float:
@@ -113,17 +151,21 @@ class CachingProxy:
         retry_policy: Optional[RetryPolicy] = None,
         breakers: Optional[BreakerRegistry] = None,
         sleep=_time.sleep,
+        obs: Optional[Obs] = None,
     ) -> None:
         self.store = store
         self.resolver = resolver if resolver is not None else self._default_resolver
         self.estimator = estimator if estimator is not None else ConsistencyEstimator()
-        self.stats = ProxyStats()
+        self.obs = obs if obs is not None else Obs()
+        self.stats = ProxyStats(self.obs)
+        self._channel = self.obs.channel("proxy")
         self.timeout = timeout
         self.retry_policy = (
             retry_policy if retry_policy is not None
             else RetryPolicy(timeout=timeout)
         )
         self.breakers = breakers if breakers is not None else BreakerRegistry()
+        self.breakers.on_transition = self._on_breaker_transition
         self._sleep = sleep
         self._retry_rng = random.Random(0)
         self._clock = clock
@@ -190,7 +232,7 @@ class CachingProxy:
                     _read_request(connection, timeout=self.timeout)
                 )
             except (HttpMessageError, OSError):
-                self.stats.errors += 1
+                self.stats.inc("errors")
                 return
             response = self.handle(request, client=peer)
             try:
@@ -206,19 +248,25 @@ class CachingProxy:
         Never raises: any unexpected failure degrades to a well-formed
         502 so one bad request can never take a client connection (or a
         chaos replay) down with an unhandled exception.
+
+        ``GET /metrics`` (a local path, not a proxied URL) is answered
+        from the metrics registry *before* request accounting, so
+        scrapes never perturb the hit rate they report.
         """
-        self.stats.requests += 1
+        if request.method == "GET" and request.url == METRICS_PATH:
+            return self._metrics_response()
+        self.stats.inc("requests")
         try:
             response = self._dispatch(request)
         except Exception:
-            self.stats.errors += 1
+            self.stats.inc("errors")
             response = HttpResponse(status=502)
         self._log_access(request, response, client)
         return response
 
     def _dispatch(self, request: HttpRequest) -> HttpResponse:
         if not request.url.startswith("http://"):
-            self.stats.errors += 1
+            self.stats.inc("errors")
             return HttpResponse(status=400)
         if request.method in ("HEAD", "POST"):
             # Pass through uncached: HEAD carries no cacheable body and
@@ -227,12 +275,12 @@ class CachingProxy:
             try:
                 response = self._forward(request)
             except OSError:
-                self.stats.errors += 1
+                self.stats.inc("errors")
                 return HttpResponse(status=502)
-            self.stats.misses += 1
+            self.stats.inc("misses")
             return self._tag(response, "PASS")
         if request.method != "GET":
-            self.stats.errors += 1
+            self.stats.inc("errors")
             return HttpResponse(status=501)
         now = self._clock()
         cached = self.store.get(request.url, now=now)
@@ -241,8 +289,8 @@ class CachingProxy:
                 now, cached.fetched_at, cached.last_modified, cached.expires,
             )
             if verdict is Freshness.FRESH:
-                self.stats.hits += 1
-                self.stats.bytes_from_cache += cached.size
+                self.stats.inc("hits")
+                self.stats.inc("bytes_from_cache", cached.size)
                 return self._respond_from(cached, "HIT")
             return self._revalidate(request, cached, now)
         return self._fetch_and_cache(request, now)
@@ -271,7 +319,7 @@ class CachingProxy:
     def _revalidate(
         self, request: HttpRequest, cached: CachedDocument, now: float
     ) -> HttpResponse:
-        self.stats.revalidations += 1
+        self.stats.inc("revalidations")
         conditional = HttpRequest(
             method="GET",
             url=request.url,
@@ -293,8 +341,8 @@ class CachingProxy:
             return self._serve_stale(cached)
         if origin_response.status == 304:
             # Copy confirmed consistent: refresh and serve it (a hit).
-            self.stats.revalidation_hits += 1
-            self.stats.bytes_from_cache += cached.size
+            self.stats.inc("revalidation_hits")
+            self.stats.inc("bytes_from_cache", cached.size)
             refreshed = CachedDocument(
                 url=cached.url,
                 body=cached.body,
@@ -307,24 +355,25 @@ class CachingProxy:
             self.store.put(refreshed, now=now)
             return self._respond_from(refreshed, "REVALIDATED")
         # Document changed (or revalidation unsupported): treat as miss.
-        self.stats.misses += 1
+        self.stats.inc("misses")
         self.store.invalidate(request.url)
         self._maybe_cache(request.url, origin_response, now)
         return self._tag(origin_response, "MISS")
 
     def _serve_stale(self, cached: CachedDocument) -> HttpResponse:
         """Serve a cached copy we could not revalidate (stale-if-error)."""
-        self.stats.stale_served += 1
-        self.stats.bytes_from_cache += cached.size
+        self.stats.inc("stale_served")
+        self.stats.inc("bytes_from_cache", cached.size)
+        self._channel.warning("stale.served", url=cached.url)
         return self._respond_from(cached, "STALE")
 
     def _fetch_and_cache(self, request: HttpRequest, now: float) -> HttpResponse:
         try:
             origin_response = self._forward(request)
         except OSError:
-            self.stats.errors += 1
+            self.stats.inc("errors")
             return HttpResponse(status=502)
-        self.stats.misses += 1
+        self.stats.inc("misses")
         self._maybe_cache(request.url, origin_response, now)
         return self._tag(origin_response, "MISS")
 
@@ -335,7 +384,7 @@ class CachingProxy:
             return
         if "?" in url:
             return  # dynamically created documents cannot be cached (§1)
-        self.stats.bytes_from_origin += len(response.body)
+        self.stats.inc("bytes_from_origin", len(response.body))
         expires = None
         expires_header = response.headers.get("expires") or response.headers.get("Expires")
         if expires_header:
@@ -356,6 +405,25 @@ class CachingProxy:
 
     # -- plumbing -----------------------------------------------------------------------
 
+    def _metrics_response(self) -> HttpResponse:
+        """``GET /metrics``: the registry in Prometheus text format.
+
+        Store occupancy gauges are set at scrape time (they describe
+        current state, not a stream of increments)."""
+        self.stats.m.store_used_bytes.set(self.store.used_bytes)
+        self.stats.m.store_documents.set(len(self.store))
+        return HttpResponse(
+            status=200,
+            headers={"Content-Type": _EXPOSITION_CONTENT_TYPE},
+            body=self.obs.registry.render().encode("utf-8"),
+        )
+
+    def _on_breaker_transition(self, host: str, old: str, new: str) -> None:
+        self.stats.m.breaker_transitions.labels(state=new).inc()
+        self._channel.warning(
+            "breaker.transition", host=host, old=old, new=new,
+        )
+
     def _forward(self, request: HttpRequest) -> HttpResponse:
         """Fetch from the origin with retries, behind its circuit breaker.
 
@@ -366,23 +434,39 @@ class CachingProxy:
         host = urlsplit(request.url).netloc
         breaker = self.breakers.for_host(host)
         if not breaker.allow(self._clock()):
-            self.stats.breaker_open += 1
+            self.stats.inc("breaker_open")
+            self._channel.warning("breaker.fastfail", host=host)
             raise OriginError(f"circuit breaker open for {host}")
         policy = self.retry_policy
+        fetch_start = _time.perf_counter()
         for retry_index in range(policy.attempts):
             try:
                 response = self._fetch_once(request, host)
             except (OSError, HttpMessageError) as error:
                 if retry_index >= policy.max_retries:
                     breaker.record_failure(self._clock())
+                    self.stats.m.origin_fetch_seconds.observe(
+                        _time.perf_counter() - fetch_start
+                    )
+                    self._channel.warning(
+                        "origin.failed", host=host, url=request.url,
+                        attempts=policy.attempts, error=str(error),
+                    )
                     raise OriginError(
                         f"origin fetch failed after {policy.attempts} "
                         f"attempt(s): {error}"
                     ) from error
-                self.stats.retries += 1
+                self.stats.inc("retries")
+                self._channel.warning(
+                    "origin.retry", host=host, url=request.url,
+                    attempt=retry_index + 1, error=str(error),
+                )
                 self._sleep(policy.delay(retry_index, self._retry_rng))
             else:
                 breaker.record_success()
+                self.stats.m.origin_fetch_seconds.observe(
+                    _time.perf_counter() - fetch_start
+                )
                 return response
         raise AssertionError("unreachable")  # pragma: no cover
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 import random
 import threading
 from dataclasses import dataclass
-from typing import Dict, Iterator
+from typing import Callable, Dict, Iterator, Optional
 
 __all__ = ["RetryPolicy", "CircuitBreaker", "BreakerRegistry"]
 
@@ -99,10 +99,17 @@ class CircuitBreaker:
     States: *closed* (requests flow), *open* (requests fail fast),
     *half-open* (one probe allowed).  Thread-safe; time is passed in by
     the caller so the proxy's injectable clock drives it.
+
+    ``on_transition(old_state, new_state)`` — when provided — fires on
+    every state change, *outside* the breaker's lock (observability
+    hooks must never be able to deadlock the request path).
     """
 
     def __init__(
-        self, failure_threshold: int = 5, reset_after: float = 30.0,
+        self,
+        failure_threshold: int = 5,
+        reset_after: float = 30.0,
+        on_transition: Optional[Callable[[str, str], None]] = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -110,6 +117,7 @@ class CircuitBreaker:
             raise ValueError("reset_after must be positive")
         self.failure_threshold = failure_threshold
         self.reset_after = reset_after
+        self.on_transition = on_transition
         self._lock = threading.Lock()
         self._consecutive_failures = 0
         self._opened_at: float = 0.0
@@ -120,57 +128,89 @@ class CircuitBreaker:
     def state(self) -> str:
         return self._state
 
+    def _notify(self, old: str, new: str) -> None:
+        if old != new and self.on_transition is not None:
+            self.on_transition(old, new)
+
     def allow(self, now: float) -> bool:
         """May a request proceed at time ``now``?  In the open state one
         probe is let through once ``reset_after`` has elapsed."""
+        old = new = ""
         with self._lock:
             if self._state == "closed":
                 return True
             if self._state == "open":
                 if now - self._opened_at >= self.reset_after:
-                    self._state = "half-open"
+                    old, self._state = self._state, "half-open"
+                    new = self._state
                     self._probing = True
-                    return True
-                return False
-            # half-open: exactly one in-flight probe at a time.
-            if self._probing:
-                return False
-            self._probing = True
-            return True
+                    allowed = True
+                else:
+                    allowed = False
+            elif self._probing:
+                # half-open: exactly one in-flight probe at a time.
+                allowed = False
+            else:
+                self._probing = True
+                allowed = True
+        self._notify(old, new)
+        return allowed
 
     def record_success(self) -> None:
         with self._lock:
+            old = self._state
             self._consecutive_failures = 0
             self._state = "closed"
             self._probing = False
+        self._notify(old, "closed")
 
     def record_failure(self, now: float) -> None:
+        old = new = ""
         with self._lock:
             self._consecutive_failures += 1
             self._probing = False
             if (self._state == "half-open"
                     or self._consecutive_failures >= self.failure_threshold):
-                self._state = "open"
+                old, self._state = self._state, "open"
+                new = "open"
                 self._opened_at = now
+        self._notify(old, new)
 
 
 class BreakerRegistry:
-    """Thread-safe map of origin host -> :class:`CircuitBreaker`."""
+    """Thread-safe map of origin host -> :class:`CircuitBreaker`.
+
+    :attr:`on_transition` — assignable at any time, including after
+    breakers exist — receives ``(host, old_state, new_state)`` for every
+    state change of every breaker (the proxy points it at its metrics
+    and event log).
+    """
 
     def __init__(
         self, failure_threshold: int = 5, reset_after: float = 30.0,
     ) -> None:
         self.failure_threshold = failure_threshold
         self.reset_after = reset_after
+        self.on_transition: Optional[Callable[[str, str, str], None]] = None
         self._lock = threading.Lock()
         self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def _fire(self, host: str, old: str, new: str) -> None:
+        callback = self.on_transition
+        if callback is not None:
+            callback(host, old, new)
 
     def for_host(self, host: str) -> CircuitBreaker:
         with self._lock:
             breaker = self._breakers.get(host)
             if breaker is None:
                 breaker = CircuitBreaker(
-                    self.failure_threshold, self.reset_after,
+                    self.failure_threshold,
+                    self.reset_after,
+                    on_transition=(
+                        lambda old, new, _host=host:
+                        self._fire(_host, old, new)
+                    ),
                 )
                 self._breakers[host] = breaker
             return breaker

@@ -1,0 +1,98 @@
+"""Tests for the ``repro obs check`` metric-name lint."""
+
+from pathlib import Path
+
+from repro.obs.catalog import ALL_METRIC_SETS
+from repro.obs.check import render_problems, run_check, scan_source_literals
+from repro.obs.metrics import Registry
+
+
+class TestRepoIsClean:
+    def test_shipped_catalog_and_source_pass(self):
+        problems, registered = run_check()
+        assert problems == []
+        # The catalog is substantial: every subsystem declares metrics.
+        assert len(registered) >= 20
+        assert all(name.startswith("repro_") for name in registered)
+
+    def test_catalog_sets_share_one_registry(self):
+        # All builders must coexist: no cross-subsystem name collisions.
+        registry = Registry()
+        for build in ALL_METRIC_SETS:
+            build(registry)
+        assert len(registry.names()) >= 20
+
+
+class TestLiteralScan:
+    def test_finds_undeclared_literal(self, tmp_path):
+        (tmp_path / "rogue.py").write_text(
+            'COUNT = "repro_rogue_things_total"\n', encoding="utf-8",
+        )
+        problems, _ = run_check(root=tmp_path)
+        assert any("repro_rogue_things_total" in p for p in problems)
+        assert any("not declared in the catalog" in p for p in problems)
+
+    def test_derived_histogram_series_allowed(self, tmp_path):
+        # _bucket/_sum/_count literals root in a registered histogram.
+        (tmp_path / "ok.py").write_text(
+            'NAME = "repro_sweep_job_seconds_count"\n', encoding="utf-8",
+        )
+        problems, registered = run_check(root=tmp_path)
+        assert "repro_sweep_job_seconds" in registered
+        assert problems == []
+
+    def test_scan_reports_locations(self, tmp_path):
+        source = tmp_path / "mod.py"
+        source.write_text(
+            'A = "repro_x_a_total"\nB = "repro_x_a_total"\n',
+            encoding="utf-8",
+        )
+        found = scan_source_literals(tmp_path)
+        assert found == {
+            "repro_x_a_total": [f"{source}:1", f"{source}:2"],
+        }
+
+
+class TestConventions:
+    def _problems_for(self, build):
+        from repro.obs import check as check_module
+
+        registry = Registry()
+        build(registry)
+        return check_module._check_conventions(registry)
+
+    def test_counter_without_total_suffix_flagged(self):
+        problems = self._problems_for(
+            lambda r: r.counter("repro_x_things", "things")
+        )
+        assert any("_total" in p for p in problems)
+
+    def test_histogram_without_unit_flagged(self):
+        problems = self._problems_for(
+            lambda r: r.histogram("repro_x_latency", "t", buckets=(1.0,))
+        )
+        assert any("unit suffix" in p for p in problems)
+
+    def test_missing_help_flagged(self):
+        problems = self._problems_for(
+            lambda r: r.gauge("repro_x_depth", "")
+        )
+        assert any("empty help" in p for p in problems)
+
+    def test_off_convention_name_flagged(self):
+        problems = self._problems_for(
+            lambda r: r.gauge("notrepro_depth", "d")
+        )
+        assert any("repro_<subsystem>_<name>" in p for p in problems)
+
+
+class TestRendering:
+    def test_clean_report(self):
+        text = render_problems([], ["repro_a_x_total"])
+        assert "no problems" in text
+
+    def test_problem_report_lists_each(self):
+        text = render_problems(["a: bad", "b: worse"], [])
+        assert "2 problem(s)" in text
+        assert "  - a: bad" in text
+        assert "  - b: worse" in text

@@ -1,0 +1,157 @@
+"""Unit tests for the structured event log."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.events import LEVELS, EventLog
+
+
+class TestLevels:
+    def test_threshold_filters_at_emit(self):
+        log = EventLog(level="info")
+        channel = log.channel("sim")
+        channel.debug("noise")
+        channel.info("kept")
+        channel.error("also kept")
+        assert [r["event"] for r in log.events()] == ["kept", "also kept"]
+
+    def test_per_channel_override(self):
+        log = EventLog(level="warning")
+        log.set_level("debug", channel="sweep")
+        log.channel("sweep").debug("kept")
+        log.channel("proxy").info("dropped")
+        log.channel("proxy").warning("kept too")
+        assert [(r["channel"], r["event"]) for r in log.events()] == [
+            ("sweep", "kept"), ("proxy", "kept too"),
+        ]
+
+    def test_enabled_for(self):
+        log = EventLog(level="info")
+        channel = log.channel("sim")
+        assert not channel.enabled_for("debug")
+        assert channel.enabled_for("info")
+        log.set_level("debug", channel="sim")
+        assert channel.enabled_for("debug")
+        assert not log.channel("other").enabled_for("debug")
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog(level="loud")
+        assert sorted(LEVELS) == ["debug", "error", "info", "warning"]
+
+
+class TestOrdering:
+    def test_seq_is_monotonic_and_contiguous(self):
+        log = EventLog()
+        channel = log.channel("sim")
+        for i in range(5):
+            channel.info("tick", i=i)
+        assert [r["seq"] for r in log.events()] == [1, 2, 3, 4, 5]
+
+    def test_no_timestamp_without_clock(self):
+        log = EventLog()
+        log.channel("sim").info("tick")
+        assert "ts" not in log.events()[0]
+
+    def test_injected_clock_stamps_ts(self):
+        ticks = iter([1.5, 2.5])
+        log = EventLog(clock=lambda: next(ticks))
+        log.channel("sim").info("a")
+        log.channel("sim").info("b")
+        assert [r["ts"] for r in log.events()] == [1.5, 2.5]
+
+
+class TestRingBuffer:
+    def test_overflow_drops_oldest_and_counts(self):
+        log = EventLog(max_events=3)
+        channel = log.channel("sim")
+        for i in range(5):
+            channel.info("tick", i=i)
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [r["i"] for r in log.events()] == [2, 3, 4]
+        # seq keeps counting across drops: the stream stays ordered.
+        assert [r["seq"] for r in log.events()] == [3, 4, 5]
+
+
+class TestAbsorb:
+    def test_absorb_restamps_seq_in_caller_order(self):
+        worker_a = EventLog()
+        worker_a.channel("sim").info("done", job=7)
+        worker_b = EventLog()
+        worker_b.channel("sim").info("done", job=2)
+
+        parent = EventLog()
+        parent.channel("sweep").info("start")
+        # Caller-controlled deterministic order: b then a.
+        parent.absorb(worker_b.to_dicts())
+        parent.absorb(worker_a.to_dicts())
+
+        records = parent.events()
+        assert [r["seq"] for r in records] == [1, 2, 3]
+        assert [r.get("job") for r in records] == [None, 2, 7]
+
+    def test_absorb_respects_parent_threshold(self):
+        worker = EventLog(level="debug")
+        worker.channel("sim").debug("chatty")
+        parent = EventLog(level="info")
+        parent.absorb(worker.to_dicts())
+        assert len(parent) == 0
+
+    def test_absorb_channel_prefix(self):
+        worker = EventLog()
+        worker.channel("sim").info("done")
+        parent = EventLog()
+        parent.absorb(worker.to_dicts(), channel_prefix="w0/")
+        assert parent.events()[0]["channel"] == "w0/sim"
+
+
+class TestInspection:
+    def test_filtering_and_counts(self):
+        log = EventLog()
+        log.channel("sim").info("replay.done", name="LRU")
+        log.channel("sim").info("replay.done", name="LFU")
+        log.channel("sweep").info("job.done")
+        assert len(log.events(channel="sim")) == 2
+        assert len(log.events(event="job.done")) == 1
+        assert log.counts() == {
+            ("sim", "replay.done"): 2, ("sweep", "job.done"): 1,
+        }
+
+
+class TestSerialisation:
+    def test_jsonl_round_trip(self, tmp_path):
+        log = EventLog()
+        log.channel("sim").info("replay.done", hits=42, policy="LRU")
+        log.channel("sweep").warning("pool.broken", failures=1)
+        path = tmp_path / "events.jsonl"
+        assert log.write_jsonl(path) == 2
+        assert EventLog.read_jsonl(path) == log.to_dicts()
+
+    def test_jsonl_lines_have_sorted_keys(self, tmp_path):
+        log = EventLog()
+        log.channel("sim").info("tick", zeta=1, alpha=2)
+        path = tmp_path / "events.jsonl"
+        log.write_jsonl(path)
+        line = path.read_text(encoding="utf-8").strip()
+        keys = list(json.loads(line))
+        assert line == json.dumps(json.loads(line), sort_keys=True)
+        assert keys == sorted(keys)
+
+    def test_sink_receives_live_jsonl(self):
+        sink = io.StringIO()
+        log = EventLog(sink=sink)
+        log.channel("sim").info("tick")
+        assert json.loads(sink.getvalue())["event"] == "tick"
+
+    def test_identical_runs_produce_identical_streams(self):
+        def run():
+            log = EventLog()
+            channel = log.channel("sim")
+            for i in range(4):
+                channel.info("replay.done", index=i)
+            return json.dumps(log.to_dicts(), sort_keys=True)
+
+        assert run() == run()

@@ -1,0 +1,166 @@
+"""Unit tests for tracing spans and the Chrome trace export."""
+
+import itertools
+import json
+import os
+
+from repro.obs.tracing import Tracer
+
+
+def fake_clock(step=1.0, start=0.0):
+    counter = itertools.count()
+    return lambda: start + step * next(counter)
+
+
+class TestSpans:
+    def test_nesting_records_parent_ids(self):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("outer"):
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                pass
+        outer, inner_a, inner_b = tracer.spans()
+        assert outer["parent"] is None
+        assert inner_a["parent"] == outer["id"]
+        assert inner_b["parent"] == outer["id"]
+        # Opened-order invariant: parents precede their children.
+        assert outer["id"] < inner_a["id"] < inner_b["id"]
+
+    def test_siblings_after_close_are_roots(self):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        first, second = tracer.spans()
+        assert first["parent"] is None
+        assert second["parent"] is None
+
+    def test_span_handle_attaches_args(self):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("job", policy="LRU") as handle:
+            handle.set(hits=9)
+        (span,) = tracer.spans()
+        assert span["args"] == {"policy": "LRU", "hits": 9}
+
+    def test_span_closed_on_exception(self):
+        tracer = Tracer(clock=fake_clock())
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        (span,) = tracer.spans()
+        assert span["end"] is not None
+        # The stack unwound: the next span is a root, not a child.
+        with tracer.span("after"):
+            pass
+        assert tracer.spans()[1]["parent"] is None
+
+    def test_disabled_tracer_is_a_noop(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("ignored") as handle:
+            assert handle is None
+        assert tracer.spans() == []
+
+
+class TestPhaseBreakdown:
+    def test_aggregates_count_total_max(self):
+        tracer = Tracer(clock=fake_clock())
+        # clock ticks 0,1 -> 1s; 2,3 -> 1s; 4,8 via nesting below.
+        with tracer.span("job"):
+            pass
+        with tracer.span("job"):
+            pass
+        with tracer.span("run"):      # start=4
+            with tracer.span("job"):  # start=5, end=6 -> 1s
+                pass
+        # run ends at 7 -> 3s
+        breakdown = tracer.phase_breakdown()
+        assert breakdown["job"]["count"] == 3
+        assert breakdown["job"]["total_seconds"] == 3.0
+        assert breakdown["job"]["max_seconds"] == 1.0
+        assert breakdown["run"] == {
+            "count": 1, "total_seconds": 3.0, "max_seconds": 3.0,
+        }
+
+    def test_open_spans_excluded(self):
+        tracer = Tracer(clock=fake_clock())
+        span_cm = tracer.span("never.closed")
+        span_cm.__enter__()
+        assert tracer.phase_breakdown() == {}
+
+
+class TestAbsorb:
+    def test_ids_rekeyed_and_parents_remapped(self):
+        worker = Tracer(clock=fake_clock())
+        with worker.span("w.outer"):
+            with worker.span("w.inner"):
+                pass
+
+        parent = Tracer(clock=fake_clock())
+        with parent.span("local"):
+            pass
+        parent.absorb(worker.to_dicts())
+
+        spans = {span["name"]: span for span in parent.spans()}
+        ids = [span["id"] for span in parent.spans()]
+        assert len(set(ids)) == 3
+        assert spans["w.inner"]["parent"] == spans["w.outer"]["id"]
+        assert spans["w.outer"]["parent"] is None
+
+
+class TestChromeTrace:
+    def test_export_shape(self):
+        tracer = Tracer(clock=fake_clock(start=100.0))
+        with tracer.span("sweep.run"):
+            with tracer.span("sweep.job", policy="LRU"):
+                pass
+        trace = tracer.to_chrome_trace()
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(meta) == 1
+        assert meta[0]["name"] == "process_name"
+        assert meta[0]["args"]["name"] == "repro"
+        assert [e["name"] for e in complete] == ["sweep.run", "sweep.job"]
+        job = complete[1]
+        assert job["cat"] == "repro"
+        assert job["pid"] == os.getpid()
+        assert job["args"]["policy"] == "LRU"
+        # Per-pid epoch normalisation: the first span starts at ts 0 even
+        # though the clock started at 100.
+        assert complete[0]["ts"] == 0.0
+        assert job["ts"] == 1e6       # opened one tick (1s) later
+        assert job["dur"] == 1e6
+
+    def test_absorbed_worker_pid_gets_own_row(self):
+        parent = Tracer(clock=fake_clock())
+        with parent.span("sweep.run"):
+            pass
+        worker_span = {
+            "id": 1, "parent": None, "name": "sweep.job",
+            "start": 5.0, "end": 6.0, "args": {},
+            "pid": os.getpid() + 1, "tid": 1,
+        }
+        parent.absorb([worker_span])
+        trace = parent.to_chrome_trace()
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert len(meta) == 2
+        names = sorted(e["args"]["name"] for e in meta)
+        assert names[0] == "repro"
+        assert names[1].startswith("repro worker ")
+        # The worker's own epoch: its first span also renders at ts 0.
+        job = [e for e in trace["traceEvents"] if e.get("name") == "sweep.job"]
+        assert job[0]["ts"] == 0.0
+
+    def test_write_chrome_trace(self, tmp_path):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("a"):
+            pass
+        path = tmp_path / "trace.json"
+        count = tracer.write_chrome_trace(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert count == len(payload["traceEvents"]) == 2  # 1 meta + 1 span

@@ -1,0 +1,102 @@
+"""Tests for the proxy's ``GET /metrics`` Prometheus exposition endpoint.
+
+Socket-free: requests go straight through ``proxy.handle`` against a
+real origin server, then the endpoint's output is parsed as exposition
+text and checked against the proxy's own stats.
+"""
+
+import pytest
+
+from repro.httpnet.message import HttpRequest
+from repro.obs import Obs
+from repro.obs.summarize import parse_prometheus_text
+from repro.proxy import CachingProxy, ProxyStore
+from repro.proxy.origin import OriginServer
+from repro.proxy.server import METRICS_PATH
+
+
+@pytest.fixture()
+def origin():
+    server = OriginServer()
+    server.start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture()
+def proxy(origin):
+    proxy = CachingProxy(
+        ProxyStore(capacity=512 * 1024),
+        resolver=lambda host: origin.address,
+    )
+    yield proxy
+    proxy.stop()
+
+
+def scrape(proxy):
+    return proxy.handle(HttpRequest("GET", METRICS_PATH))
+
+
+class TestEndpoint:
+    def test_exposition_response_shape(self, proxy):
+        response = scrape(proxy)
+        assert response.status == 200
+        assert response.headers["Content-Type"] == (
+            "text/plain; version=0.0.4; charset=utf-8"
+        )
+        body = response.body.decode("utf-8")
+        assert "# TYPE repro_proxy_requests_total counter" in body
+        # The whole body is parseable exposition text.
+        samples = parse_prometheus_text(body)
+        assert samples
+
+    def test_scrape_does_not_perturb_request_stats(self, proxy):
+        before = proxy.stats.requests
+        for _ in range(3):
+            assert scrape(proxy).status == 200
+        assert proxy.stats.requests == before
+
+    def test_counters_reflect_traffic(self, proxy):
+        url = "http://site-00.example.edu/index.html"
+        proxy.handle(HttpRequest("GET", url))   # miss
+        proxy.handle(HttpRequest("GET", url))   # hit
+        body = scrape(proxy).body.decode("utf-8")
+        assert "repro_proxy_requests_total 2" in body
+        assert "repro_proxy_hits_total 1" in body
+        assert "repro_proxy_misses_total 1" in body
+        # The read-through stats properties see the same registry.
+        assert proxy.stats.requests == 2
+        assert proxy.stats.hits == 1
+        assert proxy.stats.misses == 1
+
+    def test_store_gauges_set_at_scrape_time(self, proxy):
+        url = "http://site-00.example.edu/index.html"
+        response = proxy.handle(HttpRequest("GET", url))
+        body = scrape(proxy).body.decode("utf-8")
+        assert f"repro_proxy_store_documents {len(proxy.store)}" in body
+        assert (
+            f"repro_proxy_store_used_bytes {proxy.store.used_bytes}" in body
+        )
+        assert proxy.store.used_bytes >= len(response.body)
+
+    def test_fetch_latency_histogram_observed(self, proxy):
+        proxy.handle(HttpRequest("GET", "http://site-00.example.edu/a.html"))
+        body = scrape(proxy).body.decode("utf-8")
+        assert "repro_proxy_origin_fetch_seconds_count 1" in body
+
+    def test_caller_obs_shares_the_registry(self, origin):
+        obs = Obs.create()
+        proxy = CachingProxy(
+            ProxyStore(capacity=512 * 1024),
+            resolver=lambda host: origin.address,
+            obs=obs,
+        )
+        try:
+            proxy.handle(
+                HttpRequest("GET", "http://site-00.example.edu/index.html")
+            )
+            assert obs.registry.value("repro_proxy_requests_total") == 1.0
+            body = scrape(proxy).body.decode("utf-8")
+            assert "repro_proxy_requests_total 1" in body
+        finally:
+            proxy.stop()

@@ -1,0 +1,98 @@
+"""Tests for the CLI's observability surface.
+
+Covers the ``--trace-out`` / ``--metrics-out`` / ``--events-out`` /
+``--log-level`` flags (the acceptance-criterion invocation from the
+issue), the ``repro obs check`` lint, and ``repro obs summarize``.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.events import EventLog
+from repro.obs.summarize import parse_prometheus_text
+
+
+@pytest.fixture()
+def sweep_artifacts(tmp_path, capsys):
+    """Artifacts of one small parallel sweep with every out-flag set."""
+    paths = {
+        "trace": tmp_path / "t.json",
+        "metrics": tmp_path / "m.prom",
+        "events": tmp_path / "e.jsonl",
+    }
+    assert main([
+        "sweep", "--workload", "C", "--scale", "0.01", "--workers", "2",
+        "--trace-out", str(paths["trace"]),
+        "--metrics-out", str(paths["metrics"]),
+        "--events-out", str(paths["events"]),
+    ]) == 0
+    capsys.readouterr()
+    return paths
+
+
+class TestSweepArtifacts:
+    def test_chrome_trace_is_valid_and_perfetto_shaped(self, sweep_artifacts):
+        trace = json.loads(
+            sweep_artifacts["trace"].read_text(encoding="utf-8")
+        )
+        events = trace["traceEvents"]
+        assert trace["displayTimeUnit"] == "ms"
+        phases = {event["ph"] for event in events}
+        assert phases == {"M", "X"}
+        names = [e["name"] for e in events if e["ph"] == "X"]
+        assert names.count("sweep.run") == 1
+        assert names.count("sweep.job") == 36
+        assert names.count("sim.replay") == 36
+        for event in events:
+            if event["ph"] == "X":
+                assert event["ts"] >= 0.0
+                assert event["dur"] >= 0.0
+
+    def test_metrics_are_parseable_exposition_text(self, sweep_artifacts):
+        text = sweep_artifacts["metrics"].read_text(encoding="utf-8")
+        samples = {
+            (name, tuple(sorted(labels.items()))): value
+            for name, labels, value in parse_prometheus_text(text)
+        }
+        assert samples[
+            ("repro_sweep_jobs_total", (("source", "computed"),))
+        ] == 36
+        assert samples[("repro_sim_replays_total", ())] == 36
+
+    def test_events_are_jsonl_in_seq_order(self, sweep_artifacts):
+        records = EventLog.read_jsonl(sweep_artifacts["events"])
+        assert [r["seq"] for r in records] == list(range(1, len(records) + 1))
+        done = [r for r in records if r["event"] == "job.done"]
+        assert [r["index"] for r in done] == list(range(36))
+        assert len([r for r in records if r["event"] == "replay.done"]) == 36
+
+    def test_summarize_renders_the_artifacts(self, sweep_artifacts, capsys):
+        assert main([
+            "obs", "summarize",
+            "--trace", str(sweep_artifacts["trace"]),
+            "--metrics", str(sweep_artifacts["metrics"]),
+            "--events", str(sweep_artifacts["events"]),
+        ]) == 0
+        captured = capsys.readouterr().out
+        assert "sweep.job" in captured
+        assert "repro_sweep_jobs_total" in captured
+        assert "job.done" in captured
+
+
+class TestLogLevelFlag:
+    def test_warning_level_suppresses_info_events(self, tmp_path, capsys):
+        events = tmp_path / "e.jsonl"
+        assert main([
+            "sweep", "--workload", "C", "--scale", "0.01",
+            "--log-level", "warning", "--events-out", str(events),
+        ]) == 0
+        capsys.readouterr()
+        assert EventLog.read_jsonl(events) == []
+
+
+class TestObsCheckCommand:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["obs", "check"]) == 0
+        assert "no problems" in capsys.readouterr().out
