@@ -130,9 +130,23 @@ def parse_policy(text: str) -> RemovalPolicy:
         ) from None
 
 
-def _load_valid_trace(path: str, epoch: float):
+def _load_valid_trace(path: str, epoch: float, obs=None):
+    """Lenient ingestion: malformed lines are quarantined (counted on
+    ``repro_trace_rejected_lines`` when an obs context is given), never
+    fatal mid-replay."""
+    from repro.trace.reader import IngestStats
+
+    ingest = IngestStats()
     validator = TraceValidator()
-    valid = validator.validate(read_clf_file(path, epoch=epoch))
+    valid = validator.validate(
+        read_clf_file(path, epoch=epoch, obs=obs, stats=ingest)
+    )
+    if ingest.rejected:
+        print(
+            f"quarantined {ingest.rejected} malformed line(s) of "
+            f"{ingest.lines} in {path}",
+            file=sys.stderr,
+        )
     return valid, validator.stats
 
 
@@ -387,12 +401,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.sweep import (
         PolicySpec,
         SimOptions,
+        SweepInterrupted,
         SweepJob,
         run_sweep,
     )
 
+    obs = _build_obs(args)
     if args.trace:
-        valid, _ = _load_valid_trace(args.trace, args.epoch)
+        valid, _ = _load_valid_trace(args.trace, args.epoch, obs=obs)
         label = args.trace
     else:
         valid = generate(
@@ -413,13 +429,31 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
         for policy in taxonomy_policies()
     ]
-    obs = _build_obs(args)
-    report = run_sweep(
-        valid, jobs,
-        workers=args.workers,
-        result_cache=_result_cache(args),
-        obs=obs,
-    )
+    fault_plan = None
+    if getattr(args, "fault_plan", ""):
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.load(args.fault_plan)
+    checkpoint_dir = args.resume or args.checkpoint_dir or None
+    try:
+        report = run_sweep(
+            valid, jobs,
+            workers=args.workers,
+            result_cache=_result_cache(args),
+            obs=obs,
+            fault_plan=fault_plan,
+            checkpoint_dir=checkpoint_dir,
+            resume=bool(args.resume),
+        )
+    except SweepInterrupted as interrupt:
+        print(
+            f"\nsweep interrupted (signal {interrupt.signum}): "
+            f"{interrupt.completed}/{interrupt.total} jobs checkpointed — "
+            f"resume with: repro sweep --resume {interrupt.checkpoint_dir}",
+            file=sys.stderr,
+        )
+        _export_obs(obs, args)
+        return 130
     ranked = sorted(
         report.results, key=lambda jr: jr.result.hit_rate, reverse=True,
     )
@@ -443,13 +477,37 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"{100 * args.fraction:.0f}% of MaxNeeded)"
         ),
     ))
+    resumed = (
+        f", {report.resumed_jobs} resumed from checkpoint"
+        if report.resumed_jobs else ""
+    )
     print(
         f"\nsweep engine: {len(jobs)} runs in {report.wall_seconds:.2f}s "
         f"({report.workers} workers, "
         f"{report.requests_per_second:,.0f} simulated requests/s, "
         f"result cache {report.cache_hits} hits / "
-        f"{report.cache_misses} misses)"
+        f"{report.cache_misses} misses{resumed})"
     )
+    if args.results_out:
+        import json as _json
+        from pathlib import Path
+
+        from repro.core.sweep import result_to_record
+
+        # Timing-free, key-sorted records: two runs of the same sweep
+        # (uninterrupted, or killed and resumed) diff byte-identical.
+        payload = {
+            "trace_hash": report.trace_hash,
+            "results": [
+                result_to_record(jr.result) for jr in report.results
+            ],
+        }
+        Path(args.results_out).write_text(
+            _json.dumps(payload, sort_keys=True, indent=1) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {len(report.results)} result record(s) "
+              f"to {args.results_out}")
     _export_obs(obs, args)
     return 0
 
@@ -461,7 +519,14 @@ def cmd_proxy(args: argparse.Namespace) -> int:
     obs = _build_obs(args)
     store = ProxyStore(
         capacity=args.capacity, policy=parse_policy(args.policy),
+        state_dir=args.state_dir or None,
     )
+    if store.recovery is not None:
+        rec = store.recovery
+        print(f"store recovered {rec.documents} document(s) from "
+              f"{args.state_dir} (snapshot {rec.snapshot_documents}, "
+              f"journal {rec.journal_replayed} replayed, "
+              f"{rec.tail_discarded} torn tail record(s) discarded)")
     resolver = None
     if args.origin:
         host, _, port = args.origin.partition(":")
@@ -497,6 +562,7 @@ def cmd_proxy(args: argparse.Namespace) -> int:
         pass
     finally:
         proxy.stop()
+        store.close()
     _export_obs(obs, args)
     return 0
 
@@ -758,6 +824,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="processes to fan the grid out over")
     sweep.add_argument("--cache-dir", default="",
                        help="memoize sweep runs in this directory")
+    sweep.add_argument("--checkpoint-dir", default="", metavar="DIR",
+                       help="journal completed jobs here so a killed "
+                            "sweep can be resumed")
+    sweep.add_argument("--resume", default="", metavar="DIR",
+                       help="resume a checkpointed sweep from DIR, "
+                            "skipping journaled jobs")
+    sweep.add_argument("--fault-plan", default="", metavar="PATH",
+                       help="JSON fault plan (disk faults and "
+                            "coordinator kills)")
+    sweep.add_argument("--results-out", default="", metavar="PATH",
+                       help="write timing-free result records as "
+                            "sorted JSON (byte-stable across resumes)")
     _add_obs_flags(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
@@ -773,6 +851,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-attempt origin timeout, seconds")
     proxy.add_argument("--retries", type=int, default=2,
                        help="origin fetch retries after the first attempt")
+    proxy.add_argument("--state-dir", default="", metavar="DIR",
+                       help="persist the store (snapshot + journal) here "
+                            "for warm restarts")
     _add_obs_flags(proxy)
     proxy.set_defaults(func=cmd_proxy)
 

@@ -10,6 +10,12 @@ The snapshot format is plain JSON: a header (capacity, policy name,
 counters) plus one record per entry with every field a removal policy can
 consult.  Restoring rebuilds the eviction index from scratch, so snapshots
 are portable across index implementations.
+
+On-disk envelope (format 2): snapshots are written atomically via
+:mod:`repro.durability` and wrapped with a checksum, so a crash mid-save
+never leaves a half-written file and silent corruption is detected at
+load time.  Loading still accepts the bare format-1 dict older files
+hold.
 """
 
 from __future__ import annotations
@@ -21,11 +27,16 @@ from typing import Optional, Union
 from repro.core.cache import SimCache
 from repro.core.entry import CacheEntry
 from repro.core.policy import RemovalPolicy
+from repro.durability import atomic_write_json, checksum
 from repro.trace.record import DocumentType
 
 __all__ = ["snapshot_cache", "save_cache", "restore_cache", "load_cache"]
 
 _FORMAT_VERSION = 1
+
+#: On-disk envelope version: a checksummed wrapper around the format-1
+#: snapshot dict, written atomically.
+_FILE_FORMAT_VERSION = 2
 
 
 def snapshot_cache(cache: SimCache) -> dict:
@@ -55,12 +66,14 @@ def snapshot_cache(cache: SimCache) -> dict:
 
 
 def save_cache(cache: SimCache, path: Union[str, Path]) -> Path:
-    """Write a cache snapshot to a JSON file."""
-    path = Path(path)
-    path.write_text(
-        json.dumps(snapshot_cache(cache), indent=1), encoding="utf-8",
-    )
-    return path
+    """Write a cache snapshot to a JSON file (atomic + checksummed)."""
+    snapshot = snapshot_cache(cache)
+    envelope = {
+        "format": _FILE_FORMAT_VERSION,
+        "checksum": checksum(snapshot),
+        "snapshot": snapshot,
+    }
+    return atomic_write_json(path, envelope, indent=1)
 
 
 def restore_cache(
@@ -129,6 +142,24 @@ def load_cache(
     policy: Optional[RemovalPolicy] = None,
     seed: int = 0,
 ) -> SimCache:
-    """Read a snapshot file and rebuild the cache."""
-    snapshot = json.loads(Path(path).read_text(encoding="utf-8"))
+    """Read a snapshot file and rebuild the cache.
+
+    Accepts both the checksummed format-2 envelope (verified before
+    restoring) and a bare legacy format-1 snapshot dict.
+
+    Raises:
+        ValueError: unknown format, or a format-2 checksum mismatch
+            (the file was torn or tampered with).
+    """
+    path = Path(path)
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if (
+        isinstance(document, dict)
+        and document.get("format") == _FILE_FORMAT_VERSION
+    ):
+        snapshot = document.get("snapshot")
+        if document.get("checksum") != checksum(snapshot):
+            raise ValueError(f"{path}: snapshot checksum mismatch")
+    else:
+        snapshot = document  # legacy bare format-1 file
     return restore_cache(snapshot, policy=policy, seed=seed)

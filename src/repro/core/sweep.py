@@ -28,18 +28,33 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import signal as _signal
 import time
 from collections import Counter
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    CancelledError,
+    ProcessPoolExecutor,
+    as_completed,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.cache import AccessOutcome, SimCache
 from repro.core.metrics import DayStats, MetricsCollector
 from repro.core.policy import KeyPolicy
 from repro.core.simulator import SimulationResult, simulate
+from repro.durability import (
+    ManifestError,
+    atomic_write_text,
+    checksum as _checksum,
+    read_journal,
+    read_manifest,
+    rewrite_journal,
+    write_manifest,
+    Journal,
+)
 from repro.obs import EventLog, Obs
 from repro.obs.catalog import sweep_metrics
 from repro.trace.record import Request
@@ -51,9 +66,12 @@ __all__ = [
     "SimOptions",
     "SweepJob",
     "JobResult",
+    "SweepCheckpoint",
+    "SweepInterrupted",
     "SweepReport",
     "ResultCache",
     "CacheStats",
+    "jobs_fingerprint",
     "run_sweep",
     "trace_fingerprint",
 ]
@@ -359,9 +377,7 @@ class ResultCache:
             "checksum": self.checksum(record),
             "record": record,
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(envelope), encoding="utf-8")
-        os.replace(tmp, path)
+        atomic_write_text(path, json.dumps(envelope))
         self.stores += 1
         return path
 
@@ -375,6 +391,199 @@ class ResultCache:
             "stores": self.stores,
             "corrupt_entries": self.corrupt_entries,
         }
+
+
+# -- crash-safe checkpoints ---------------------------------------------------
+
+
+#: Journal/manifest ``kind`` tag for sweep checkpoints.
+CHECKPOINT_KIND = "sweep-checkpoint"
+
+
+def jobs_fingerprint(jobs: Sequence[SweepJob], trace_hash: str) -> str:
+    """Content hash of a job grid against one trace.
+
+    Covers every cache-key field *and* the display names (a resumed run
+    must reproduce the original byte-for-byte, labels included), in grid
+    order — a checkpoint only resumes the exact sweep that wrote it.
+    """
+    return _checksum([
+        dict(job.cache_fields(trace_hash), name=job.name)
+        for job in jobs
+    ])
+
+
+class SweepInterrupted(RuntimeError):
+    """A sweep stopped on SIGINT/SIGTERM after draining and checkpointing.
+
+    Carries everything the caller needs to report and resume: the state
+    directory, how much finished, and which signal stopped the run.
+    """
+
+    def __init__(
+        self,
+        checkpoint_dir: Path,
+        completed: int,
+        total: int,
+        signum: int,
+    ) -> None:
+        super().__init__(
+            f"sweep interrupted by signal {signum}: "
+            f"{completed}/{total} jobs checkpointed in {checkpoint_dir}"
+        )
+        self.checkpoint_dir = Path(checkpoint_dir)
+        self.completed = completed
+        self.total = total
+        self.signum = signum
+
+
+class SweepCheckpoint:
+    """Crash-safe progress record of one sweep, in a state directory.
+
+    Layout::
+
+        <root>/MANIFEST.json   identity + status (atomic, checksummed)
+        <root>/journal.jsonl   one record per finished job (append-only)
+
+    The manifest pins the checkpoint to a specific sweep — engine
+    version, trace fingerprint, and the full job-grid fingerprint — so
+    ``--resume`` against a different trace, grid, or engine refuses
+    loudly instead of splicing mismatched results.  Each journal record
+    carries the job's flattened result, its timing, its provenance
+    (computed vs cached) and the worker's obs export; replaying them in
+    index order reproduces the original run's slots *and* event stream
+    byte-for-byte.
+
+    Crash semantics: a record is durable once :meth:`record` returns
+    (the journal fsyncs per append).  A crash mid-append leaves a torn
+    tail; :meth:`open` discards it and rewrites the journal from the
+    verified prefix, so the at-most-one partially-journaled job is
+    simply recomputed.  A write fault (injected or real) latches the
+    checkpoint ``broken``: the sweep carries on uncheckpointed rather
+    than aborting — durability degrades, results never do.
+    """
+
+    JOURNAL_NAME = "journal.jsonl"
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        fsync: bool = True,
+        faults=None,
+    ) -> None:
+        self.root = Path(root)
+        self.fsync = fsync
+        self.faults = faults
+        self.broken = False
+        self.tail_discarded = 0
+        self._journal: Optional[Journal] = None
+        self._identity: Dict[str, object] = {}
+
+    @property
+    def journal_path(self) -> Path:
+        return self.root / self.JOURNAL_NAME
+
+    def open(
+        self,
+        trace_hash: str,
+        jobs: Sequence[SweepJob],
+        resume: bool = False,
+    ) -> List[dict]:
+        """Start (or resume) checkpointing; returns replayable records.
+
+        A fresh open truncates any previous state.  A resume validates
+        the manifest against this sweep's identity, replays the journal
+        (discarding a torn tail), and reopens it for appends — rewriting
+        it first when a tail was discarded, because appending after a
+        torn line would corrupt the verified prefix.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._identity = {
+            "kind": CHECKPOINT_KIND,
+            "engine": ENGINE_VERSION,
+            "trace_hash": trace_hash,
+            "jobs": jobs_fingerprint(jobs, trace_hash),
+            "total": len(jobs),
+        }
+        records: List[dict] = []
+        if resume and (self.root / "MANIFEST.json").exists():
+            manifest = read_manifest(self.root)
+            for key, wanted in self._identity.items():
+                found = manifest.get(key)
+                if found != wanted:
+                    raise ManifestError(
+                        f"checkpoint {self.root} is for a different sweep: "
+                        f"{key}={found!r}, this run has {key}={wanted!r}"
+                    )
+            recovery = read_journal(self.journal_path, kind=CHECKPOINT_KIND)
+            self.tail_discarded = recovery.discarded
+            seen: Set[int] = set()
+            for record in recovery.records:
+                index = record.get("index")
+                if isinstance(index, int) and 0 <= index < len(jobs) and (
+                    index not in seen
+                ):
+                    seen.add(index)
+                    records.append(record)
+            if recovery.truncated:
+                self._journal = rewrite_journal(
+                    self.journal_path, records, kind=CHECKPOINT_KIND,
+                    fsync=self.fsync, faults=self.faults,
+                )
+            else:
+                self._journal = Journal(
+                    self.journal_path, kind=CHECKPOINT_KIND,
+                    fsync=self.fsync, faults=self.faults,
+                )
+        else:
+            self._journal = Journal(
+                self.journal_path, kind=CHECKPOINT_KIND,
+                fsync=self.fsync, faults=self.faults, truncate=True,
+            )
+        self._write_manifest(status="running", completed=len(records))
+        return records
+
+    def _write_manifest(self, status: str, completed: int) -> None:
+        try:
+            write_manifest(
+                self.root,
+                dict(self._identity, status=status, completed=completed),
+                fsync=self.fsync, faults=self.faults,
+            )
+        except OSError:
+            self.broken = True
+
+    def record(
+        self,
+        index: int,
+        seconds: float,
+        record: dict,
+        export: Optional[dict],
+        from_cache: bool,
+    ) -> None:
+        """Durably journal one finished job (fsynced before returning)."""
+        if self.broken or self._journal is None:
+            return
+        try:
+            self._journal.append({
+                "index": index,
+                "seconds": seconds,
+                "from_cache": from_cache,
+                "record": record,
+                "export": export,
+            })
+        except OSError:
+            self.broken = True
+
+    def seal(self, status: str, completed: int) -> None:
+        """Finalise the manifest (``complete`` or ``interrupted``)."""
+        self._write_manifest(status=status, completed=completed)
+        self.close()
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
 
 
 # -- execution ----------------------------------------------------------------
@@ -505,6 +714,12 @@ class SweepReport:
         )
 
     @property
+    def resumed_jobs(self) -> int:
+        """Jobs restored from a checkpoint journal instead of being
+        recomputed (``run_sweep(..., resume=True)``)."""
+        return self._count("repro_sweep_resumed_jobs_total")
+
+    @property
     def retried_jobs(self) -> int:
         """Job executions re-attempted after a worker crash or failure."""
         return self._count("repro_sweep_retried_jobs_total")
@@ -554,6 +769,7 @@ class SweepReport:
             "requests_per_second": self.requests_per_second,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "resumed_jobs": self.resumed_jobs,
             "retried_jobs": self.retried_jobs,
             "recovered_jobs": self.recovered_jobs,
             "pool_restarts": self.pool_restarts,
@@ -579,6 +795,9 @@ def run_sweep(
     fault_plan=None,
     max_pool_restarts: int = 2,
     obs: Optional[Obs] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    kill_hook: Optional[Callable[[int], None]] = None,
 ) -> SweepReport:
     """Run a policy x capacity grid over one shared, already-decoded trace.
 
@@ -600,9 +819,12 @@ def run_sweep(
         trace_hash: precomputed :func:`trace_fingerprint`, for callers
             sweeping the same trace repeatedly.
         fault_plan: optional :class:`~repro.faults.FaultPlan` (anything
-            with a ``kill_indices()`` method); a worker that picks up a
-            job whose index is listed dies mid-grid.  Kills are one-shot:
-            retries run without them.
+            with ``kill_indices()`` / ``coordinator_kill_indices()`` /
+            ``disk_injector()`` methods); a worker that picks up a job
+            whose index is listed dies mid-grid (one-shot: retries run
+            without kills).  Coordinator-kill indices fire ``kill_hook``
+            right after that job's result is journaled; disk-fault rules
+            are injected into every checkpoint write.
         max_pool_restarts: pool rebuilds before falling back to
             in-process execution for whatever is still unfinished.
         obs: optional :class:`repro.obs.Obs` context owned by the caller.
@@ -613,29 +835,134 @@ def run_sweep(
             export back with each result; the parent absorbs those
             payloads in job order, so the merged event stream of a
             parallel run is as reproducible as a serial one.
+        checkpoint_dir: optional state directory.  When set, every
+            finished job (computed or cache-served) is durably journaled
+            there as it completes, and SIGINT/SIGTERM trigger a graceful
+            drain: in-flight jobs finish and are journaled, queued jobs
+            are abandoned, the checkpoint is sealed ``interrupted``, and
+            :class:`SweepInterrupted` is raised.
+        resume: replay an existing checkpoint in ``checkpoint_dir``
+            before running: journaled jobs are restored (results, obs
+            exports, provenance) instead of recomputed, counted in the
+            report's ``resumed_jobs``.  A torn journal tail is discarded
+            — its at-most-one partial job is simply recomputed — and a
+            checkpoint written by a different sweep (trace, grid, or
+            engine version) raises :class:`~repro.durability.
+            ManifestError` rather than splicing mismatched results.
+        kill_hook: chaos hand-off for coordinator kills — called with
+            the job index right *after* that job is journaled, when the
+            index is in ``fault_plan.coordinator_kill_indices()``.
+            Defaults to ``os._exit(75)``, a real unclean death; tests
+            pass a hook that raises instead.
 
     Returns:
         a :class:`SweepReport` whose ``results`` align 1:1 with ``jobs``.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume requires a checkpoint_dir")
     start = time.perf_counter()
     run_obs = Obs(events=EventLog(
         level=obs.events.level if obs is not None else "info",
     ))
     m = sweep_metrics(run_obs.registry)
     channel = run_obs.channel("sweep")
+
+    if trace_hash is None and (
+        result_cache is not None or checkpoint_dir is not None
+    ):
+        trace_hash = trace_fingerprint(trace)
+
+    coordinator_kills: frozenset = (
+        frozenset(fault_plan.coordinator_kill_indices())
+        if fault_plan is not None
+        and hasattr(fault_plan, "coordinator_kill_indices")
+        else frozenset()
+    )
+    if kill_hook is None:
+        def kill_hook(index: int) -> None:
+            os._exit(75)  # an unclean coordinator death, like SIGKILL
+
+    checkpoint: Optional[SweepCheckpoint] = None
+    resumed_records: List[dict] = []
+    if checkpoint_dir is not None:
+        disk_faults = (
+            fault_plan.disk_injector()
+            if fault_plan is not None
+            and hasattr(fault_plan, "disk_injector")
+            else None
+        )
+        checkpoint = SweepCheckpoint(checkpoint_dir, faults=disk_faults)
+        resumed_records = checkpoint.open(
+            trace_hash or "", jobs, resume=resume,
+        )
+
+    # Graceful drain on SIGINT/SIGTERM, but only when there is a
+    # checkpoint to drain into (and only from the main thread — signal
+    # handlers cannot be installed elsewhere).
+    stop: Dict[str, Optional[int]] = {"signum": None}
+    installed_handlers: List[tuple] = []
+    if checkpoint is not None:
+        def _request_stop(signum: int, frame: object) -> None:
+            stop["signum"] = signum
+
+        for signum in (_signal.SIGINT, _signal.SIGTERM):
+            try:
+                previous = _signal.signal(signum, _request_stop)
+            except ValueError:  # not the main thread
+                continue
+            installed_handlers.append((signum, previous))
+
     run_span = run_obs.span(
         "sweep.run", jobs=len(jobs), workers=workers,
     )
     run_span.__enter__()
     try:
-        if trace_hash is None and result_cache is not None:
-            trace_hash = trace_fingerprint(trace)
         slots: List[Optional[JobResult]] = [None] * len(jobs)
+        #: index -> obs export, absorbed in job order at the end.  Both
+        #: worker payloads and the serial path's per-job contexts land
+        #: here, so every run shape merges telemetry identically.
+        worker_exports: Dict[int, dict] = {}
+
+        # Replay the checkpoint journal: restore each finished job's
+        # slot, export, and telemetry exactly as the original run
+        # recorded them, so the resumed run's report and event stream
+        # are byte-identical to an uninterrupted one.
+        for entry in resumed_records:
+            index = entry["index"]
+            job = jobs[index]
+            slots[index] = JobResult(
+                job=job, result=record_to_result(entry["record"]),
+                seconds=entry["seconds"], from_cache=entry["from_cache"],
+            )
+            if entry.get("export") is not None:
+                worker_exports[index] = entry["export"]
+            m.resumed.inc()
+            if entry["from_cache"]:
+                m.jobs.labels(source="cached").inc()
+                if result_cache is not None:
+                    m.result_cache.labels(event="hit").inc()
+            else:
+                m.jobs.labels(source="computed").inc()
+                m.job_seconds.observe(entry["seconds"])
+                if result_cache is not None:
+                    m.result_cache.labels(event="miss").inc()
+                    m.result_cache.labels(event="store").inc()
+            channel.debug(
+                "job.resumed", index=index, policy=job.spec.label,
+                capacity=job.capacity, from_cache=entry["from_cache"],
+            )
+        if resumed_records:
+            channel.debug(
+                "checkpoint.resumed", jobs=len(resumed_records),
+                tail_discarded=checkpoint.tail_discarded,
+            )
 
         pending: List[Tuple[int, SweepJob]] = []
         for index, job in enumerate(jobs):
+            if slots[index] is not None:  # restored from the checkpoint
+                continue
             if result_cache is not None:
                 quarantined_before = result_cache.corrupt_entries
                 record = result_cache.get(job, trace_hash)
@@ -660,20 +987,29 @@ def run_sweep(
                     job=job, result=record_to_result(record),
                     seconds=0.0, from_cache=True,
                 )
+                if checkpoint is not None:
+                    checkpoint.record(
+                        index, 0.0, record, None, from_cache=True,
+                    )
             else:
                 if result_cache is not None:
                     m.result_cache.labels(event="miss").inc()
                 pending.append((index, job))
 
         failed_once: Set[int] = set()
-        #: index -> worker obs export, absorbed in job order at the end.
-        worker_exports: Dict[int, dict] = {}
 
-        def finish(index: int, seconds: float, record: dict) -> None:
+        def finish(
+            index: int,
+            seconds: float,
+            record: dict,
+            export: Optional[dict] = None,
+        ) -> None:
             job = jobs[index]
             if result_cache is not None:
                 result_cache.put(job, trace_hash, record)
                 m.result_cache.labels(event="store").inc()
+            if export is not None:
+                worker_exports[index] = export
             slots[index] = JobResult(
                 job=job, result=record_to_result(record),
                 seconds=seconds, from_cache=False,
@@ -682,6 +1018,15 @@ def run_sweep(
             m.job_seconds.observe(seconds)
             if index in failed_once:
                 m.recovered.inc()
+            if checkpoint is not None:
+                checkpoint.record(
+                    index, seconds, record, export, from_cache=False,
+                )
+            if index in coordinator_kills:
+                # Chaos: the coordinator dies right after this job's
+                # result hit the journal — the worst-timed crash a
+                # resume must recover from.
+                kill_hook(index)
 
         remaining = list(pending)
         if remaining and workers > 1:
@@ -705,11 +1050,14 @@ def run_sweep(
                             pool.submit(_run_job_in_worker, payload): payload
                             for payload in remaining
                         }
+                        draining = False
                         for future in as_completed(futures):
                             try:
                                 index, seconds, record, export = (
                                     future.result()
                                 )
+                            except CancelledError:
+                                continue  # abandoned during a drain
                             except BrokenProcessPool:
                                 pool_broke = True
                             except Exception:
@@ -719,9 +1067,16 @@ def run_sweep(
                                 # traceback.
                                 pass
                             else:
-                                worker_exports[index] = export
-                                finish(index, seconds, record)
+                                finish(index, seconds, record, export)
                                 completed.add(index)
+                            if stop["signum"] is not None and not draining:
+                                # Graceful drain: queued jobs are
+                                # abandoned (they stay in the checkpoint's
+                                # to-do set); running ones finish and get
+                                # journaled above.
+                                draining = True
+                                for queued in futures:
+                                    queued.cancel()
                 except BrokenProcessPool:
                     # The pool died while submitting or shutting down.
                     pool_broke = True
@@ -729,6 +1084,9 @@ def run_sweep(
                     payload for payload in remaining
                     if payload[0] not in completed
                 ]
+                if stop["signum"] is not None:
+                    remaining = failures
+                    break
                 if failures:
                     if pool_broke:
                         m.pool_restarts.inc()
@@ -748,16 +1106,23 @@ def run_sweep(
                 remaining = failures
 
         for index, job in remaining:
+            if stop["signum"] is not None:
+                break  # drain: already-finished jobs are journaled
             if index in failed_once:
                 m.fallback.inc()
                 channel.warning(
                     "job.fallback", index=index, policy=job.spec.label,
                 )
             job_start = time.perf_counter()
-            result = _execute(trace, job, obs=run_obs)
+            # The serial path collects into a private per-job context
+            # and ships its export through the same index-ordered merge
+            # as the workers, so every run shape (serial, parallel,
+            # resumed) assembles one identical event stream.
+            job_obs = Obs(events=EventLog(level=run_obs.events.level))
+            result = _execute(trace, job, obs=job_obs)
             finish(
                 index, time.perf_counter() - job_start,
-                result_to_record(result),
+                result_to_record(result), job_obs.export(),
             )
         # (workers == 1 lands here directly: the plain serial path.)
 
@@ -765,6 +1130,21 @@ def run_sweep(
         # completion order — so the merged stream is reproducible.
         for index in sorted(worker_exports):
             run_obs.absorb(worker_exports[index])
+
+        if stop["signum"] is not None:
+            completed_jobs = sum(1 for slot in slots if slot is not None)
+            channel.warning(
+                "sweep.interrupted", signum=stop["signum"],
+                completed=completed_jobs, total=len(jobs),
+            )
+            if checkpoint is not None:
+                checkpoint.seal("interrupted", completed=completed_jobs)
+            if obs is not None:
+                obs.absorb(run_obs.export())
+            raise SweepInterrupted(
+                Path(checkpoint_dir), completed_jobs, len(jobs),
+                stop["signum"],
+            )
 
         # Completion events, one per grid cell in job order, timing-free
         # (timings live in spans and the job_seconds histogram).
@@ -777,8 +1157,17 @@ def run_sweep(
                 source="cached" if slot.from_cache else "computed",
                 recovered=index in failed_once,
             )
+        if checkpoint is not None:
+            checkpoint.seal("complete", completed=len(jobs))
     finally:
         run_span.__exit__(None, None, None)
+        for signum, previous in installed_handlers:
+            try:
+                _signal.signal(signum, previous)
+            except ValueError:  # pragma: no cover - non-main thread
+                pass
+        if checkpoint is not None:
+            checkpoint.close()
 
     if obs is not None:
         obs.absorb(run_obs.export())

@@ -1,0 +1,463 @@
+"""repro.durability — crash-safe persistence primitives.
+
+Three building blocks, shared by every layer that must survive process
+death (the sweep coordinator's checkpoints, the proxy store's journaled
+state, the result and snapshot caches):
+
+* :func:`atomic_write_bytes` / :func:`atomic_write_text` /
+  :func:`atomic_write_json` — the classic tmp + fsync + rename
+  sequence.  A reader never observes a half-written file: either the
+  old content or the new content exists, all the way through a crash
+  (including one injected mid-write by the disk-fault rules below).
+* :class:`Journal` — a checksummed, append-only JSONL log.  Every
+  record is one line carrying a SHA-256 of its canonical payload;
+  :func:`read_journal` replays records up to the first line that fails
+  to parse or verify and *discards the tail* from that point on — the
+  torn-tail tolerance a crash mid-append requires.  Appends fsync by
+  default, so a record returned from :meth:`Journal.append` survives
+  SIGKILL.
+* :func:`write_manifest` / :func:`read_manifest` — a checkpoint
+  manifest: one atomic, checksummed JSON document describing a state
+  directory (format version, fingerprints, completion status).  A
+  directory without a verifiable manifest is not a checkpoint.
+
+Fault injection: every write path accepts an optional ``faults``
+injector (a :class:`repro.faults.FaultInjector` over the disk-fault
+kinds).  The module itself stays import-free of :mod:`repro.faults` —
+rules are duck-typed on their ``kind`` value — so low-level persistence
+never drags the proxy/origin stack into importers.  Injected faults:
+
+* ``enospc`` — the write raises ``OSError(ENOSPC)`` before touching
+  the file (a full disk);
+* ``torn_write`` — only a prefix of the payload reaches the file and
+  the call raises (power loss mid-``write(2)``); an atomic write leaves
+  the *target* untouched, a journal gains a torn tail;
+* ``fsync_fail`` — the data is handed to the kernel but the flush
+  raises (dying device); callers must treat the file's durability as
+  unknown.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, List, Optional, Union
+
+__all__ = [
+    "JOURNAL_FORMAT",
+    "MANIFEST_FORMAT",
+    "MANIFEST_NAME",
+    "ManifestError",
+    "Journal",
+    "JournalRecovery",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+    "canonical_json",
+    "checksum",
+    "read_journal",
+    "read_manifest",
+    "write_manifest",
+]
+
+#: On-disk journal line format; bumped only when the envelope changes.
+JOURNAL_FORMAT = 1
+
+#: Manifest envelope format.
+MANIFEST_FORMAT = 1
+
+#: Conventional manifest file name inside a state directory.
+MANIFEST_NAME = "MANIFEST.json"
+
+#: Magic value opening every journal file (the header's first field).
+_JOURNAL_MAGIC = "repro-journal"
+
+#: Disk-fault kind values (mirrors :class:`repro.faults.FaultKind`
+#: members without importing them — ``FaultKind`` is a str enum, so a
+#: rule's ``kind`` compares equal to these literals).
+_ENOSPC = "enospc"
+_TORN_WRITE = "torn_write"
+_FSYNC_FAIL = "fsync_fail"
+
+
+class ManifestError(ValueError):
+    """A manifest is missing, unparseable, or fails verification."""
+
+
+def canonical_json(record: object) -> str:
+    """The canonical serialisation checksums are computed over."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def checksum(record: object) -> str:
+    """SHA-256 hex digest of a record's canonical JSON."""
+    return hashlib.sha256(canonical_json(record).encode("utf-8")).hexdigest()
+
+
+def fsync_directory(path: Union[str, Path]) -> None:
+    """Flush a directory entry (so a rename itself is durable).
+
+    Best-effort: some platforms/filesystems refuse directory fds; a
+    failure here degrades durability, never correctness.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent refusal
+        pass
+    finally:
+        os.close(fd)
+
+
+def _next_disk_fault(faults, path: Path):
+    """Consult an injector (if any) for the fate of one disk operation."""
+    if faults is None:
+        return None
+    return faults.next_fault(url=str(path))
+
+
+def _apply_write_faults(
+    rule, handle: IO[bytes], data: bytes, path: Path,
+) -> None:
+    """Perform the (possibly faulted) write of ``data`` to ``handle``."""
+    if rule is not None and rule.kind == _TORN_WRITE:
+        handle.write(data[: max(0, rule.truncate_to)])
+        handle.flush()
+        raise OSError(
+            errno.EIO, f"injected torn write ({path})",
+        )
+    handle.write(data)
+
+
+def _apply_fsync(rule, handle: IO[bytes], path: Path, fsync: bool) -> None:
+    handle.flush()
+    if rule is not None and rule.kind == _FSYNC_FAIL:
+        raise OSError(errno.EIO, f"injected fsync failure ({path})")
+    if fsync:
+        os.fsync(handle.fileno())
+
+
+def atomic_write_bytes(
+    path: Union[str, Path],
+    data: bytes,
+    fsync: bool = True,
+    faults=None,
+) -> Path:
+    """Write ``data`` to ``path`` atomically (tmp + fsync + rename).
+
+    The destination either keeps its previous content or gains the full
+    new content; a crash (or injected fault) mid-write leaves at most a
+    stray ``*.tmp.<pid>`` file behind, never a partial target.
+    """
+    path = Path(path)
+    rule = _next_disk_fault(faults, path)
+    if rule is not None and rule.kind == _ENOSPC:
+        raise OSError(errno.ENOSPC, f"injected ENOSPC ({path})")
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            _apply_write_faults(rule, handle, data, path)
+            _apply_fsync(rule, handle, path, fsync)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    os.replace(tmp, path)
+    if fsync:
+        fsync_directory(path.parent)
+    return path
+
+
+def atomic_write_text(
+    path: Union[str, Path],
+    text: str,
+    fsync: bool = True,
+    faults=None,
+) -> Path:
+    """:func:`atomic_write_bytes` for UTF-8 text."""
+    return atomic_write_bytes(
+        path, text.encode("utf-8"), fsync=fsync, faults=faults,
+    )
+
+
+def atomic_write_json(
+    path: Union[str, Path],
+    record: object,
+    fsync: bool = True,
+    faults=None,
+    indent: Optional[int] = None,
+) -> Path:
+    """Serialise ``record`` (sorted keys) and write it atomically."""
+    text = json.dumps(record, sort_keys=True, indent=indent) + "\n"
+    return atomic_write_text(path, text, fsync=fsync, faults=faults)
+
+
+# -- the append-only journal --------------------------------------------------
+
+
+def _journal_line(payload: dict) -> str:
+    """One journal line: the payload wrapped with its checksum."""
+    return canonical_json({"sha": checksum(payload), "rec": payload})
+
+
+def _decode_journal_line(line: str) -> dict:
+    """Parse and verify one journal line; raises ``ValueError`` on any
+    truncation, corruption, or tampering."""
+    envelope = json.loads(line)
+    if not isinstance(envelope, dict) or "rec" not in envelope:
+        raise ValueError("not a journal envelope")
+    payload = envelope["rec"]
+    if envelope.get("sha") != checksum(payload):
+        raise ValueError("journal record checksum mismatch")
+    return payload
+
+
+class Journal:
+    """A checksummed append-only journal, one JSON record per line.
+
+    The first line is a header naming the format and the journal's
+    ``kind`` (what subsystem's records it holds); every subsequent line
+    is a record envelope.  Appends are flushed — and by default fsynced
+    — before returning, so a returned append survives SIGKILL.
+
+    A write fault (torn write, failed fsync, ENOSPC) marks the journal
+    *broken*: later appends fail fast instead of writing records after
+    a torn line, which would corrupt the replayable prefix.  This
+    mirrors a real crash, where nothing is appended after the tear.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        kind: str = "journal",
+        fsync: bool = True,
+        faults=None,
+        truncate: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self.kind = kind
+        self.fsync = fsync
+        self.faults = faults
+        self.appends = 0
+        self._broken = False
+        fresh = truncate or not self.path.exists() or (
+            self.path.stat().st_size == 0
+        )
+        self._handle = open(
+            self.path, "w" if fresh else "a", encoding="utf-8",
+        )
+        if fresh:
+            header = {
+                "magic": _JOURNAL_MAGIC,
+                "format": JOURNAL_FORMAT,
+                "kind": kind,
+            }
+            self._handle.write(_journal_line(header) + "\n")
+            self._handle.flush()
+            if fsync:
+                os.fsync(self._handle.fileno())
+
+    def append(self, payload: dict) -> None:
+        """Durably append one record (fsynced before returning)."""
+        if self._broken:
+            raise OSError(
+                errno.EIO, f"journal {self.path} broken by an earlier fault",
+            )
+        line = _journal_line(payload) + "\n"
+        rule = _next_disk_fault(self.faults, self.path)
+        if rule is not None and rule.kind == _ENOSPC:
+            self._broken = True
+            raise OSError(errno.ENOSPC, f"injected ENOSPC ({self.path})")
+        try:
+            if rule is not None and rule.kind == _TORN_WRITE:
+                self._handle.write(line[: max(0, rule.truncate_to)])
+                self._handle.flush()
+                raise OSError(
+                    errno.EIO, f"injected torn write ({self.path})",
+                )
+            self._handle.write(line)
+            self._handle.flush()
+            if rule is not None and rule.kind == _FSYNC_FAIL:
+                raise OSError(
+                    errno.EIO, f"injected fsync failure ({self.path})",
+                )
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+        except OSError:
+            self._broken = True
+            raise
+        self.appends += 1
+
+    @property
+    def broken(self) -> bool:
+        """Whether a write fault poisoned this journal generation."""
+        return self._broken
+
+    def close(self) -> None:
+        try:
+            self._handle.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class JournalRecovery:
+    """What replaying a journal found.
+
+    ``records`` is the verified prefix; ``discarded`` counts the lines
+    dropped from the first bad line onward (``truncated`` says whether
+    any were) — the torn tail a crash mid-append leaves behind.
+    """
+
+    records: List[dict] = field(default_factory=list)
+    truncated: bool = False
+    discarded: int = 0
+    missing: bool = False
+    kind: str = ""
+
+    @property
+    def replayed(self) -> int:
+        return len(self.records)
+
+
+def read_journal(
+    path: Union[str, Path], kind: Optional[str] = None,
+) -> JournalRecovery:
+    """Replay a journal, tolerating a torn or corrupt tail.
+
+    Verifies the header (magic, format, and ``kind`` when given) and
+    each record's checksum.  The first line that fails to parse or
+    verify ends the replay: it and everything after it are counted in
+    ``discarded``.  A missing file is an empty journal with
+    ``missing=True``; a journal whose *header* fails is entirely
+    discarded (it is not a journal we wrote).
+    """
+    path = Path(path)
+    recovery = JournalRecovery(kind=kind or "")
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        recovery.missing = True
+        return recovery
+    lines = text.splitlines()
+    if not lines:
+        return recovery
+    try:
+        header = _decode_journal_line(lines[0])
+        if header.get("magic") != _JOURNAL_MAGIC:
+            raise ValueError("bad journal magic")
+        if header.get("format") != JOURNAL_FORMAT:
+            raise ValueError("unknown journal format")
+        if kind is not None and header.get("kind") != kind:
+            raise ValueError(
+                f"journal kind {header.get('kind')!r}, wanted {kind!r}"
+            )
+        recovery.kind = str(header.get("kind", ""))
+    except (ValueError, TypeError):
+        recovery.truncated = True
+        recovery.discarded = len(lines)
+        return recovery
+    for index, line in enumerate(lines[1:], start=1):
+        try:
+            recovery.records.append(_decode_journal_line(line))
+        except (ValueError, TypeError):
+            recovery.truncated = True
+            recovery.discarded = len(lines) - index
+            break
+    return recovery
+
+
+def rewrite_journal(
+    path: Union[str, Path],
+    records: List[dict],
+    kind: str = "journal",
+    fsync: bool = True,
+    faults=None,
+) -> Journal:
+    """Open a fresh journal generation holding exactly ``records``.
+
+    Used after recovery found a torn tail: appending to a journal that
+    ends mid-line would corrupt the next record, so the verified prefix
+    is rewritten into a clean file first.  Returns the open journal,
+    positioned for further appends.
+    """
+    journal = Journal(
+        path, kind=kind, fsync=fsync, faults=faults, truncate=True,
+    )
+    for record in records:
+        journal.append(record)
+    journal.appends = 0  # rewrites are recovery, not new appends
+    return journal
+
+
+# -- checkpoint manifests -----------------------------------------------------
+
+
+def write_manifest(
+    directory: Union[str, Path],
+    payload: dict,
+    name: str = MANIFEST_NAME,
+    fsync: bool = True,
+    faults=None,
+) -> Path:
+    """Atomically write a state directory's manifest.
+
+    The payload is wrapped in an envelope carrying the manifest format
+    version and a checksum, so :func:`read_manifest` can reject a
+    manifest that was torn, tampered with, or written by a different
+    format generation.
+    """
+    envelope = {
+        "format": MANIFEST_FORMAT,
+        "sha": checksum(payload),
+        "manifest": payload,
+    }
+    return atomic_write_json(
+        Path(directory) / name, envelope, fsync=fsync, faults=faults,
+        indent=1,
+    )
+
+
+def read_manifest(
+    directory: Union[str, Path], name: str = MANIFEST_NAME,
+) -> dict:
+    """Read and verify a state directory's manifest payload.
+
+    Raises:
+        ManifestError: missing file, unparseable JSON, unknown format
+            version, or checksum mismatch.
+    """
+    path = Path(directory) / name
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise ManifestError(f"no manifest at {path}: {error}") from error
+    try:
+        envelope = json.loads(text)
+    except ValueError as error:
+        raise ManifestError(f"{path}: unparseable manifest") from error
+    if not isinstance(envelope, dict) or "manifest" not in envelope:
+        raise ManifestError(f"{path}: not a manifest envelope")
+    if envelope.get("format") != MANIFEST_FORMAT:
+        raise ManifestError(
+            f"{path}: unknown manifest format {envelope.get('format')!r}"
+        )
+    payload = envelope["manifest"]
+    if envelope.get("sha") != checksum(payload):
+        raise ManifestError(f"{path}: manifest checksum mismatch")
+    return payload

@@ -18,7 +18,15 @@ traffic whose failure exercises the proxy's stale-if-error path.
 ``KILL_WORKER`` rules are different: their ``at`` indices name *sweep
 job indices*, and the sweep engine arranges for the worker process that
 picks up such a job to die mid-grid (see ``run_sweep``'s fault_plan
-argument).
+argument).  ``KILL_COORDINATOR`` rules likewise name sweep job indices,
+but kill the *coordinator* process itself right after that job's result
+is journaled — the crash the checkpoint/resume machinery must survive.
+
+Disk faults (``TORN_WRITE``, ``ENOSPC``, ``FSYNC_FAIL``) are consumed
+by :mod:`repro.durability`: each write to an atomic file or journal is
+one event of a kind-filtered injector (see :meth:`FaultPlan.
+disk_injector`), so chaos tests can tear a journal tail or fill the
+disk at a seeded, reproducible point.
 """
 
 from __future__ import annotations
@@ -37,6 +45,8 @@ from repro.httpnet.message import HttpMessageError, HttpRequest, HttpResponse
 from repro.proxy.origin import OriginServer, SyntheticSite, _read_request
 
 __all__ = [
+    "DISK_FAULT_KINDS",
+    "ORIGIN_FAULT_KINDS",
     "FaultKind",
     "FaultRule",
     "FaultPlan",
@@ -53,9 +63,24 @@ class FaultKind(str, enum.Enum):
     TRUNCATE = "truncate"        # send a prefix of the response body
     ERROR = "error"              # respond with a 5xx status
     KILL_WORKER = "kill_worker"  # a sweep worker exits mid-job
+    KILL_COORDINATOR = "kill_coordinator"  # the sweep coordinator dies
+    TORN_WRITE = "torn_write"    # a disk write persists only a prefix
+    ENOSPC = "enospc"            # a disk write fails: device full
+    FSYNC_FAIL = "fsync_fail"    # data written but the flush fails
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+#: Kinds an origin-side injector consults (the pre-durability default).
+ORIGIN_FAULT_KINDS = frozenset({
+    FaultKind.DROP, FaultKind.DELAY, FaultKind.TRUNCATE, FaultKind.ERROR,
+})
+
+#: Kinds a disk-side injector (``repro.durability``) consults.
+DISK_FAULT_KINDS = frozenset({
+    FaultKind.TORN_WRITE, FaultKind.ENOSPC, FaultKind.FSYNC_FAIL,
+})
 
 
 @dataclass(frozen=True)
@@ -213,8 +238,26 @@ class FaultPlan:
                 indices.update(rule.at)
         return frozenset(indices)
 
+    def coordinator_kill_indices(self) -> frozenset:
+        """Sweep job indices after whose journaled completion the
+        coordinator process itself dies."""
+        indices = set()
+        for rule in self.rules:
+            if rule.kind is FaultKind.KILL_COORDINATOR:
+                indices.update(rule.at)
+        return frozenset(indices)
+
     def injector(self) -> "FaultInjector":
+        """An origin-side injector (drop/delay/truncate/error rules)."""
         return FaultInjector(self)
+
+    def disk_injector(self) -> Optional["FaultInjector"]:
+        """A disk-side injector over the plan's disk-fault rules, or
+        ``None`` when the plan schedules no disk faults (so callers can
+        skip the per-write consult entirely)."""
+        if not any(rule.kind in DISK_FAULT_KINDS for rule in self.rules):
+            return None
+        return FaultInjector(self, kinds=DISK_FAULT_KINDS)
 
 
 class FaultInjector:
@@ -224,10 +267,20 @@ class FaultInjector:
     the first matching rule (plan order), or ``None``.  The coin for
     ``(event, rule)`` is an independent seeded RNG, so outcomes do not
     depend on how many other rules were consulted.
+
+    ``kinds`` restricts which rules this injector executes (origin-side
+    by default); injectors with different kind filters keep independent
+    event counters, so disk writes and origin contacts never perturb
+    each other's schedules.
     """
 
-    def __init__(self, plan: FaultPlan) -> None:
+    def __init__(
+        self,
+        plan: FaultPlan,
+        kinds: Optional[frozenset] = None,
+    ) -> None:
         self.plan = plan
+        self.kinds = ORIGIN_FAULT_KINDS if kinds is None else frozenset(kinds)
         self._lock = threading.Lock()
         self._event = 0
         self._fired: Counter = Counter()
@@ -260,7 +313,7 @@ class FaultInjector:
             index = self._event
             self._event += 1
             for rule_index, rule in enumerate(self.plan.rules):
-                if rule.kind is FaultKind.KILL_WORKER:
+                if rule.kind not in self.kinds:
                     continue
                 if rule.limit and self._fired[rule_index] >= rule.limit:
                     continue

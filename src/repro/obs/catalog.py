@@ -21,6 +21,7 @@ __all__ = [
     "sweep_metrics",
     "proxy_metrics",
     "chaos_metrics",
+    "trace_metrics",
     "ALL_METRIC_SETS",
 ]
 
@@ -74,6 +75,10 @@ def sweep_metrics(registry: Registry) -> SimpleNamespace:
             "repro_sweep_jobs_total",
             "Grid cells finished, by source (computed vs result cache)",
             labelnames=("source",),
+        ),
+        resumed=registry.counter(
+            "repro_sweep_resumed_jobs_total",
+            "Jobs restored from a checkpoint journal instead of recomputed",
         ),
         retried=registry.counter(
             "repro_sweep_retried_jobs_total",
@@ -166,6 +171,23 @@ def proxy_metrics(registry: Registry) -> SimpleNamespace:
             "repro_proxy_store_documents",
             "Documents currently held by the store",
         ),
+        store_recovered_documents=registry.gauge(
+            "repro_proxy_store_recovered_documents",
+            "Documents restored from snapshot+journal at the last warm "
+            "restart",
+        ),
+        store_journal_tail_discarded=registry.gauge(
+            "repro_proxy_store_journal_tail_discarded",
+            "Torn/corrupt journal lines discarded at the last warm restart",
+        ),
+        store_journal_appends=registry.counter(
+            "repro_proxy_store_journal_appends_total",
+            "Store mutations durably appended to the state journal",
+        ),
+        store_journal_errors=registry.counter(
+            "repro_proxy_store_journal_errors_total",
+            "Store journal writes that failed (journaling then disabled)",
+        ),
     )
 
 
@@ -189,6 +211,19 @@ def chaos_metrics(registry: Registry) -> SimpleNamespace:
     )
 
 
+def trace_metrics(registry: Registry) -> SimpleNamespace:
+    """Trace-ingestion metrics (``repro_trace_*``)."""
+    return SimpleNamespace(
+        rejected_lines=registry.counter(
+            "repro_trace_rejected_lines_total",
+            "Malformed/truncated log lines quarantined during lenient "
+            "ingestion",
+        ),
+    )
+
+
 #: Everything ``repro obs check`` applies to one registry to build the
 #: canonical declaration set.
-ALL_METRIC_SETS = (sim_metrics, sweep_metrics, proxy_metrics, chaos_metrics)
+ALL_METRIC_SETS = (
+    sim_metrics, sweep_metrics, proxy_metrics, chaos_metrics, trace_metrics,
+)

@@ -159,6 +159,22 @@ class CachingProxy:
         self.obs = obs if obs is not None else Obs()
         self.stats = ProxyStats(self.obs)
         self._channel = self.obs.channel("proxy")
+        if store.recovery is not None:
+            # A warm restart happened before we got the store; surface
+            # what it recovered on the event stream and /metrics.
+            recovery = store.recovery
+            self.stats.m.store_recovered_documents.set(recovery.documents)
+            self.stats.m.store_journal_tail_discarded.set(
+                recovery.tail_discarded,
+            )
+            self._channel.info(
+                "store.recovered",
+                documents=recovery.documents,
+                snapshot_documents=recovery.snapshot_documents,
+                journal_replayed=recovery.journal_replayed,
+                tail_discarded=recovery.tail_discarded,
+                snapshot_ok=recovery.snapshot_ok,
+            )
         self.timeout = timeout
         self.retry_policy = (
             retry_policy if retry_policy is not None
@@ -409,9 +425,19 @@ class CachingProxy:
         """``GET /metrics``: the registry in Prometheus text format.
 
         Store occupancy gauges are set at scrape time (they describe
-        current state, not a stream of increments)."""
+        current state, not a stream of increments); the store-journal
+        counters are brought up to date the same way, by adding the
+        delta the store accumulated since the last scrape."""
         self.stats.m.store_used_bytes.set(self.store.used_bytes)
         self.stats.m.store_documents.set(len(self.store))
+        appends = self.store.stats.journal_appends
+        errors = self.store.stats.journal_errors
+        behind = appends - int(self.stats.m.store_journal_appends.value)
+        if behind > 0:
+            self.stats.m.store_journal_appends.inc(behind)
+        behind = errors - int(self.stats.m.store_journal_errors.value)
+        if behind > 0:
+            self.stats.m.store_journal_errors.inc(behind)
         return HttpResponse(
             status=200,
             headers={"Content-Type": _EXPOSITION_CONTENT_TYPE},

@@ -9,20 +9,55 @@ the SIZE result carries straight into a running proxy.
 Internally the store *is* a ``SimCache`` (for metadata, occupancy and the
 sorted eviction index) plus a body table kept in lock-step through the
 cache's eviction callback.
+
+Durability (``state_dir``): the store persists as a *snapshot* (one
+atomic, checksummed manifest of every document) plus an append-only
+*journal* of mutations since that snapshot — the classic pairing from
+:mod:`repro.durability`.  Every ``put``/``invalidate``/eviction is
+fsynced into the journal before the call returns; a warm restart loads
+the snapshot, folds the journal over it (discarding a torn tail, the
+at-most-one mutation a crash can lose), re-admits the surviving
+documents through the normal policy machinery, then starts a fresh
+snapshot+journal generation.  Replay is idempotent — puts are upserts
+and removes of absent URLs are no-ops — so a crash *between* writing the
+new snapshot and truncating the journal merely re-applies ops the
+snapshot already contains.  Lookups are deliberately not journaled:
+recency/frequency metadata survives restarts only as of each document's
+last journaled mutation (and the access stamps carried by the
+snapshot), a bounded staleness that buys an fsync-free read path.
 """
 
 from __future__ import annotations
 
+import base64
+import os
 import threading
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from pathlib import Path
+from typing import Dict, Optional, Union
 
 from repro.core.cache import SimCache
 from repro.core.policy import RemovalPolicy
+from repro.durability import (
+    Journal,
+    ManifestError,
+    read_journal,
+    read_manifest,
+    write_manifest,
+)
 from repro.trace.record import Request
 
-__all__ = ["CachedDocument", "StoreStats", "ProxyStore"]
+__all__ = ["CachedDocument", "StoreStats", "StoreRecovery", "ProxyStore"]
+
+#: Journal/manifest ``kind`` tag for proxy-store state.
+STATE_KIND = "proxy-store"
+
+#: Snapshot manifest file name inside a state directory.
+SNAPSHOT_NAME = "snapshot.json"
+
+#: Journal file name inside a state directory.
+JOURNAL_NAME = "journal.jsonl"
 
 
 @dataclass
@@ -51,12 +86,60 @@ class StoreStats:
     insertions: int = 0
     evictions: int = 0
     bytes_served_from_cache: int = 0
+    #: Mutations durably appended to the state journal.
+    journal_appends: int = 0
+    #: Mutations the journal failed to record (durability degraded).
+    journal_errors: int = 0
 
     @property
     def hit_rate(self) -> float:
         """HR in percent over lookups so far."""
         total = self.hits + self.misses
         return 100.0 * self.hits / total if total else 0.0
+
+
+@dataclass
+class StoreRecovery:
+    """What a warm restart found in the state directory."""
+
+    #: Documents alive in the store after replay.
+    documents: int = 0
+    #: Documents the snapshot manifest contributed.
+    snapshot_documents: int = 0
+    #: Journal mutations folded over the snapshot.
+    journal_replayed: int = 0
+    #: Torn/corrupt journal lines discarded from the tail.
+    tail_discarded: int = 0
+    #: False when the snapshot was missing/corrupt (journal-only replay).
+    snapshot_ok: bool = True
+
+
+def _document_to_record(document: CachedDocument, stamp: float) -> dict:
+    return {
+        "url": document.url,
+        "body": base64.b64encode(document.body).decode("ascii"),
+        "status": document.status,
+        "content_type": document.content_type,
+        "fetched_at": document.fetched_at,
+        "last_modified": document.last_modified,
+        "expires": document.expires,
+        "stamp": stamp,
+    }
+
+
+def _record_to_document(record: dict) -> "tuple[CachedDocument, float]":
+    document = CachedDocument(
+        url=record["url"],
+        body=base64.b64decode(record["body"]),
+        status=int(record.get("status", 200)),
+        content_type=str(
+            record.get("content_type", "application/octet-stream")
+        ),
+        fetched_at=float(record.get("fetched_at", 0.0)),
+        last_modified=record.get("last_modified"),
+        expires=record.get("expires"),
+    )
+    return document, float(record.get("stamp", 0.0))
 
 
 class ProxyStore:
@@ -68,6 +151,15 @@ class ProxyStore:
             the paper's recommendation.
         seed: tie-break seed for the eviction order.
         clock: time source (injectable for tests).
+        state_dir: optional directory for crash-safe state (snapshot +
+            journal).  When set, the constructor warm-restarts from
+            whatever the directory holds (``self.recovery`` reports what
+            it found) and journals every mutation from then on.
+        fsync: fsync journal appends and snapshot writes (tests disable
+            it for speed; production leaves it on).
+        disk_faults: optional disk-fault injector (see
+            :meth:`repro.faults.FaultPlan.disk_injector`) threaded into
+            every durable write.
     """
 
     def __init__(
@@ -76,11 +168,15 @@ class ProxyStore:
         policy: Optional[RemovalPolicy] = None,
         seed: int = 0,
         clock=_time.monotonic,
+        state_dir: Optional[Union[str, Path]] = None,
+        fsync: bool = True,
+        disk_faults=None,
     ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self._lock = threading.Lock()
         self._bodies: Dict[str, CachedDocument] = {}
+        self._stamps: Dict[str, float] = {}
         self._clock = clock
         self.stats = StoreStats()
         self._cache = SimCache(
@@ -89,10 +185,32 @@ class ProxyStore:
             seed=seed,
             on_evict=self._drop_body,
         )
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self._fsync = fsync
+        self._disk_faults = disk_faults
+        self._journal: Optional[Journal] = None
+        #: Warm-restart report; ``None`` for an ephemeral store.
+        self.recovery: Optional[StoreRecovery] = None
+        if self.state_dir is not None:
+            self.state_dir.mkdir(parents=True, exist_ok=True)
+            self._recover()
 
     def _drop_body(self, entry) -> None:
         self._bodies.pop(entry.url, None)
+        self._stamps.pop(entry.url, None)
         self.stats.evictions += 1
+        self._journal_append({"op": "remove", "url": entry.url})
+
+    def _journal_append(self, op: dict) -> None:
+        """Durably record one mutation; a write failure degrades to an
+        unjournaled store (counted) rather than failing the request."""
+        if self._journal is None:
+            return
+        try:
+            self._journal.append(op)
+            self.stats.journal_appends += 1
+        except OSError:
+            self.stats.journal_errors += 1
 
     # -- public API -------------------------------------------------------------
 
@@ -124,6 +242,9 @@ class ProxyStore:
             self._cache.access(
                 Request(timestamp=max(0.0, now), url=url, size=document.size)
             )
+            # Touches are not journaled (see module docstring); the
+            # stamp still feeds the next snapshot's recency metadata.
+            self._stamps[url] = max(0.0, now)
             self.stats.hits += 1
             self.stats.bytes_served_from_cache += document.size
             return document
@@ -152,7 +273,13 @@ class ProxyStore:
             if document.url not in self._cache:
                 return False  # larger than the whole store
             self._bodies[document.url] = document
+            stamp = max(0.0, now)
+            self._stamps[document.url] = stamp
             self.stats.insertions += 1
+            self._journal_append({
+                "op": "put",
+                "doc": _document_to_record(document, stamp),
+            })
             return True
 
     def invalidate(self, url: str) -> bool:
@@ -162,9 +289,121 @@ class ProxyStore:
                 return False
             self._cache.remove(url)
             self._bodies.pop(url, None)
+            self._stamps.pop(url, None)
+            self._journal_append({"op": "remove", "url": url})
             return True
 
     def snapshot(self) -> Dict[str, int]:
         """URL -> size view of current contents (diagnostics)."""
         with self._lock:
             return {url: doc.size for url, doc in self._bodies.items()}
+
+    # -- durability -------------------------------------------------------------
+
+    @property
+    def journal_path(self) -> Path:
+        assert self.state_dir is not None
+        return self.state_dir / JOURNAL_NAME
+
+    def _recover(self) -> None:
+        """Warm-restart: snapshot + journal fold -> live store state."""
+        recovery = StoreRecovery()
+        documents: Dict[str, dict] = {}
+        snapshot_path = self.state_dir / SNAPSHOT_NAME
+        try:
+            payload = read_manifest(self.state_dir, name=SNAPSHOT_NAME)
+            if payload.get("kind") != STATE_KIND:
+                raise ManifestError(f"{snapshot_path}: not a store snapshot")
+            for record in payload.get("documents", []):
+                if isinstance(record, dict) and "url" in record:
+                    documents[record["url"]] = record
+            recovery.snapshot_documents = len(documents)
+        except ManifestError:
+            # Missing is a cold start; corrupt is moved aside for the
+            # post-mortem and we fall back to journal-only replay.
+            if snapshot_path.exists():
+                recovery.snapshot_ok = False
+                try:
+                    os.replace(
+                        snapshot_path,
+                        snapshot_path.with_suffix(".corrupt"),
+                    )
+                except OSError:
+                    pass
+        replay = read_journal(self.journal_path, kind=STATE_KIND)
+        recovery.tail_discarded = replay.discarded
+        recovery.journal_replayed = replay.replayed
+        for op in replay.records:
+            if op.get("op") == "put" and isinstance(op.get("doc"), dict):
+                url = op["doc"].get("url")
+                if url:
+                    documents.pop(url, None)  # re-append in journal order
+                    documents[url] = op["doc"]
+            elif op.get("op") == "remove":
+                documents.pop(op.get("url"), None)
+        # Re-admit through the normal put path (self._journal is still
+        # None, so replay is never re-journaled) with each document's
+        # recorded stamp, so policy metadata survives the restart.
+        for record in documents.values():
+            try:
+                document, stamp = _record_to_document(record)
+            except (KeyError, TypeError, ValueError):
+                continue  # one bad record never blocks the rest
+            self.put(document, now=stamp)
+        recovery.documents = len(self._bodies)
+        self.stats = StoreStats()  # replay is not live traffic
+        # New generation: snapshot what survived, then reset the
+        # journal.  Ops are idempotent, so a crash between the two
+        # writes only re-applies what the snapshot already holds.
+        try:
+            self.write_snapshot()
+            self._journal = Journal(
+                self.journal_path, kind=STATE_KIND, fsync=self._fsync,
+                faults=self._disk_faults, truncate=True,
+            )
+        except OSError:
+            self.stats.journal_errors += 1
+            self._journal = None
+        self.recovery = recovery
+
+    def write_snapshot(self) -> None:
+        """Atomically persist the full current contents (checksummed)."""
+        if self.state_dir is None:
+            return
+        with self._lock:
+            payload = {
+                "kind": STATE_KIND,
+                "capacity": self._cache.capacity,
+                "documents": [
+                    _document_to_record(
+                        document, self._stamps.get(url, 0.0),
+                    )
+                    for url, document in self._bodies.items()
+                ],
+            }
+        write_manifest(
+            self.state_dir, payload, name=SNAPSHOT_NAME,
+            fsync=self._fsync, faults=self._disk_faults,
+        )
+
+    def close(self) -> None:
+        """Seal durable state: fresh snapshot, emptied journal.
+
+        Safe to skip (a crash instead of a close just means the next
+        start replays the journal); never raises.
+        """
+        if self.state_dir is None:
+            return
+        try:
+            self.write_snapshot()
+            journal = Journal(
+                self.journal_path, kind=STATE_KIND, fsync=self._fsync,
+                truncate=True,
+            )
+            journal.close()
+        except OSError:
+            self.stats.journal_errors += 1
+        finally:
+            if self._journal is not None:
+                self._journal.close()
+                self._journal = None

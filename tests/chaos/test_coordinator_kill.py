@@ -1,0 +1,172 @@
+"""Differential chaos test: coordinator death vs the uninterrupted run.
+
+The acceptance bar for the durability layer: a sweep whose coordinator
+is killed mid-grid (right after a result hits the checkpoint journal —
+the worst-timed crash) and then resumed must produce a **byte-identical**
+report and JSONL event stream to a run that was never interrupted, with
+``resumed_jobs > 0`` proving the resume actually restored work instead
+of silently recomputing everything.
+
+Covers the serial path, the multiprocess pool path, and a kill combined
+with a torn journal tail.
+"""
+
+import json
+
+import pytest
+
+from repro.core.sweep import (
+    PolicySpec,
+    SimOptions,
+    SweepJob,
+    result_to_record,
+    run_sweep,
+)
+from repro.faults import FaultKind, FaultPlan, FaultRule
+from repro.workloads import generate_valid
+
+
+class CoordinatorDied(Exception):
+    """Raised by the test kill hook in place of ``os._exit(75)``."""
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_valid("U", seed=12, scale=0.03)
+
+
+def make_jobs():
+    specs = [
+        ("SIZE", "RANDOM"),
+        ("ATIME", "NREF"),
+        ("NREF", "SIZE"),
+        ("SIZE", "ATIME"),
+        ("ATIME", "SIZE"),
+        ("NREF", "ATIME"),
+        ("SIZE", "NREF"),
+        ("ATIME", "RANDOM"),
+    ]
+    return [
+        SweepJob(
+            spec=PolicySpec(keys),
+            capacity=80_000,
+            options=SimOptions(seed=7),
+            name="/".join(keys),
+        )
+        for keys in specs
+    ]
+
+
+def report_bytes(report):
+    """The report's results as canonical bytes (timing fields excluded —
+    wall-clock can never be identical across runs)."""
+    return json.dumps(
+        [result_to_record(jr.result) for jr in report.results],
+        sort_keys=True,
+    ).encode("utf-8")
+
+
+def event_stream_bytes(report):
+    """The merged JSONL event stream, exactly as ``--events-out`` writes
+    it: one JSON document per line, in order."""
+    return "\n".join(
+        json.dumps(record, sort_keys=True)
+        for record in report.obs.events.to_dicts()
+    ).encode("utf-8")
+
+
+def kill_plan(index):
+    return FaultPlan(
+        rules=(FaultRule(kind=FaultKind.KILL_COORDINATOR, at=(index,)),),
+        seed=11,
+    )
+
+
+def raising_hook(index):
+    raise CoordinatorDied(index)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_killed_and_resumed_sweep_is_byte_identical(
+    trace, tmp_path, workers,
+):
+    jobs = make_jobs()
+    baseline = run_sweep(trace, jobs, workers=workers)
+
+    with pytest.raises(CoordinatorDied):
+        run_sweep(
+            trace, make_jobs(),
+            workers=workers,
+            fault_plan=kill_plan(3),
+            checkpoint_dir=tmp_path / "ck",
+            kill_hook=raising_hook,
+        )
+    resumed = run_sweep(
+        trace, make_jobs(),
+        workers=workers,
+        checkpoint_dir=tmp_path / "ck",
+        resume=True,
+    )
+
+    assert resumed.resumed_jobs > 0
+    assert report_bytes(resumed) == report_bytes(baseline)
+    assert event_stream_bytes(resumed) == event_stream_bytes(baseline)
+    # The engine counters agree too: the resumed run reports the same
+    # computed/cached split the uninterrupted run would have.
+    base_summary = baseline.summary()
+    resumed_summary = resumed.summary()
+    for key in ("jobs", "cache_hits", "cache_misses"):
+        assert resumed_summary[key] == base_summary[key]
+
+
+def test_kill_plus_torn_tail_still_byte_identical(trace, tmp_path):
+    jobs = make_jobs()
+    baseline = run_sweep(trace, jobs)
+
+    with pytest.raises(CoordinatorDied):
+        run_sweep(
+            trace, make_jobs(),
+            fault_plan=kill_plan(4),
+            checkpoint_dir=tmp_path / "ck",
+            kill_hook=raising_hook,
+        )
+    # The crash also tore the last journal append mid-line.
+    journal = tmp_path / "ck" / "journal.jsonl"
+    text = journal.read_text()
+    journal.write_text(text[: len(text) - 33])
+
+    resumed = run_sweep(
+        trace, make_jobs(), checkpoint_dir=tmp_path / "ck", resume=True,
+    )
+    # One record was torn away: 4 of the 5 journaled jobs resume.
+    assert resumed.resumed_jobs == 4
+    assert report_bytes(resumed) == report_bytes(baseline)
+    assert event_stream_bytes(resumed) == event_stream_bytes(baseline)
+
+
+def test_double_kill_across_resumes(trace, tmp_path):
+    """A resume can itself be killed; a second resume still converges."""
+    jobs = make_jobs()
+    baseline = run_sweep(trace, jobs)
+
+    with pytest.raises(CoordinatorDied):
+        run_sweep(
+            trace, make_jobs(),
+            fault_plan=kill_plan(2),
+            checkpoint_dir=tmp_path / "ck",
+            kill_hook=raising_hook,
+        )
+    with pytest.raises(CoordinatorDied):
+        run_sweep(
+            trace, make_jobs(),
+            fault_plan=kill_plan(5),
+            checkpoint_dir=tmp_path / "ck",
+            resume=True,
+            kill_hook=raising_hook,
+        )
+    resumed = run_sweep(
+        trace, make_jobs(), checkpoint_dir=tmp_path / "ck", resume=True,
+    )
+    assert resumed.resumed_jobs == 6  # jobs 0..5 were journaled
+    assert report_bytes(resumed) == report_bytes(baseline)
+    assert event_stream_bytes(resumed) == event_stream_bytes(baseline)

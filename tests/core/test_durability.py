@@ -1,0 +1,258 @@
+"""Unit tests for :mod:`repro.durability`.
+
+The crash-safety contract each primitive must hold:
+
+* atomic writes — readers only ever see the old content or the whole
+  new content, even when a fault is injected mid-write;
+* journals — a verified prefix replays, a torn/corrupt tail is
+  discarded, and a write fault poisons the generation (no appends after
+  a tear);
+* manifests — missing/torn/tampered manifests are rejected loudly, a
+  clean one round-trips byte-exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.durability import (
+    JOURNAL_FORMAT,
+    Journal,
+    ManifestError,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    canonical_json,
+    checksum,
+    read_journal,
+    read_manifest,
+    rewrite_journal,
+    write_manifest,
+)
+from repro.faults import FaultKind, FaultPlan, FaultRule
+
+
+def disk_faults(*rules, seed=0):
+    """A kind-filtered injector over the given disk-fault rules."""
+    plan = FaultPlan(rules=tuple(rules), seed=seed)
+    injector = plan.disk_injector()
+    assert injector is not None
+    return injector
+
+
+class TestChecksum:
+    def test_canonical_json_is_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+        assert checksum({"b": 1, "a": 2}) == checksum({"a": 2, "b": 1})
+
+    def test_checksum_distinguishes_payloads(self):
+        assert checksum({"a": 1}) != checksum({"a": 2})
+
+
+class TestAtomicWrite:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "doc.txt"
+        atomic_write_text(path, "hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_overwrites_atomically(self, tmp_path):
+        path = tmp_path / "doc.bin"
+        atomic_write_bytes(path, b"old")
+        atomic_write_bytes(path, b"new")
+        assert path.read_bytes() == b"new"
+
+    def test_json_sorted_keys(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"b": 1, "a": 2})
+        assert path.read_text() == '{"a": 2, "b": 1}\n'
+
+    def test_no_tmp_litter_on_success(self, tmp_path):
+        atomic_write_text(tmp_path / "doc.txt", "x")
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.txt"]
+
+    def test_torn_write_leaves_target_untouched(self, tmp_path):
+        path = tmp_path / "doc.txt"
+        atomic_write_text(path, "the original survives")
+        faults = disk_faults(
+            FaultRule(kind=FaultKind.TORN_WRITE, truncate_to=4),
+        )
+        with pytest.raises(OSError):
+            atomic_write_text(path, "replacement", faults=faults)
+        assert path.read_text() == "the original survives"
+        # and the torn tmp file was cleaned up
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.txt"]
+
+    def test_enospc_raises_before_writing(self, tmp_path):
+        path = tmp_path / "doc.txt"
+        faults = disk_faults(FaultRule(kind=FaultKind.ENOSPC))
+        with pytest.raises(OSError):
+            atomic_write_text(path, "never lands", faults=faults)
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_fsync_fail_raises_and_preserves_old_content(self, tmp_path):
+        path = tmp_path / "doc.txt"
+        atomic_write_text(path, "old")
+        faults = disk_faults(FaultRule(kind=FaultKind.FSYNC_FAIL))
+        with pytest.raises(OSError):
+            atomic_write_text(path, "new", faults=faults)
+        assert path.read_text() == "old"
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path, kind="test") as journal:
+            journal.append({"n": 1})
+            journal.append({"n": 2})
+            assert journal.appends == 2
+        recovery = read_journal(path, kind="test")
+        assert recovery.records == [{"n": 1}, {"n": 2}]
+        assert not recovery.truncated
+        assert recovery.discarded == 0
+        assert recovery.kind == "test"
+
+    def test_missing_file_is_empty_with_flag(self, tmp_path):
+        recovery = read_journal(tmp_path / "absent.jsonl")
+        assert recovery.missing
+        assert recovery.records == []
+
+    def test_reopen_appends(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path, kind="test") as journal:
+            journal.append({"n": 1})
+        with Journal(path, kind="test") as journal:
+            journal.append({"n": 2})
+        assert read_journal(path, kind="test").records == [
+            {"n": 1}, {"n": 2},
+        ]
+
+    def test_torn_tail_is_discarded(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path, kind="test") as journal:
+            journal.append({"n": 1})
+            journal.append({"n": 2})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"sha": "dead', )  # crash mid-append
+        recovery = read_journal(path, kind="test")
+        assert recovery.records == [{"n": 1}, {"n": 2}]
+        assert recovery.truncated
+        assert recovery.discarded == 1
+
+    def test_corrupt_middle_ends_replay(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path, kind="test") as journal:
+            for n in range(4):
+                journal.append({"n": n})
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2].replace('"n":1', '"n":9')  # flip a bit
+        path.write_text("\n".join(lines) + "\n")
+        recovery = read_journal(path, kind="test")
+        assert recovery.records == [{"n": 0}]
+        assert recovery.truncated
+        assert recovery.discarded == 3
+
+    def test_bad_header_discards_everything(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text("not a journal\n" + canonical_json({"x": 1}) + "\n")
+        recovery = read_journal(path)
+        assert recovery.records == []
+        assert recovery.truncated
+        assert recovery.discarded == 2
+
+    def test_kind_mismatch_rejects_header(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path, kind="proxy-store"):
+            pass
+        recovery = read_journal(path, kind="sweep-checkpoint")
+        assert recovery.records == []
+        assert recovery.truncated
+
+    def test_header_names_format(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path, kind="test"):
+            pass
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["rec"]["format"] == JOURNAL_FORMAT
+
+    def test_torn_write_breaks_the_generation(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        faults = disk_faults(
+            FaultRule(kind=FaultKind.TORN_WRITE, at=(1,), truncate_to=10),
+        )
+        journal = Journal(path, kind="test", faults=faults)
+        journal.append({"n": 1})  # event 0: fine
+        with pytest.raises(OSError):
+            journal.append({"n": 2})  # event 1: torn
+        assert journal.broken
+        with pytest.raises(OSError):
+            journal.append({"n": 3})  # fails fast, writes nothing
+        journal.close()
+        recovery = read_journal(path, kind="test")
+        assert recovery.records == [{"n": 1}]
+        assert recovery.truncated
+        assert recovery.discarded == 1
+
+    def test_enospc_breaks_without_writing(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        faults = disk_faults(FaultRule(kind=FaultKind.ENOSPC, at=(1,)))
+        journal = Journal(path, kind="test", faults=faults)
+        journal.append({"n": 1})
+        with pytest.raises(OSError):
+            journal.append({"n": 2})
+        journal.close()
+        recovery = read_journal(path, kind="test")
+        assert recovery.records == [{"n": 1}]
+        assert not recovery.truncated  # nothing torn: append never landed
+
+    def test_rewrite_after_torn_tail(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path, kind="test") as journal:
+            journal.append({"n": 1})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("garbage")
+        recovery = read_journal(path, kind="test")
+        journal = rewrite_journal(path, recovery.records, kind="test")
+        assert journal.appends == 0  # recovery is not new appends
+        journal.append({"n": 2})
+        journal.close()
+        clean = read_journal(path, kind="test")
+        assert clean.records == [{"n": 1}, {"n": 2}]
+        assert not clean.truncated
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        payload = {"kind": "sweep-checkpoint", "total": 36}
+        write_manifest(tmp_path, payload)
+        assert read_manifest(tmp_path) == payload
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(ManifestError):
+            read_manifest(tmp_path)
+
+    def test_unparseable_manifest_raises(self, tmp_path):
+        (tmp_path / "MANIFEST.json").write_text("{torn")
+        with pytest.raises(ManifestError):
+            read_manifest(tmp_path)
+
+    def test_tampered_manifest_raises(self, tmp_path):
+        write_manifest(tmp_path, {"total": 36})
+        path = tmp_path / "MANIFEST.json"
+        path.write_text(path.read_text().replace("36", "37"))
+        with pytest.raises(ManifestError):
+            read_manifest(tmp_path)
+
+    def test_unknown_format_raises(self, tmp_path):
+        envelope = {"format": 99, "sha": "", "manifest": {}}
+        (tmp_path / "MANIFEST.json").write_text(json.dumps(envelope))
+        with pytest.raises(ManifestError):
+            read_manifest(tmp_path)
+
+    def test_custom_name(self, tmp_path):
+        write_manifest(tmp_path, {"kind": "proxy-store"}, name="snapshot.json")
+        assert read_manifest(tmp_path, name="snapshot.json") == {
+            "kind": "proxy-store",
+        }

@@ -93,6 +93,56 @@ class TestSnapshot:
         assert [e.url for e in result.evicted] == ["old"]
 
 
+class TestFileEnvelope:
+    """The checksummed format-2 on-disk envelope (atomic writes)."""
+
+    def test_envelope_round_trip(self, tmp_path):
+        import json
+
+        cache = warmed_cache()
+        path = save_cache(cache, tmp_path / "cache.json")
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["format"] == 2
+        assert set(document) == {"format", "checksum", "snapshot"}
+        restored = load_cache(path, policy=KeyPolicy([SIZE]))
+        assert len(restored) == len(cache)
+        assert restored.used_bytes == cache.used_bytes
+
+    def test_checksum_detects_corruption(self, tmp_path):
+        cache = warmed_cache()
+        path = save_cache(cache, tmp_path / "cache.json")
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text.replace('"nref": 2', '"nref": 7'))
+        with pytest.raises(ValueError, match="checksum"):
+            load_cache(path, policy=KeyPolicy([SIZE]))
+
+    def test_legacy_bare_snapshot_still_loads(self, tmp_path):
+        import json
+
+        snapshot = snapshot_cache(warmed_cache())
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(snapshot), encoding="utf-8")
+        restored = load_cache(path, policy=KeyPolicy([SIZE]))
+        assert len(restored) == len(warmed_cache())
+
+    def test_save_is_atomic_under_torn_write(self, tmp_path):
+        from repro.durability import atomic_write_json
+        from repro.faults import FaultKind, FaultPlan, FaultRule
+
+        cache = warmed_cache()
+        path = save_cache(cache, tmp_path / "cache.json")
+        plan = FaultPlan(
+            rules=(FaultRule(kind=FaultKind.TORN_WRITE, truncate_to=10),),
+        )
+        with pytest.raises(OSError):
+            atomic_write_json(
+                path, {"replacement": True}, faults=plan.disk_injector(),
+            )
+        # The original (valid) snapshot is still fully loadable.
+        restored = load_cache(path, policy=KeyPolicy([SIZE]))
+        assert len(restored) == len(cache)
+
+
 class TestValidation:
     def test_unknown_format_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,222 @@
+"""Warm-restart durability of :class:`repro.proxy.store.ProxyStore`.
+
+The journaled store's contract: every mutation that returned is
+recoverable after SIGKILL (snapshot + journal fold), a torn journal
+tail costs at most the one mutation that was mid-append, and a corrupt
+snapshot degrades to journal-only replay instead of refusing to start.
+"""
+
+import json
+
+import pytest
+
+from repro.durability import read_journal, read_manifest
+from repro.faults import FaultKind, FaultPlan, FaultRule
+from repro.proxy.server import CachingProxy
+from repro.proxy.store import (
+    JOURNAL_NAME,
+    SNAPSHOT_NAME,
+    STATE_KIND,
+    CachedDocument,
+    ProxyStore,
+)
+
+
+def doc(url, body, fetched_at=100.0):
+    return CachedDocument(
+        url=url, body=body, content_type="text/plain", fetched_at=fetched_at,
+    )
+
+
+def make_store(state_dir, **kwargs):
+    kwargs.setdefault("capacity", 1 << 20)
+    kwargs.setdefault("fsync", False)  # tmpfs tests don't need real fsync
+    return ProxyStore(state_dir=state_dir, **kwargs)
+
+
+class TestWarmRestart:
+    def test_recovers_journaled_documents(self, tmp_path):
+        store = make_store(tmp_path)
+        assert store.put(doc("http://a/1", b"alpha"), now=1.0)
+        assert store.put(doc("http://a/2", b"beta"), now=2.0)
+        assert store.invalidate("http://a/1")
+        assert store.put(doc("http://a/3", b"gamma"), now=3.0)
+        assert store.stats.journal_appends == 4
+        # No close(): simulate SIGKILL by just abandoning the store.
+
+        revived = make_store(tmp_path)
+        assert revived.recovery is not None
+        assert revived.recovery.journal_replayed == 4
+        assert revived.recovery.tail_discarded == 0
+        assert revived.recovery.documents == 2
+        assert "http://a/1" not in revived
+        assert revived.get("http://a/2").body == b"beta"
+        assert revived.get("http://a/3").body == b"gamma"
+        # Metadata survived: original fetch times, not replay-time ones.
+        assert revived.get("http://a/2").fetched_at == 100.0
+
+    def test_clean_close_leaves_snapshot_only(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(doc("http://a/1", b"alpha"), now=1.0)
+        store.close()
+        assert read_journal(
+            tmp_path / JOURNAL_NAME, kind=STATE_KIND,
+        ).replayed == 0
+        snapshot = read_manifest(tmp_path, name=SNAPSHOT_NAME)
+        assert snapshot["kind"] == STATE_KIND
+        assert [d["url"] for d in snapshot["documents"]] == ["http://a/1"]
+
+        revived = make_store(tmp_path)
+        assert revived.recovery.snapshot_documents == 1
+        assert revived.recovery.journal_replayed == 0
+        assert revived.get("http://a/1").body == b"alpha"
+
+    def test_torn_tail_costs_at_most_one_mutation(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(doc("http://a/1", b"alpha"), now=1.0)
+        store.put(doc("http://a/2", b"beta"), now=2.0)
+        # Tear the last append mid-line: power loss during write(2).
+        journal = tmp_path / JOURNAL_NAME
+        text = journal.read_text()
+        journal.write_text(text[: len(text) - 25])
+
+        revived = make_store(tmp_path)
+        assert revived.recovery.tail_discarded == 1
+        assert revived.recovery.journal_replayed == 1
+        assert revived.get("http://a/1").body == b"alpha"
+        assert "http://a/2" not in revived
+
+    def test_corrupt_snapshot_falls_back_to_journal(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(doc("http://a/1", b"alpha"), now=1.0)
+        store.close()  # contents now live in the snapshot only
+        store = make_store(tmp_path)
+        store.put(doc("http://a/2", b"beta"), now=2.0)  # journaled
+        # SIGKILL, then the snapshot rots on disk.
+        snapshot = tmp_path / SNAPSHOT_NAME
+        snapshot.write_text(
+            snapshot.read_text().replace('"documents"', '"documentz"'),
+        )
+
+        revived = make_store(tmp_path)
+        assert revived.recovery.snapshot_ok is False
+        # Journal-only replay: the journaled put survives, the
+        # snapshot-only document is lost (and the corpse kept aside).
+        assert revived.get("http://a/2").body == b"beta"
+        assert "http://a/1" not in revived
+        assert (tmp_path / "snapshot.corrupt").exists()
+
+    def test_replacement_and_eviction_replay_correctly(self, tmp_path):
+        store = make_store(tmp_path, capacity=1000)
+        store.put(doc("http://a/1", b"x" * 400), now=1.0)
+        store.put(doc("http://a/2", b"y" * 400), now=2.0)
+        store.put(doc("http://a/1", b"z" * 300), now=3.0)  # replacement
+        store.put(doc("http://a/3", b"w" * 500), now=4.0)  # forces eviction
+        survivors = store.snapshot()
+
+        revived = make_store(tmp_path, capacity=1000)
+        assert revived.snapshot() == survivors
+        if "http://a/1" in revived:
+            assert revived.get("http://a/1").body == b"z" * 300
+
+    def test_restart_is_idempotent(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(doc("http://a/1", b"alpha"), now=1.0)
+        for _ in range(3):  # crash-restart-crash-restart...
+            store = make_store(tmp_path)
+        assert store.recovery.documents == 1
+        assert store.get("http://a/1").body == b"alpha"
+
+    def test_empty_state_dir_is_cold_start(self, tmp_path):
+        store = make_store(tmp_path)
+        assert store.recovery is not None
+        assert store.recovery.documents == 0
+        assert store.recovery.snapshot_ok is True
+        assert len(store) == 0
+
+
+class TestDiskFaults:
+    def test_torn_journal_write_degrades_not_fails(self, tmp_path):
+        # Event 0 is the recovery snapshot write; event 1 the first
+        # append (fine); event 2 tears, poisoning the journal generation.
+        plan = FaultPlan(
+            rules=(
+                FaultRule(kind=FaultKind.TORN_WRITE, at=(2,), truncate_to=6),
+            ),
+            seed=9,
+        )
+        store = make_store(tmp_path, disk_faults=plan.disk_injector())
+        assert store.put(doc("http://a/1", b"alpha"), now=1.0)
+        assert store.put(doc("http://a/2", b"beta"), now=2.0)  # torn
+        assert store.put(doc("http://a/3", b"gamma"), now=3.0)  # broken latch
+        assert store.stats.journal_appends == 1
+        assert store.stats.journal_errors == 2
+        # The store itself kept serving all three documents.
+        assert len(store) == 3
+
+        revived = make_store(tmp_path)
+        assert revived.recovery.tail_discarded == 1
+        assert revived.recovery.documents == 1
+        assert revived.get("http://a/1").body == b"alpha"
+
+    def test_enospc_on_recovery_snapshot_disables_journal(self, tmp_path):
+        plan = FaultPlan(
+            rules=(FaultRule(kind=FaultKind.ENOSPC, at=(0,)),), seed=9,
+        )
+        store = make_store(tmp_path, disk_faults=plan.disk_injector())
+        assert store.stats.journal_errors == 1
+        store.put(doc("http://a/1", b"alpha"), now=1.0)
+        # Journaling is off (counted), the store still works.
+        assert store.get("http://a/1").body == b"alpha"
+        assert store.stats.journal_appends == 0
+
+
+class TestMetricsWiring:
+    def test_metrics_report_recovery_and_journal_counts(self, tmp_path):
+        seed_store = make_store(tmp_path)
+        seed_store.put(doc("http://a/1", b"alpha"), now=1.0)
+        seed_store.put(doc("http://a/2", b"beta"), now=2.0)
+        # SIGKILL; then a proxy warm-starts over the same directory.
+
+        store = make_store(tmp_path)
+        proxy = CachingProxy(store, host="127.0.0.1", port=0).start()
+        try:
+            store.put(doc("http://a/3", b"gamma"), now=3.0)
+            import urllib.request
+
+            host, port = proxy.address
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/metrics", timeout=5,
+            ) as response:
+                text = response.read().decode("utf-8")
+        finally:
+            proxy.stop()
+            store.close()
+        metrics = {
+            line.split()[0]: line.split()[1]
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        }
+        assert metrics["repro_proxy_store_recovered_documents"] == "2"
+        assert metrics["repro_proxy_store_journal_tail_discarded"] == "0"
+        assert int(metrics["repro_proxy_store_journal_appends_total"]) >= 1
+        assert metrics["repro_proxy_store_journal_errors_total"] == "0"
+
+    def test_recovery_event_emitted(self, tmp_path):
+        from repro.obs import Obs
+
+        seed_store = make_store(tmp_path)
+        seed_store.put(doc("http://a/1", b"alpha"), now=1.0)
+
+        store = make_store(tmp_path)
+        obs = Obs()
+        proxy = CachingProxy(store, host="127.0.0.1", port=0, obs=obs)
+        try:
+            events = [
+                record for record in obs.events.to_dicts()
+                if record["event"] == "store.recovered"
+            ]
+            assert len(events) == 1
+            assert events[0]["documents"] == 1
+        finally:
+            store.close()

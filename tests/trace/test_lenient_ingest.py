@@ -1,0 +1,97 @@
+"""Lenient vs strict trace ingestion (quarantine accounting).
+
+Lenient mode (the default) quarantines malformed lines: counted in an
+:class:`IngestStats`, tallied on the ``repro_trace_rejected_lines_total``
+metric when an obs context rides along, and echoed verbatim to an
+optional quarantine stream.  Strict mode keeps the historical behaviour:
+the first malformed line raises.
+"""
+
+import io
+
+import pytest
+
+from repro.obs import Obs
+from repro.trace import write_clf_lines
+from repro.trace.clf import CLFError
+from repro.trace.reader import IngestStats, read_clf_file, read_clf_lines
+from repro.trace.record import Request
+
+REQUESTS = [
+    Request(timestamp=float(i * 5), url=f"http://a.edu/doc{i}.html",
+            size=50 + i, client=f"client{i}")
+    for i in range(4)
+]
+
+BAD_LINES = [
+    "total garbage",
+    'client9 - - [not-a-date] "GET http://a.edu/x.html HTTP/1.0" 200 10',
+]
+
+
+def mixed_lines():
+    good = list(write_clf_lines(REQUESTS, epoch=0.0))
+    # Interleave: good, bad, good, bad, good, good.
+    return [good[0], BAD_LINES[0], good[1], BAD_LINES[1]] + good[2:]
+
+
+class TestLenient:
+    def test_quarantines_and_counts(self):
+        stats = IngestStats()
+        parsed = list(read_clf_lines(mixed_lines(), epoch=0.0, stats=stats))
+        assert [r.url for r in parsed] == [r.url for r in REQUESTS]
+        assert stats.lines == 6
+        assert stats.parsed == 4
+        assert stats.rejected == 2
+
+    def test_quarantine_stream_gets_verbatim_lines(self):
+        sink = io.StringIO()
+        list(read_clf_lines(mixed_lines(), epoch=0.0, quarantine=sink))
+        assert sink.getvalue().splitlines() == BAD_LINES
+
+    def test_metric_counts_rejections(self):
+        obs = Obs()
+        list(read_clf_lines(mixed_lines(), epoch=0.0, obs=obs))
+        assert obs.registry.value("repro_trace_rejected_lines_total") == 2
+
+    def test_no_rejections_leaves_metric_untouched(self):
+        obs = Obs()
+        good = list(write_clf_lines(REQUESTS, epoch=0.0))
+        parsed = list(read_clf_lines(good, epoch=0.0, obs=obs))
+        assert len(parsed) == len(REQUESTS)
+        assert obs.registry.value("repro_trace_rejected_lines_total") == 0
+
+
+class TestStrict:
+    def test_first_malformed_line_raises(self):
+        with pytest.raises(CLFError):
+            list(read_clf_lines(
+                mixed_lines(), epoch=0.0, skip_malformed=False,
+            ))
+
+    def test_strict_mode_never_touches_quarantine(self):
+        sink = io.StringIO()
+        stats = IngestStats()
+        with pytest.raises(CLFError):
+            list(read_clf_lines(
+                mixed_lines(), epoch=0.0, skip_malformed=False,
+                quarantine=sink, stats=stats,
+            ))
+        assert sink.getvalue() == ""
+        assert stats.rejected == 0
+
+
+class TestFileIngestion:
+    def test_file_lenient_round_trip(self, tmp_path):
+        path = tmp_path / "trace.log"
+        path.write_text("\n".join(mixed_lines()) + "\n", encoding="utf-8")
+        stats = IngestStats()
+        obs = Obs()
+        sink = io.StringIO()
+        parsed = list(read_clf_file(
+            path, epoch=0.0, obs=obs, quarantine=sink, stats=stats,
+        ))
+        assert len(parsed) == 4
+        assert stats.rejected == 2
+        assert obs.registry.value("repro_trace_rejected_lines_total") == 2
+        assert sink.getvalue().splitlines() == BAD_LINES
