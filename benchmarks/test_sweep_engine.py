@@ -10,9 +10,14 @@ synthetic trace —
 
 asserts the engine is differentially identical to the serial path and
 that a repeated sweep is >= 90% cache hits, and emits the machine-readable
-``benchmarks/results/BENCH_sweep.json`` (requests/sec, per-policy wall
-time, result-cache hit/miss counts) so the perf trajectory is tracked
-from this PR onward.
+``benchmarks/results/BENCH_sweep_engine.json`` (requests/sec, per-policy
+wall time, result-cache hit/miss counts) so the perf trajectory is
+tracked from this PR onward.  The payload uses the schema-versioned
+``repro.obs.bench`` envelope (``schema: 2`` with run metadata), so
+``repro bench --compare`` can gate against it; the first PR's
+pre-envelope file stays readable through the schema-1 path of
+:func:`repro.obs.bench.load_bench`.  ``BENCH_sweep.json`` itself is the
+committed ``repro bench`` baseline and is not touched here.
 
 The >= 2x speedup criterion is only asserted when the host actually has
 multiple CPUs; on a single-core host the numbers are still recorded,
@@ -118,7 +123,21 @@ def test_sweep_engine_benchmark(
             f"workers on {cpu_count} CPUs, got {speedup:.2f}x"
         )
 
+    from repro.obs.bench import BENCH_SCHEMA_VERSION, bench_meta
+
     bench = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "kind": "repro-bench",
+        "meta": bench_meta(BENCH_WORKERS),
+        "throughput": {
+            "wall_seconds": cold.wall_seconds,
+            "simulated_requests": cold.simulated_requests,
+            "requests_per_second": cold.requests_per_second,
+        },
+        "policies": {
+            jr.result.name: {"seconds": jr.seconds, "phases": {}}
+            for jr in cold.results
+        },
         "workload": BENCH_WORKLOAD,
         "scale": SWEEP_SCALE,
         "trace_requests": len(trace),
@@ -144,7 +163,7 @@ def test_sweep_engine_benchmark(
             "warm_hit_fraction": warm.cache_hits / len(jobs),
         },
     }
-    (artifact_dir / "BENCH_sweep.json").write_text(
+    (artifact_dir / "BENCH_sweep_engine.json").write_text(
         json.dumps(bench, indent=2) + "\n", encoding="utf-8",
     )
 
@@ -161,5 +180,5 @@ def test_sweep_engine_benchmark(
         f"engine warm (result cache): {warm.wall_seconds:.2f}s "
         f"({warm.cache_hits}/{len(jobs)} served from cache)",
         "",
-        "full numbers in BENCH_sweep.json",
+        "full numbers in BENCH_sweep_engine.json",
     ]))

@@ -11,10 +11,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
-from repro.core.metrics import moving_average, ratio_series, series_mean
+from repro.core.metrics import (
+    Series,
+    moving_average,
+    ratio_series,
+    series_mean,
+)
 from repro.core.multilevel import TwoLevelResult
 from repro.core.partitioned import PartitionedResult
 from repro.core.simulator import SimulationResult
+from repro.obs.timeseries import hit_rate_series, weighted_hit_rate_series
 from repro.trace.record import Request
 from repro.trace.stats import (
     interreference_scatter,
@@ -37,6 +43,37 @@ __all__ = [
 ]
 
 Points = List[Tuple[float, float]]
+
+
+def _smoothed_hr(
+    result: SimulationResult, window: int = 7, stream: str = "main",
+) -> Series:
+    """Smoothed daily HR, preferring the recorded time series.
+
+    Results normally carry a
+    :class:`~repro.obs.timeseries.TimeSeriesRecorder` ticked per
+    simulated day; deriving the figures from its stream (through the
+    same :func:`~repro.core.metrics.moving_average`) is byte-identical
+    to the legacy in-collector computation — the differential test in
+    ``tests/analysis`` pins that — and keeps one code path for live,
+    cached, and cross-process results.
+    """
+    recorder = getattr(result, "timeseries", None)
+    if recorder is not None:
+        return moving_average(hit_rate_series(recorder, stream), window)
+    return result.metrics.smoothed_hr(window)
+
+
+def _smoothed_whr(
+    result: SimulationResult, window: int = 7, stream: str = "main",
+) -> Series:
+    """Smoothed daily WHR, preferring the recorded time series."""
+    recorder = getattr(result, "timeseries", None)
+    if recorder is not None:
+        return moving_average(
+            weighted_hit_rate_series(recorder, stream), window,
+        )
+    return result.metrics.smoothed_whr(window)
 
 
 @dataclass
@@ -92,8 +129,8 @@ def fig3_7_infinite_cache(
         xlabel="Day",
         ylabel="Percent",
         series={
-            "HR": [(float(d), v) for d, v in result.metrics.smoothed_hr()],
-            "WHR": [(float(d), v) for d, v in result.metrics.smoothed_whr()],
+            "HR": [(float(d), v) for d, v in _smoothed_hr(result)],
+            "WHR": [(float(d), v) for d, v in _smoothed_whr(result)],
         },
     )
 
@@ -107,11 +144,11 @@ def fig8_12_primary_keys(
     """Figures 8-12: each primary key's smoothed HR as a percentage of the
     infinite-cache smoothed HR (the figures plot SIZE, ETIME, ATIME, NREF;
     the paper notes LOG2SIZE tracks SIZE and DAY(ATIME) tracks ETIME)."""
-    infinite_hr = infinite_result.metrics.smoothed_hr()
+    infinite_hr = _smoothed_hr(infinite_result)
     series: Dict[str, Points] = {}
     for key in keys:
         result = finite_results[key]
-        ratio = ratio_series(result.metrics.smoothed_hr(), infinite_hr)
+        ratio = ratio_series(_smoothed_hr(result), infinite_hr)
         series[key] = [(float(d), v) for d, v in ratio]
     return FigureSeries(
         figure_id={"U": "fig8", "G": "fig9", "C": "fig10",
@@ -166,12 +203,12 @@ def fig15_secondary_keys(
 ) -> FigureSeries:
     """Figure 15: each secondary key's smoothed WHR as a percentage of the
     RANDOM secondary's, primary key fixed at ⌊log2(SIZE)⌋."""
-    baseline = secondary_results["RANDOM"].metrics.smoothed_whr()
+    baseline = _smoothed_whr(secondary_results["RANDOM"])
     series: Dict[str, Points] = {}
     for name, result in secondary_results.items():
         if name == "RANDOM":
             continue
-        ratio = ratio_series(result.metrics.smoothed_whr(), baseline)
+        ratio = ratio_series(_smoothed_whr(result), baseline)
         series[name] = [(float(d), v) for d, v in ratio]
     return FigureSeries(
         figure_id="fig15",
@@ -198,15 +235,25 @@ def fig16_18_second_level(
         ylabel="Percent",
         series={
             "WHR": [
-                (float(d), v)
-                for d, v in moving_average(result.l2_metrics.whr_series())
+                (float(d), v) for d, v in moving_average(_l2_whr(result))
             ],
             "HR": [
-                (float(d), v)
-                for d, v in moving_average(result.l2_metrics.hr_series())
+                (float(d), v) for d, v in moving_average(_l2_hr(result))
             ],
         },
     )
+
+
+def _l2_hr(result: TwoLevelResult) -> Series:
+    if result.timeseries is not None:
+        return hit_rate_series(result.timeseries, stream="l2")
+    return result.l2_metrics.hr_series()
+
+
+def _l2_whr(result: TwoLevelResult) -> Series:
+    if result.timeseries is not None:
+        return weighted_hit_rate_series(result.timeseries, stream="l2")
+    return result.l2_metrics.whr_series()
 
 
 def fig19_20_partitioned(
@@ -228,8 +275,7 @@ def fig19_20_partitioned(
         series[label] = [(float(d), v) for d, v in points]
     if infinite_result is not None:
         series["infinite cache WHR"] = [
-            (float(d), v)
-            for d, v in infinite_result.metrics.smoothed_whr()
+            (float(d), v) for d, v in _smoothed_whr(infinite_result)
         ]
     return FigureSeries(
         figure_id="fig19" if partition == "audio" else "fig20",

@@ -16,6 +16,8 @@ Commands:
   fault plan and report the degradation
 * ``obs``          observability utilities: ``obs check`` lints the
   metric catalog, ``obs summarize`` renders run artifacts
+* ``bench``        pinned perf benchmark of the sweep grid; ``bench
+  --compare baseline.json`` gates on throughput/per-policy regressions
 
 Observability: ``sweep``, ``experiment``, ``chaos`` and ``proxy`` accept
 ``--log-level``, ``--trace-out`` (Chrome trace JSON, viewable in
@@ -32,7 +34,10 @@ Examples::
     python -m repro experiment 2 --workload BL --scale 0.05
     python -m repro sweep --workload BL --workers 4 --cache-dir .sweep-cache
     python -m repro sweep --workers 4 --trace-out t.json --metrics-out m.prom
+    python -m repro sweep --workers 4 --timeseries-out series.jsonl
     python -m repro obs summarize --trace t.json --metrics m.prom
+    python -m repro bench --out BENCH_sweep.json --stacks-out bench.stacks
+    python -m repro bench --compare benchmarks/results/BENCH_sweep.json
     python -m repro chaos --workload BL --scale 0.02 --drop-rate 0.2 --out chaos.json
     python -m repro report --out report.md
 """
@@ -197,6 +202,20 @@ def _build_obs(args: argparse.Namespace):
     return Obs.create(log_level=args.log_level)
 
 
+def _write_timeseries_out(named, path: str) -> None:
+    """Write named recorders as one checksummed JSONL stream."""
+    from repro.obs.timeseries import merge_samples, write_timeseries
+
+    with_recorder = [
+        (name, recorder) for name, recorder in named if recorder is not None
+    ]
+    count = write_timeseries(merge_samples(with_recorder), path)
+    print(
+        f"wrote {count} time-series sample(s) from "
+        f"{len(with_recorder)} run(s) to {path}"
+    )
+
+
 def _export_obs(obs, args: argparse.Namespace) -> None:
     """Write whichever artifacts the obs flags requested."""
     from pathlib import Path
@@ -312,6 +331,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         f"MaxNeeded {infinite.max_used_bytes / 2**20:.1f} MB\n"
     )
     obs = _build_obs(args)
+    recorders = [("infinite", getattr(infinite, "timeseries", None))]
     if args.number == 1:
         smoothed = infinite.metrics.smoothed_hr()
         rows = [
@@ -337,10 +357,18 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                 f"{100 * args.fraction:.0f}% of MaxNeeded"
             ),
         ))
+        recorders += [
+            (name, getattr(result, "timeseries", None))
+            for name, result in sweep.items()
+        ]
         secondary = secondary_key_sweep(
             trace, infinite.max_used_bytes, args.fraction, seed=args.seed,
             workers=args.workers, result_cache=result_cache, obs=obs,
         )
+        recorders += [
+            (f"secondary/{name}", getattr(result, "timeseries", None))
+            for name, result in secondary.items()
+        ]
         baseline = secondary["RANDOM"].weighted_hit_rate
         print()
         print(render_table(
@@ -357,6 +385,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         result = run_two_level(
             trace, infinite.max_used_bytes, args.fraction, seed=args.seed,
         )
+        recorders.append(("two-level", result.timeseries))
         print(render_table(
             ["level", "HR% (all requests)", "WHR% (all requests)"],
             [
@@ -379,6 +408,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         rows = []
         for fraction in sorted(sweep):
             result = sweep[fraction]
+            recorders.append((f"audio={fraction:.2f}", result.timeseries))
             rows.append([
                 f"{fraction:.2f}",
                 f"{result.class_metrics['audio'].weighted_hit_rate:.2f}",
@@ -391,6 +421,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             rows,
             title="Experiment 4: partitioned cache",
         ))
+    if args.timeseries_out:
+        _write_timeseries_out(recorders, args.timeseries_out)
     _export_obs(obs, args)
     return 0
 
@@ -508,6 +540,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
         print(f"wrote {len(report.results)} result record(s) "
               f"to {args.results_out}")
+    if args.timeseries_out:
+        _write_timeseries_out(
+            [(jr.result.name, jr.result.timeseries)
+             for jr in report.results],
+            args.timeseries_out,
+        )
     _export_obs(obs, args)
     return 0
 
@@ -716,13 +754,95 @@ def cmd_obs(args: argparse.Namespace) -> int:
         problems, registered = run_check()
         print(render_problems(problems, registered))
         return 1 if problems else 0
-    from repro.obs.summarize import summarize_run
+    from repro.obs.summarize import ArtifactError, summarize_run
 
-    print(summarize_run(
-        events_path=args.events or None,
-        trace_path=args.trace or None,
-        metrics_path=args.metrics or None,
-    ))
+    try:
+        print(summarize_run(
+            events_path=args.events or None,
+            trace_path=args.trace or None,
+            metrics_path=args.metrics or None,
+            timeseries_path=args.timeseries or None,
+        ))
+    except ArtifactError as error:
+        print(f"obs summarize: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the pinned benchmark grid and/or gate against a baseline."""
+    from repro.obs.bench import (
+        BenchError,
+        compare_bench,
+        load_bench,
+        render_comparison,
+        run_bench,
+        write_payload,
+    )
+
+    obs = _build_obs(args)
+    try:
+        if args.current:
+            current = load_bench(args.current)
+        else:
+            current, report = run_bench(
+                workload=args.workload,
+                scale=args.scale,
+                trace_seed=args.seed,
+                fraction=args.fraction,
+                workers=args.workers,
+                obs=obs,
+            )
+            print(
+                f"bench: {len(current['policies'])} policies over "
+                f"{current['grid']['trace_requests']:,} requests in "
+                f"{current['throughput']['wall_seconds']:.2f}s "
+                f"({current['throughput']['requests_per_second']:,.0f} "
+                f"req/s, {args.workers} worker(s))"
+            )
+            rows = [
+                [
+                    name,
+                    f"{entry['seconds']:.3f}",
+                    *(
+                        f"{entry['phases'].get(phase, {}).get('p95_seconds', 0.0) * 1e6:.1f}"
+                        for phase in ("lookup", "evict", "admit")
+                    ),
+                ]
+                for name, entry in current["policies"].items()
+            ]
+            print(render_table(
+                ["policy", "seconds",
+                 "lookup p95 us", "evict p95 us", "admit p95 us"],
+                rows,
+                title="Per-policy wall time and phase p95",
+            ))
+            if args.out:
+                write_payload(current, args.out)
+                print(f"wrote benchmark payload to {args.out}")
+            if args.stacks_out and obs.profiler is not None:
+                count = obs.profiler.write_collapsed(args.stacks_out)
+                print(f"wrote {count} collapsed stack(s) to {args.stacks_out}")
+            if args.timeseries_out:
+                _write_timeseries_out(
+                    [(jr.result.name, jr.result.timeseries)
+                     for jr in report.results],
+                    args.timeseries_out,
+                )
+        if args.compare:
+            baseline = load_bench(args.compare)
+            regressions = compare_bench(
+                baseline, current, threshold_pct=args.threshold,
+            )
+            print(render_comparison(
+                regressions, baseline, current, threshold_pct=args.threshold,
+            ))
+            _export_obs(obs, args)
+            return 1 if regressions else 0
+    except BenchError as error:
+        print(f"bench: {error}", file=sys.stderr)
+        return 1
+    _export_obs(obs, args)
     return 0
 
 
@@ -805,6 +925,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="processes for the policy sweeps")
     experiment.add_argument("--cache-dir", default="",
                             help="memoize sweep runs in this directory")
+    experiment.add_argument("--timeseries-out", default="", metavar="PATH",
+                            help="write the run's recorded per-day "
+                                 "series as checksummed JSONL")
     _add_obs_flags(experiment)
     experiment.set_defaults(func=cmd_experiment)
 
@@ -836,6 +959,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--results-out", default="", metavar="PATH",
                        help="write timing-free result records as "
                             "sorted JSON (byte-stable across resumes)")
+    sweep.add_argument("--timeseries-out", default="", metavar="PATH",
+                       help="write every policy's recorded per-day "
+                            "series as checksummed JSONL")
     _add_obs_flags(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
@@ -913,7 +1039,40 @@ def build_parser() -> argparse.ArgumentParser:
                                help="Chrome trace JSON (--trace-out)")
     obs_summarize.add_argument("--metrics", default="", metavar="PATH",
                                help="Prometheus text file (--metrics-out)")
+    obs_summarize.add_argument("--timeseries", default="", metavar="PATH",
+                               help="checksummed time-series JSONL "
+                                    "(--timeseries-out); verifies the "
+                                    "checksum trailer")
     obs_summarize.set_defaults(func=cmd_obs)
+
+    bench = commands.add_parser(
+        "bench",
+        help="pinned perf benchmark of the sweep grid, with a "
+             "regression gate (--compare)",
+    )
+    bench.add_argument("--workload", default="BL", choices=sorted(PROFILES))
+    bench.add_argument("--scale", type=float, default=0.05)
+    bench.add_argument("--seed", type=int, default=1996)
+    bench.add_argument("--fraction", type=float, default=0.10)
+    bench.add_argument("--workers", type=_positive_int, default=1)
+    bench.add_argument("--out", default="", metavar="PATH",
+                       help="write the schema-versioned BENCH payload here")
+    bench.add_argument("--stacks-out", default="", metavar="PATH",
+                       help="write collapsed profiler stacks "
+                            "(flamegraph.pl / speedscope input)")
+    bench.add_argument("--timeseries-out", default="", metavar="PATH",
+                       help="write the benchmark runs' recorded per-day "
+                            "series as checksummed JSONL")
+    bench.add_argument("--compare", default="", metavar="BASELINE",
+                       help="gate against a baseline payload; exit 1 on "
+                            "regression beyond --threshold")
+    bench.add_argument("--current", default="", metavar="PATH",
+                       help="compare this existing payload instead of "
+                            "running the benchmark")
+    bench.add_argument("--threshold", type=float, default=15.0,
+                       help="regression threshold in percent")
+    _add_obs_flags(bench)
+    bench.set_defaults(func=cmd_bench)
 
     origin = commands.add_parser("origin", help="run the toy origin server")
     origin.add_argument("--host", default="127.0.0.1")

@@ -197,6 +197,7 @@ class SimCache:
         self.eviction_count = 0
         self.evicted_bytes = 0
         self._rng = random.Random(seed)
+        self._phases = None
         self._latency_estimator = latency_estimator
         self._ttl_assigner = ttl_assigner
         self._on_evict = on_evict
@@ -253,10 +254,22 @@ class SimCache:
             "evicted_bytes": self.evicted_bytes,
         }
 
+    def set_phase_timer(self, timer) -> None:
+        """Attach (or with ``None`` detach) a per-access phase timer —
+        a :class:`repro.obs.profile.CachePhaseTimer` — switching
+        :meth:`access` onto an instrumented twin that times the lookup /
+        evict / admit phases.  The uninstrumented hot path is untouched,
+        and the twin performs the identical operations in the identical
+        order (RNG draws included), so timing can never perturb results
+        — the differential test runs both paths and diffs."""
+        self._phases = timer
+
     # -- the Section 1.1 access path ------------------------------------------
 
     def access(self, request: Request, now: Optional[float] = None) -> AccessResult:
         """Process one valid trace request against the cache."""
+        if self._phases is not None:
+            return self._timed_access(request, now)
         if now is None:
             now = request.timestamp
         entry = self._entries.get(request.url)
@@ -273,6 +286,72 @@ class SimCache:
             result.outcome = AccessOutcome.MISS_MODIFIED
             return result
         return self._admit(request, now)
+
+    def _timed_access(
+        self, request: Request, now: Optional[float] = None,
+    ) -> AccessResult:
+        """The instrumented twin of :meth:`access`: same operations,
+        same order, plus phase timing through ``self._phases``."""
+        timer = self._phases
+        clock = timer.clock
+        if now is None:
+            now = request.timestamp
+        start = clock()
+        entry = self._entries.get(request.url)
+        if entry is not None:
+            if entry.size == request.size:
+                entry.touch(now)
+                if self._index is not None:
+                    self._index.on_touch(entry)
+                self.policy.on_hit(entry)
+                timer.observe("lookup", clock() - start)
+                return AccessResult(AccessOutcome.HIT, request)
+            self._remove_entry(entry, count_as_eviction=False)
+            timer.observe("lookup", clock() - start)
+            result = self._timed_admit(request, now)
+            result.outcome = AccessOutcome.MISS_MODIFIED
+            return result
+        timer.observe("lookup", clock() - start)
+        return self._timed_admit(request, now)
+
+    def _timed_admit(self, request: Request, now: float) -> AccessResult:
+        """The instrumented twin of :meth:`_admit`, splitting the miss
+        path into its ``evict`` (making room) and ``admit`` (entry
+        construction + index insertion) phases."""
+        timer = self._phases
+        clock = timer.clock
+        size = request.size
+        if self.capacity is not None and size > self.capacity:
+            return AccessResult(AccessOutcome.MISS_TOO_LARGE, request)
+        start = clock()
+        evicted = self._make_room(size, now)
+        admit_start = clock()
+        timer.observe("evict", admit_start - start)
+        entry = CacheEntry(
+            url=request.url,
+            size=size,
+            etime=now,
+            atime=now,
+            nref=1,
+            doc_type=request.media_type,
+            random_stamp=self._rng.random(),
+            latency=(
+                self._latency_estimator(request)
+                if self._latency_estimator is not None else 0.0
+            ),
+            expires_at=(
+                self._ttl_assigner(request, now)
+                if self._ttl_assigner is not None else None
+            ),
+        )
+        self._entries[entry.url] = entry
+        self.used_bytes += size
+        self.max_used_bytes = max(self.max_used_bytes, self.used_bytes)
+        if self._index is not None:
+            self._index.add(entry)
+        self.policy.on_admit(entry)
+        timer.observe("admit", clock() - admit_start)
+        return AccessResult(AccessOutcome.MISS, request, evicted)
 
     def remove(self, url: str) -> Optional[CacheEntry]:
         """Explicitly drop a URL (consistency invalidation, tests)."""

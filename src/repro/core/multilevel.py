@@ -48,6 +48,9 @@ class TwoLevelResult:
     l2_local_metrics: MetricsCollector
     l1_cache: SimCache
     l2_cache: SimCache
+    #: Per-day sample stream with ``l1`` / ``l2`` streams (the ``l2``
+    #: stream counts every client request, matching ``l2_metrics``).
+    timeseries: Optional[object] = None
 
 
 class TwoLevelCache:
@@ -91,17 +94,50 @@ def simulate_two_level(
     l1: SimCache,
     l2: Optional[SimCache] = None,
     name: str = "",
+    timeseries=None,
 ) -> TwoLevelResult:
     """Drive a two-level hierarchy over a valid trace.
 
     ``l2`` defaults to an infinite cache, the Experiment 3 configuration.
+    The recorder (private by default; pass ``False`` to disable) is
+    ticked at every simulated-day boundary with one stream per level, so
+    Figures 16-18 derive from the recorded series.
     """
+    from repro.obs.timeseries import SimStreamTicker, TimeSeriesRecorder
+
     if l2 is None:
         l2 = SimCache(capacity=None)
     hierarchy = TwoLevelCache(l1, l2, name=name)
+    if timeseries is False:
+        recorder = tickers = None
+    else:
+        recorder = (
+            timeseries if timeseries is not None else TimeSeriesRecorder()
+        )
+        tickers = (
+            (SimStreamTicker(recorder, "l1"), hierarchy.l1_metrics, l1),
+            (SimStreamTicker(recorder, "l2"), hierarchy.l2_metrics, l2),
+        )
+
+    def snapshot_day(day: int, force: bool = False) -> None:
+        for ticker, collector, cache in tickers:
+            ticker.update(collector, cache)
+        recorder.tick(day, force=force)
+
+    current_day = None
     for request in trace:
+        if tickers is not None:
+            day = request.day
+            if day != current_day:
+                if current_day is not None:
+                    snapshot_day(current_day)
+                current_day = day
         hierarchy.access(request)
-    return hierarchy.result()
+    if tickers is not None and current_day is not None:
+        snapshot_day(current_day, force=True)
+    result = hierarchy.result()
+    result.timeseries = recorder
+    return result
 
 
 @dataclass

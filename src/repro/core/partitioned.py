@@ -49,9 +49,21 @@ class PartitionedResult:
     partitions: Dict[str, SimCache]
     class_metrics: Dict[str, MetricsCollector]
     overall: MetricsCollector
+    #: Per-day sample stream with one stream per partition class (each
+    #: counting every request, the Figures 19-20 convention) plus an
+    #: ``overall`` stream.
+    timeseries: Optional[object] = None
 
     def class_whr_series(self, class_name: str, window: int = 7) -> Series:
-        """Smoothed WHR-over-all-requests series for one class."""
+        """Smoothed WHR-over-all-requests series for one class — from
+        the recorded time series when present, else the collector."""
+        if self.timeseries is not None:
+            from repro.obs.timeseries import weighted_hit_rate_series
+
+            return moving_average(
+                weighted_hit_rate_series(self.timeseries, stream=class_name),
+                window,
+            )
         return moving_average(
             self.class_metrics[class_name].whr_series(), window
         )
@@ -107,6 +119,7 @@ def simulate_partitioned(
     classify: Callable[[Request], str] = audio_partition,
     name: str = "",
     seed: int = 0,
+    timeseries=None,
 ) -> PartitionedResult:
     """Drive a partitioned cache over a valid trace.
 
@@ -134,11 +147,43 @@ def simulate_partitioned(
             capacity=capacity, policy=policy_factory(), seed=seed + index,
         )
     cache = PartitionedCache(partitions, classify)
+    from repro.obs.timeseries import SimStreamTicker, TimeSeriesRecorder
+
+    if timeseries is False:
+        recorder = tickers = None
+    else:
+        recorder = (
+            timeseries if timeseries is not None else TimeSeriesRecorder()
+        )
+        tickers = [
+            (SimStreamTicker(recorder, part_name),
+             cache.class_metrics[part_name], partitions[part_name])
+            for part_name in sorted(partitions)
+        ]
+        tickers.append(
+            (SimStreamTicker(recorder, "overall"), cache.overall, None)
+        )
+
+    def snapshot_day(day: int, force: bool = False) -> None:
+        for ticker, collector, part_cache in tickers:
+            ticker.update(collector, part_cache)
+        recorder.tick(day, force=force)
+
+    current_day = None
     for request in trace:
+        if tickers is not None:
+            day = request.day
+            if day != current_day:
+                if current_day is not None:
+                    snapshot_day(current_day)
+                current_day = day
         cache.access(request)
+    if tickers is not None and current_day is not None:
+        snapshot_day(current_day, force=True)
     return PartitionedResult(
         name=name,
         partitions=cache.partitions,
         class_metrics=cache.class_metrics,
         overall=cache.overall,
+        timeseries=recorder,
     )

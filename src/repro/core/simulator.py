@@ -41,6 +41,11 @@ class SimulationResult:
     #: time; empty unless ``track_positions_every`` was set.  Position 0
     #: is the next eviction victim.
     hit_positions: List = field(default_factory=list)
+    #: Per-simulated-day sample stream
+    #: (:class:`repro.obs.timeseries.TimeSeriesRecorder`), ticked at
+    #: every day boundary of the trace clock; the figures' HR/WHR and
+    #: occupancy-over-time series derive from it.
+    timeseries: Optional[object] = None
 
     @property
     def hit_rate(self) -> float:
@@ -89,6 +94,8 @@ def simulate(
     name: str = "",
     track_positions_every: int = 0,
     obs=None,
+    timeseries=None,
+    profiler=None,
 ) -> SimulationResult:
     """Drive ``cache`` over a *valid* trace.
 
@@ -109,7 +116,19 @@ def simulate(
             event channel at debug level, and the whole replay runs
             under a ``sim.replay`` span.  Instrumentation reads state
             only — it can never perturb HR/WHR.
+        timeseries: optional
+            :class:`~repro.obs.timeseries.TimeSeriesRecorder` to tick at
+            every simulated-day boundary.  ``None`` (the default)
+            creates a private per-day recorder; pass ``False`` to
+            disable recording entirely.
+        profiler: optional :class:`~repro.obs.profile.Profiler`.  When
+            set (or when ``obs.profiler`` is), the replay runs with the
+            cache's instrumented access path, timing the lookup / evict
+            / admit phases into the profiler and — if ``obs`` is given —
+            the per-policy ``repro_sim_phase_seconds`` histogram.
     """
+    from repro.obs.timeseries import SimStreamTicker, TimeSeriesRecorder
+
     metrics = MetricsCollector()
     outcomes: Counter = Counter()
     hit_positions = []
@@ -121,6 +140,23 @@ def simulate(
     log_evictions = (
         channel is not None and channel.enabled_for("debug")
     )
+    if timeseries is False:
+        recorder = ticker = None
+    else:
+        recorder = (
+            timeseries if timeseries is not None else TimeSeriesRecorder()
+        )
+        ticker = SimStreamTicker(recorder, stream="main")
+    if profiler is None and obs is not None:
+        profiler = obs.profiler
+    if profiler is not None:
+        from repro.obs.profile import CachePhaseTimer
+
+        cache.set_phase_timer(CachePhaseTimer(
+            policy=cache.policy.name,
+            registry=obs.registry if obs is not None else None,
+            profiler=profiler,
+        ))
     start_evictions = cache.eviction_count
     start_evicted_bytes = cache.evicted_bytes
     start_seconds = time.perf_counter()
@@ -134,7 +170,17 @@ def simulate(
     if span_cm is not None:
         span_cm.__enter__()
     hit_count = 0
+    current_day = None
     for request in trace:
+        if ticker is not None:
+            day = request.day
+            if day != current_day:
+                # End-of-day snapshot: the previous day's last request
+                # has been processed, so counters hold its final state.
+                if current_day is not None:
+                    ticker.update(metrics, cache)
+                    recorder.tick(current_day)
+                current_day = day
         result = cache.access(request)
         outcomes[result.outcome] += 1
         metrics.record(request, result.is_hit)
@@ -152,8 +198,16 @@ def simulate(
                     if entry.url == request.url:
                         hit_positions.append((position, len(order)))
                         break
+    if ticker is not None and current_day is not None:
+        ticker.update(metrics, cache)
+        recorder.tick(current_day, force=True)
     if span_cm is not None:
         span_cm.__exit__(None, None, None)
+    if profiler is not None:
+        cache.set_phase_timer(None)
+        profiler.record(
+            ("sim.replay",), time.perf_counter() - start_seconds,
+        )
     if obs is not None:
         _flush_obs(
             obs, name, cache, metrics, outcomes,
@@ -170,6 +224,7 @@ def simulate(
         cache=cache,
         outcomes=outcomes,
         hit_positions=hit_positions,
+        timeseries=recorder,
     )
 
 

@@ -55,7 +55,7 @@ from repro.durability import (
     write_manifest,
     Journal,
 )
-from repro.obs import EventLog, Obs
+from repro.obs import EventLog, Obs, Profiler
 from repro.obs.catalog import sweep_metrics
 from repro.trace.record import Request
 
@@ -83,7 +83,9 @@ ENGINE_VERSION = 1
 #: On-disk envelope format of :class:`ResultCache` entries.  Bumped when
 #: the envelope (not the simulation) changes; entries with any other
 #: version are quarantined and recomputed, never silently reinterpreted.
-RESULT_SCHEMA_VERSION = 2
+#: v3 added the per-day ``occupancy`` map that reconstructs each
+#: result's :class:`~repro.obs.timeseries.TimeSeriesRecorder`.
+RESULT_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -125,13 +127,21 @@ class PolicySpec:
 class SimOptions:
     """Simulator options that shape the outcome of a run.
 
-    Every field here is part of the result-cache key: changing any option
-    **must** bust the cache rather than return a stale result.
+    Every result-shaping field is part of the result-cache key: changing
+    one **must** bust the cache rather than return a stale result.
+    ``profile_phases`` is the one exception — phase timing cannot
+    perturb HR/WHR (the instrumented access path performs identical
+    operations in identical order), so it is excluded from the key; a
+    cache-served job simply reports no phase timings, which is why
+    ``repro bench`` runs without a result cache.
     """
 
     seed: int = 0
     use_heap_index: bool = True
     track_positions_every: int = 0
+    #: Run jobs on the instrumented cache access path, collecting
+    #: per-policy lookup/evict/admit timings (histograms + profiler).
+    profile_phases: bool = False
 
     def cache_fields(self) -> Dict[str, object]:
         return {
@@ -204,9 +214,28 @@ class CacheStats:
 
 
 def result_to_record(result: SimulationResult) -> dict:
-    """Flatten a simulation result into a JSON-serialisable record."""
+    """Flatten a simulation result into a JSON-serialisable record.
+
+    The per-day ``days`` counters plus the ``occupancy`` map are exactly
+    what :func:`record_to_result` needs to rebuild the result's
+    :class:`~repro.obs.timeseries.TimeSeriesRecorder`, so recorded
+    streams survive the result cache and the worker boundary
+    byte-identically.
+    """
+    occupancy: Dict[str, List[int]] = {}
+    recorder = result.timeseries
+    if recorder is not None:
+        used = recorder.series("repro_sim_ts_used_bytes", stream="main")
+        documents = dict(
+            recorder.series("repro_sim_ts_documents", stream="main")
+        )
+        occupancy = {
+            str(day): [int(value), int(documents.get(day, 0.0))]
+            for day, value in used
+        }
     metrics = result.metrics
     return {
+        "occupancy": occupancy,
         "name": result.name,
         "policy_name": result.policy_name,
         "capacity": result.capacity,
@@ -241,7 +270,14 @@ def result_to_record(result: SimulationResult) -> dict:
 
 def record_to_result(record: dict) -> SimulationResult:
     """Rebuild a :class:`SimulationResult` (with a :class:`CacheStats`
-    shim in place of the live cache) from a flattened record."""
+    shim in place of the live cache) from a flattened record.
+
+    The time-series recorder is replayed from the record's per-day
+    counters in day order — the same integer increments the live
+    simulation applied at each day boundary — so the reconstructed
+    sample stream is byte-identical to the one the original run
+    recorded (the serial/parallel/cached differential tests pin this).
+    """
     metrics = MetricsCollector()
     for day, (requests, hits, bytes_requested, bytes_hit) in sorted(
         record["days"].items(), key=lambda item: int(item[0]),
@@ -250,6 +286,7 @@ def record_to_result(record: dict) -> SimulationResult:
             requests=requests, hits=hits,
             bytes_requested=bytes_requested, bytes_hit=bytes_hit,
         )
+    recorder = _rebuild_recorder(record, metrics)
     (metrics.total_requests, metrics.total_hits,
      metrics.total_bytes_requested, metrics.total_bytes_hit) = (
         record["totals"]
@@ -277,7 +314,37 @@ def record_to_result(record: dict) -> SimulationResult:
         cache=shim,  # type: ignore[arg-type]
         outcomes=outcomes,
         hit_positions=[tuple(pair) for pair in record["hit_positions"]],
+        timeseries=recorder,
     )
+
+
+def _rebuild_recorder(record: dict, metrics: MetricsCollector):
+    """Replay a record's per-day counters into a fresh recorder.
+
+    Records written before the occupancy map existed (schema < 3
+    journals) reconstruct without one: ``timeseries`` stays ``None``
+    and consumers fall back to the metrics collector.
+    """
+    occupancy = record.get("occupancy")
+    if occupancy is None:
+        return None
+    from repro.obs.timeseries import SimStreamTicker, TimeSeriesRecorder
+
+    recorder = TimeSeriesRecorder()
+    ticker = SimStreamTicker(recorder, stream="main")
+    running = MetricsCollector()
+    for day in sorted(metrics.days):
+        stats = metrics.days[day]
+        running.total_requests += stats.requests
+        running.total_hits += stats.hits
+        running.total_bytes_requested += stats.bytes_requested
+        running.total_bytes_hit += stats.bytes_hit
+        ticker.update(running)
+        day_occupancy = occupancy.get(str(day))
+        if day_occupancy is not None:
+            ticker.set_occupancy(*day_occupancy)
+        recorder.tick(day, force=True)
+    return recorder
 
 
 # -- the on-disk result cache -------------------------------------------------
@@ -649,8 +716,13 @@ def _run_job_in_worker(
     start = time.perf_counter()
     # Each job collects into a private obs context whose export rides
     # the result pipeline back; the parent merges payloads in job order
-    # so parallel aggregation stays deterministic.
-    obs = Obs(events=EventLog(level=_WORKER_LOG_LEVEL))
+    # so parallel aggregation stays deterministic.  Profiled jobs carry
+    # a per-job profiler the same way (never a signal sampler: workers
+    # only ever use the deterministic phase timers).
+    obs = Obs(
+        events=EventLog(level=_WORKER_LOG_LEVEL),
+        profiler=Profiler() if job.options.profile_phases else None,
+    )
     result = _execute(_WORKER_TRACE, job, obs=obs)
     return (
         index, time.perf_counter() - start,
@@ -1118,7 +1190,12 @@ def run_sweep(
             # and ships its export through the same index-ordered merge
             # as the workers, so every run shape (serial, parallel,
             # resumed) assembles one identical event stream.
-            job_obs = Obs(events=EventLog(level=run_obs.events.level))
+            job_obs = Obs(
+                events=EventLog(level=run_obs.events.level),
+                profiler=(
+                    Profiler() if job.options.profile_phases else None
+                ),
+            )
             result = _execute(trace, job, obs=job_obs)
             finish(
                 index, time.perf_counter() - job_start,

@@ -40,10 +40,12 @@ from repro.obs.metrics import (
     Registry,
     render_prometheus,
 )
+from repro.obs.profile import Profiler
 from repro.obs.tracing import SpanHandle, Tracer
 
 __all__ = [
     "Obs",
+    "Profiler",
     "Registry",
     "Counter",
     "Gauge",
@@ -74,10 +76,15 @@ class Obs:
         registry: Optional[Registry] = None,
         events: Optional[EventLog] = None,
         tracer: Optional[Tracer] = None,
+        profiler: Optional[Profiler] = None,
     ) -> None:
         self.registry = registry if registry is not None else Registry()
         self.events = events if events is not None else EventLog()
         self.tracer = tracer if tracer is not None else Tracer()
+        #: Optional deterministic profiler (:mod:`repro.obs.profile`).
+        #: ``None`` by default: phase timing costs two clock reads per
+        #: cache access, so callers opt in (``repro bench`` does).
+        self.profiler = profiler
 
     @classmethod
     def create(
@@ -104,6 +111,9 @@ class Obs:
             "metrics": self.registry.snapshot(),
             "spans": self.tracer.to_dicts(),
             "events": self.events.to_dicts(),
+            "profile": (
+                self.profiler.export() if self.profiler is not None else None
+            ),
         }
 
     def absorb(self, payload: dict) -> None:
@@ -115,3 +125,8 @@ class Obs:
         self.registry.merge(payload.get("metrics", {}))
         self.tracer.absorb(payload.get("spans", ()))
         self.events.absorb(payload.get("events", ()))
+        profile = payload.get("profile")
+        if profile:
+            if self.profiler is None:
+                self.profiler = Profiler()
+            self.profiler.absorb(profile)

@@ -18,6 +18,8 @@ from repro.obs.metrics import Registry
 
 __all__ = [
     "sim_metrics",
+    "phase_metrics",
+    "timeseries_metrics",
     "sweep_metrics",
     "proxy_metrics",
     "chaos_metrics",
@@ -35,6 +37,13 @@ JOB_SECONDS_BUCKETS = (
 #: retry/backoff tails.
 FETCH_SECONDS_BUCKETS = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 15.0,
+)
+
+#: Per-access phase buckets (seconds): one cache access phase is
+#: sub-microsecond to a few milliseconds (a large eviction cascade).
+PHASE_SECONDS_BUCKETS = (
+    1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+    1e-4, 1e-3, 1e-2, 0.1,
 )
 
 
@@ -64,6 +73,68 @@ def sim_metrics(registry: Registry) -> SimpleNamespace:
             "repro_sim_replay_seconds",
             "Wall time of one trace replay",
             buckets=JOB_SECONDS_BUCKETS,
+        ),
+    )
+
+
+def phase_metrics(registry: Registry) -> SimpleNamespace:
+    """Per-access phase timing (``repro_sim_phase_seconds``).
+
+    Recorded by the instrumented cache access path (profiled replays,
+    the live proxy store): one histogram per (policy, phase) where the
+    phases are ``lookup`` (entry probe + hit bookkeeping), ``evict``
+    (making room in removal order) and ``admit`` (entry construction and
+    index insertion).
+    """
+    return SimpleNamespace(
+        sim_phase_seconds=registry.histogram(
+            "repro_sim_phase_seconds",
+            "Wall time of one cache-access phase, per removal policy",
+            labelnames=("policy", "phase"),
+            buckets=PHASE_SECONDS_BUCKETS,
+        ),
+    )
+
+
+def timeseries_metrics(registry: Registry) -> SimpleNamespace:
+    """Simulated-clock stream families (``repro_sim_ts_*``).
+
+    Sampled per simulated day by a
+    :class:`~repro.obs.timeseries.TimeSeriesRecorder`; the ``stream``
+    label distinguishes the caches of one simulation (``main``, ``l1``,
+    ``l2``, partition class names).  Counters are cumulative over the
+    trace; the per-day views are the recorder's ``delta``/``rate``.
+    """
+    return SimpleNamespace(
+        requests=registry.counter(
+            "repro_sim_ts_requests_total",
+            "Valid requests replayed, cumulative at each sampled day",
+            labelnames=("stream",),
+        ),
+        hits=registry.counter(
+            "repro_sim_ts_hits_total",
+            "Cache hits, cumulative at each sampled day",
+            labelnames=("stream",),
+        ),
+        bytes_requested=registry.counter(
+            "repro_sim_ts_bytes_requested_total",
+            "Bytes requested, cumulative at each sampled day",
+            labelnames=("stream",),
+        ),
+        bytes_hit=registry.counter(
+            "repro_sim_ts_bytes_hit_total",
+            "Bytes served from cache, cumulative at each sampled day",
+            labelnames=("stream",),
+        ),
+        used_bytes=registry.gauge(
+            "repro_sim_ts_used_bytes",
+            "Cache occupancy in bytes at the end of each sampled day",
+            labelnames=("stream",),
+        ),
+        documents=registry.gauge(
+            "repro_sim_ts_documents",
+            "Documents cached at the end of each sampled day",
+            labelnames=("stream",),
         ),
     )
 
@@ -171,6 +242,14 @@ def proxy_metrics(registry: Registry) -> SimpleNamespace:
             "repro_proxy_store_documents",
             "Documents currently held by the store",
         ),
+        store_max_used_bytes=registry.gauge(
+            "repro_proxy_store_max_used_bytes",
+            "High-water mark of store occupancy since startup",
+        ),
+        store_occupancy_ratio=registry.gauge(
+            "repro_proxy_store_occupancy_ratio",
+            "Fraction of store capacity in use (0 for an unbounded store)",
+        ),
         store_recovered_documents=registry.gauge(
             "repro_proxy_store_recovered_documents",
             "Documents restored from snapshot+journal at the last warm "
@@ -225,5 +304,6 @@ def trace_metrics(registry: Registry) -> SimpleNamespace:
 #: Everything ``repro obs check`` applies to one registry to build the
 #: canonical declaration set.
 ALL_METRIC_SETS = (
-    sim_metrics, sweep_metrics, proxy_metrics, chaos_metrics, trace_metrics,
+    sim_metrics, phase_metrics, timeseries_metrics, sweep_metrics,
+    proxy_metrics, chaos_metrics, trace_metrics,
 )

@@ -1,10 +1,15 @@
 """``repro obs summarize`` — render a run's artifacts as a report.
 
-Takes any subset of the three artifacts a run writes (``--events-out``
-JSONL, ``--trace-out`` Chrome trace JSON, ``--metrics-out`` Prometheus
-text) and produces a human-readable summary: event volumes by channel
-and level, the hottest event types, per-phase wall-time breakdowns from
-the spans, and every non-zero metric sample.
+Takes any subset of the artifacts a run writes (``--events-out`` JSONL,
+``--trace-out`` Chrome trace JSON, ``--metrics-out`` Prometheus text,
+``--timeseries-out`` checksummed JSONL) and produces a human-readable
+summary: event volumes by channel and level, the hottest event types,
+per-phase wall-time breakdowns from the spans, every non-zero metric
+sample, and the recorded time-series coverage.
+
+A missing, empty, or truncated artifact raises :class:`ArtifactError`
+with a one-line diagnostic naming the file — the CLI turns that into a
+non-zero exit instead of a traceback.
 """
 
 from __future__ import annotations
@@ -16,9 +21,24 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.analysis.report import render_table
-from repro.obs.events import EventLog
 
-__all__ = ["parse_prometheus_text", "summarize_run"]
+__all__ = ["ArtifactError", "parse_prometheus_text", "summarize_run"]
+
+
+class ArtifactError(ValueError):
+    """An export file that cannot be summarized (missing/empty/corrupt).
+
+    The message is a single line naming the artifact and the problem."""
+
+
+def _read_artifact(path: Path, what: str) -> str:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise ArtifactError(f"{what}: cannot read {path}: {error}")
+    if not text.strip():
+        raise ArtifactError(f"{what}: {path} is empty")
+    return text
 
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
@@ -53,7 +73,19 @@ def parse_prometheus_text(
 
 
 def _summarize_events(path: Path) -> str:
-    records = EventLog.read_jsonl(path)
+    text = _read_artifact(path, "events")
+    records: List[dict] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            raise ArtifactError(
+                f"events: {path} line {number} is not valid JSON "
+                f"(truncated write?)"
+            )
     if not records:
         return f"events: {path} is empty"
     by_channel_level: Counter = Counter(
@@ -80,7 +112,15 @@ def _summarize_events(path: Path) -> str:
 
 
 def _summarize_trace(path: Path) -> str:
-    trace = json.loads(Path(path).read_text(encoding="utf-8"))
+    text = _read_artifact(path, "trace")
+    try:
+        trace = json.loads(text)
+    except ValueError:
+        raise ArtifactError(
+            f"trace: {path} is not valid JSON (truncated write?)"
+        )
+    if not isinstance(trace, dict):
+        raise ArtifactError(f"trace: {path} is not a Chrome trace object")
     events = [
         event for event in trace.get("traceEvents", ())
         if event.get("ph") == "X"
@@ -118,9 +158,7 @@ def _summarize_trace(path: Path) -> str:
 
 
 def _summarize_metrics(path: Path) -> str:
-    samples = parse_prometheus_text(
-        Path(path).read_text(encoding="utf-8")
-    )
+    samples = parse_prometheus_text(_read_artifact(path, "metrics"))
     nonzero = [
         (name, labels, value)
         for name, labels, value in samples
@@ -145,12 +183,44 @@ def _summarize_metrics(path: Path) -> str:
     )
 
 
+def _summarize_timeseries(path: Path) -> str:
+    """Verify and summarize a checksummed time-series JSONL export."""
+    from repro.obs.timeseries import TimeSeriesError, read_timeseries
+
+    try:
+        samples = read_timeseries(path)
+    except TimeSeriesError as error:
+        raise ArtifactError(f"timeseries: {error}")
+    days = sorted({sample["day"] for sample in samples})
+    by_series: Counter = Counter(
+        (sample.get("run", "-"), sample["metric"]) for sample in samples
+    )
+    rows = [
+        [run, metric, count]
+        for (run, metric), count in sorted(by_series.items())
+    ]
+    span = f"days {days[0]}..{days[-1]}" if days else "no days"
+    return render_table(
+        ["run", "metric", "samples"],
+        rows,
+        title=(
+            f"Recorded time series ({len(samples)} samples over "
+            f"{len(days)} day(s), {span}; checksum verified)"
+        ),
+    )
+
+
 def summarize_run(
     events_path: Optional[Union[str, Path]] = None,
     trace_path: Optional[Union[str, Path]] = None,
     metrics_path: Optional[Union[str, Path]] = None,
+    timeseries_path: Optional[Union[str, Path]] = None,
 ) -> str:
-    """Render whichever artifacts were provided into one report."""
+    """Render whichever artifacts were provided into one report.
+
+    Raises:
+        ArtifactError: any named artifact is missing, empty, or corrupt.
+    """
     sections = []
     if events_path:
         sections.append(_summarize_events(Path(events_path)))
@@ -158,6 +228,11 @@ def summarize_run(
         sections.append(_summarize_trace(Path(trace_path)))
     if metrics_path:
         sections.append(_summarize_metrics(Path(metrics_path)))
+    if timeseries_path:
+        sections.append(_summarize_timeseries(Path(timeseries_path)))
     if not sections:
-        return "nothing to summarize: pass --events, --trace or --metrics"
+        return (
+            "nothing to summarize: pass --events, --trace, --metrics "
+            "or --timeseries"
+        )
     return "\n\n".join(sections)

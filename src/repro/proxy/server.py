@@ -159,6 +159,10 @@ class CachingProxy:
         self.obs = obs if obs is not None else Obs()
         self.stats = ProxyStats(self.obs)
         self._channel = self.obs.channel("proxy")
+        # Per-request store phase timing (lookup/evict/admit) into the
+        # shared registry.  Attached *after* construction so journal
+        # replay during recovery is never timed as live traffic.
+        store.enable_phase_metrics(self.obs.registry)
         if store.recovery is not None:
             # A warm restart happened before we got the store; surface
             # what it recovered on the event stream and /metrics.
@@ -430,6 +434,11 @@ class CachingProxy:
         delta the store accumulated since the last scrape."""
         self.stats.m.store_used_bytes.set(self.store.used_bytes)
         self.stats.m.store_documents.set(len(self.store))
+        self.stats.m.store_max_used_bytes.set(self.store.max_used_bytes)
+        capacity = self.store.capacity
+        self.stats.m.store_occupancy_ratio.set(
+            self.store.used_bytes / capacity if capacity else 0.0
+        )
         appends = self.store.stats.journal_appends
         errors = self.store.stats.journal_errors
         behind = appends - int(self.stats.m.store_journal_appends.value)

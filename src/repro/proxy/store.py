@@ -222,6 +222,29 @@ class ProxyStore:
     def used_bytes(self) -> int:
         return self._cache.used_bytes
 
+    @property
+    def max_used_bytes(self) -> int:
+        """High-water mark of store occupancy since startup."""
+        return self._cache.max_used_bytes
+
+    @property
+    def policy_name(self) -> str:
+        return self._cache.policy.name
+
+    def enable_phase_metrics(self, registry, profiler=None) -> None:
+        """Time the store's lookup/evict/admit phases per request into
+        the per-policy ``repro_sim_phase_seconds`` histogram (and an
+        optional profiler) — the live-proxy end of the same
+        instrumentation the profiled simulator uses."""
+        from repro.obs.profile import CachePhaseTimer
+
+        self._cache.set_phase_timer(CachePhaseTimer(
+            policy=self._cache.policy.name,
+            registry=registry,
+            profiler=profiler,
+            prefix=("proxy.request", "store.access"),
+        ))
+
     def __len__(self) -> int:
         return len(self._bodies)
 

@@ -93,6 +93,30 @@ class TestMovingAverage:
         with pytest.raises(ValueError):
             moving_average([(0, 1.0)], window=0)
 
+    def test_empty_series(self):
+        assert moving_average([], window=7) == []
+
+    def test_single_day_trace(self):
+        """A one-day trace yields a point only when the window is 1."""
+        assert moving_average([(0, 42.0)], window=1) == [(0, 42.0)]
+        assert moving_average([(0, 42.0)], window=7) == []
+
+    def test_window_longer_than_trace_span(self):
+        """A window wider than the whole series plots nothing — the
+        paper's figures start at day ``window - 1``."""
+        series = [(d, float(d)) for d in range(5)]
+        assert moving_average(series, window=7) == []
+        assert moving_average(series, window=5) == [(4, 2.0)]
+
+    def test_non_contiguous_day_indices(self):
+        """Day indices with holes average over *recorded* points; the
+        emitted day is the window's last recorded day, not an index."""
+        series = [(0, 1.0), (3, 2.0), (10, 3.0), (11, 4.0)]
+        smoothed = moving_average(series, window=2)
+        assert smoothed == [
+            (3, 1.5), (10, 2.5), (11, 3.5),
+        ]
+
 
 class TestRatioSeries:
     def test_pointwise_percent(self):

@@ -84,6 +84,82 @@ class TestEndpoint:
         body = scrape(proxy).body.decode("utf-8")
         assert "repro_proxy_origin_fetch_seconds_count 1" in body
 
+    def test_phase_histogram_counts_store_accesses(self, proxy):
+        """Every store access (hit or miss) runs the timed lookup
+        phase, labelled with the store's policy."""
+        url = "http://site-00.example.edu/index.html"
+        proxy.handle(HttpRequest("GET", url))   # miss -> get probes store
+        proxy.handle(HttpRequest("GET", url))   # hit
+        body = scrape(proxy).body.decode("utf-8")
+        policy = proxy.store.policy_name
+        assert (
+            f'repro_sim_phase_seconds_count'
+            f'{{phase="lookup",policy="{policy}"}}' in body
+        )
+        samples = parse_prometheus_text(body)
+        lookups = [
+            value for name, labels, value in samples
+            if name == "repro_sim_phase_seconds_count"
+            and labels.get("phase") == "lookup"
+        ]
+        assert lookups and lookups[0] >= 2
+
+    def test_occupancy_gauges_set_at_scrape_time(self, proxy):
+        url = "http://site-00.example.edu/index.html"
+        proxy.handle(HttpRequest("GET", url))
+        body = scrape(proxy).body.decode("utf-8")
+        assert (
+            f"repro_proxy_store_max_used_bytes "
+            f"{proxy.store.max_used_bytes}" in body
+        )
+        ratio = proxy.store.used_bytes / proxy.store.capacity
+        samples = dict(
+            (name, value)
+            for name, labels, value in parse_prometheus_text(body)
+            if not labels
+        )
+        assert samples["repro_proxy_store_occupancy_ratio"] == (
+            pytest.approx(ratio)
+        )
+        assert proxy.store.max_used_bytes >= proxy.store.used_bytes > 0
+
+    def test_golden_exposition_structure(self, proxy):
+        """Golden structural check: the exposition's family ordering and
+        label sets are deterministic, and the new time-resolved families
+        are always present (phase histogram + occupancy gauges)."""
+        url = "http://site-00.example.edu/index.html"
+        proxy.handle(HttpRequest("GET", url))
+        proxy.handle(HttpRequest("GET", url))
+        first = scrape(proxy).body.decode("utf-8")
+        second = scrape(proxy).body.decode("utf-8")
+        # Idle scrapes are byte-identical: stable ordering, stable labels.
+        assert first == second
+        families = [
+            line.split()[2]
+            for line in first.splitlines()
+            if line.startswith("# TYPE ")
+        ]
+        # render() emits families sorted by name — the golden ordering.
+        assert families == sorted(families)
+        for family in (
+            "repro_proxy_store_max_used_bytes",
+            "repro_proxy_store_occupancy_ratio",
+            "repro_proxy_store_used_bytes",
+            "repro_proxy_store_documents",
+            "repro_sim_phase_seconds",
+        ):
+            assert family in families
+        # The phase histogram's label set is exactly {phase, policy}.
+        phase_samples = [
+            labels for name, labels, _ in parse_prometheus_text(first)
+            if name == "repro_sim_phase_seconds_count"
+        ]
+        assert phase_samples
+        assert all(
+            sorted(labels) == ["phase", "policy"]
+            for labels in phase_samples
+        )
+
     def test_caller_obs_shares_the_registry(self, origin):
         obs = Obs.create()
         proxy = CachingProxy(

@@ -96,3 +96,100 @@ class TestObsCheckCommand:
     def test_clean_tree_exits_zero(self, capsys):
         assert main(["obs", "check"]) == 0
         assert "no problems" in capsys.readouterr().out
+
+
+class TestSummarizeDiagnostics:
+    """obs summarize exits non-zero with a one-line diagnostic on
+    missing, empty, and truncated export files."""
+
+    def test_missing_events_file(self, tmp_path, capsys):
+        absent = tmp_path / "absent.jsonl"
+        assert main(["obs", "summarize", "--events", str(absent)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("obs summarize: events:")
+        assert str(absent) in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_empty_metrics_file(self, tmp_path, capsys):
+        path = tmp_path / "m.prom"
+        path.write_text("", encoding="utf-8")
+        assert main(["obs", "summarize", "--metrics", str(path)]) == 1
+        assert "is empty" in capsys.readouterr().err
+
+    def test_truncated_events_file(self, tmp_path, capsys):
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"seq": 1, "channel": "sim"}\n{"seq": 2, ',
+                        encoding="utf-8")
+        assert main(["obs", "summarize", "--events", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "line 2" in err
+        assert "truncated" in err
+
+    def test_truncated_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        path.write_text('{"traceEvents": [', encoding="utf-8")
+        assert main(["obs", "summarize", "--trace", str(path)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_tampered_timeseries_file(self, tmp_path, capsys):
+        path = tmp_path / "series.jsonl"
+        path.write_text('{"day": 0}\n', encoding="utf-8")
+        assert main(["obs", "summarize", "--timeseries", str(path)]) == 1
+        assert "missing checksum trailer" in capsys.readouterr().err
+
+
+class TestTimeseriesExport:
+    def test_sweep_writes_verified_timeseries(self, tmp_path, capsys):
+        from repro.obs.timeseries import read_timeseries
+
+        out = tmp_path / "series.jsonl"
+        assert main([
+            "sweep", "--workload", "C", "--scale", "0.01",
+            "--timeseries-out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        samples = read_timeseries(out)   # checksum-verified read
+        runs = {sample["run"] for sample in samples}
+        assert len(runs) == 36           # one stream per grid cell
+        assert main(["obs", "summarize", "--timeseries", str(out)]) == 0
+        assert "checksum verified" in capsys.readouterr().out
+
+
+class TestBenchCommand:
+    def test_compare_of_identical_payloads_passes(self, tmp_path, capsys):
+        from repro.obs.bench import load_bench, write_payload
+
+        baseline = load_bench("benchmarks/results/BENCH_sweep.json")
+        current = tmp_path / "current.json"
+        write_payload(baseline, current)
+        assert main([
+            "bench", "--current", str(current),
+            "--compare", "benchmarks/results/BENCH_sweep.json",
+        ]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_compare_detects_injected_slowdown(self, tmp_path, capsys):
+        """End-to-end negative test: a sentinel policy 2x slower than
+        the committed baseline fails the gate with exit 1."""
+        from repro.obs.bench import load_bench, write_payload
+
+        slowed = load_bench("benchmarks/results/BENCH_sweep.json")
+        slowed["policies"]["NREF/RANDOM"]["seconds"] *= 2.0
+        current = tmp_path / "slowed.json"
+        write_payload(slowed, current)
+        assert main([
+            "bench", "--current", str(current),
+            "--compare", "benchmarks/results/BENCH_sweep.json",
+        ]) == 1
+        assert "FAIL policy NREF/RANDOM" in capsys.readouterr().out
+
+    def test_unreadable_baseline_is_one_line_error(self, tmp_path, capsys):
+        missing = tmp_path / "absent.json"
+        assert main([
+            "bench", "--current",
+            "benchmarks/results/BENCH_sweep.json",
+            "--compare", str(missing),
+        ]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("bench: cannot read")
+        assert len(err.strip().splitlines()) == 1
