@@ -8,6 +8,8 @@
   benchmark harness and examples.
 * :mod:`repro.analysis.compare` -- the paper's qualitative claims as
   machine-checkable expectations, for EXPERIMENTS.md.
+* :mod:`repro.analysis.mrc` -- single-pass miss-ratio-curve estimation
+  with error bars (all six primary keys in one trace pass).
 """
 
 from repro.analysis.figures import FigureSeries
@@ -23,6 +25,11 @@ from repro.analysis.sweeps import (
     capacity_sweep,
     miss_ratio_curve,
     sampled_miss_ratio_curve,
+)
+from repro.analysis.mrc import (
+    MRCPoint,
+    MRCResult,
+    single_pass_mrc,
 )
 
 __all__ = [
@@ -41,4 +48,7 @@ __all__ = [
     "capacity_sweep",
     "miss_ratio_curve",
     "sampled_miss_ratio_curve",
+    "MRCPoint",
+    "MRCResult",
+    "single_pass_mrc",
 ]

@@ -9,6 +9,14 @@ policy's advantage opens and closes.
 size; :func:`sampled_miss_ratio_curve` estimates it from a spatial URL
 sample (see :mod:`repro.trace.sampling`) at a fraction of the cost,
 scaling the cache by the sample rate.
+
+Ordering convention: every function here returns one point per entry of
+``fractions``, **in caller order** — the caller's axis is the output
+axis.  Callers that want an ascending curve pass ascending fractions
+(the default grid already is).
+
+For curves over *many* policies at once, :mod:`repro.analysis.mrc`
+builds all six primary keys' curves in a single pass over the trace.
 """
 
 from __future__ import annotations
@@ -50,9 +58,9 @@ def capacity_sweep(
 ) -> List[Tuple[float, SimulationResult]]:
     """Simulate one policy at several cache sizes.
 
-    Returns ``(fraction, result)`` pairs, ascending by fraction.  A fresh
-    policy instance is built per size (stateful policies must not be
-    shared between caches).
+    Returns ``(fraction, result)`` pairs, one per entry of ``fractions``
+    in caller order.  A fresh policy instance is built per size
+    (stateful policies must not be shared between caches).
 
     Key policies run through the :mod:`repro.core.sweep` engine, so the
     size grid parallelises over ``workers`` processes and memoizes in
@@ -62,8 +70,34 @@ def capacity_sweep(
     """
     if max_needed <= 0:
         raise ValueError("max_needed must be positive")
-    ordered = sorted(fractions)
-    for fraction in ordered:
+    return _sweep_points(
+        trace,
+        policy_factory,
+        fractions,
+        scale=max_needed,
+        seed=seed,
+        workers=workers,
+        result_cache=result_cache,
+    )
+
+
+def _sweep_points(
+    trace: Sequence[Request],
+    policy_factory: Callable[[], RemovalPolicy],
+    fractions: Sequence[float],
+    scale: float,
+    seed: int,
+    workers: int,
+    result_cache: Optional[ResultCache],
+) -> List[Tuple[float, SimulationResult]]:
+    """Run one simulation per fraction at capacity ``fraction * scale``.
+
+    Points come back in caller order; key policies route through
+    :func:`repro.core.sweep.run_sweep` (parallel + memoized), anything
+    else simulates serially in-process.
+    """
+    fractions = list(fractions)
+    for fraction in fractions:
         if fraction <= 0:
             raise ValueError("fractions must be positive")
     probe = policy_factory()
@@ -72,22 +106,22 @@ def capacity_sweep(
         jobs = [
             SweepJob(
                 spec=spec,
-                capacity=max(1, int(fraction * max_needed)),
+                capacity=max(1, int(fraction * scale)),
                 options=SimOptions(seed=seed),
                 name=f"{probe.name}@{fraction:g}",
             )
-            for fraction in ordered
+            for fraction in fractions
         ]
         report = run_sweep(
             trace, jobs, workers=workers, result_cache=result_cache,
         )
         return [
             (fraction, job_result.result)
-            for fraction, job_result in zip(ordered, report.results)
+            for fraction, job_result in zip(fractions, report.results)
         ]
     results = []
-    for fraction in ordered:
-        capacity = max(1, int(fraction * max_needed))
+    for fraction in fractions:
+        capacity = max(1, int(fraction * scale))
         cache = SimCache(capacity=capacity, policy=policy_factory(), seed=seed)
         results.append((fraction, simulate(trace, cache)))
     return results
@@ -102,12 +136,41 @@ def miss_ratio_curve(
     seed: int = 0,
     workers: int = 1,
     result_cache: Optional[ResultCache] = None,
+    engine: str = "exact",
+    sample_rate: float = 0.10,
+    replicates: int = 4,
 ) -> List[Tuple[float, float]]:
-    """The exact miss-ratio curve: ``(fraction of MaxNeeded, miss%)``.
+    """The miss-ratio curve: ``(fraction of MaxNeeded, miss%)``.
 
+    Points come back in caller order (``fractions`` is the output axis).
     ``weighted=True`` yields the byte miss-ratio curve instead.
     ``workers``/``result_cache`` are forwarded to :func:`capacity_sweep`.
+
+    ``engine`` selects the computation: ``"exact"`` (the default,
+    unchanged) simulates one full replay per point; ``"single-pass"``
+    estimates every point in one trace pass through
+    :func:`repro.analysis.mrc.single_pass_mrc` at ``sample_rate`` with
+    ``replicates`` salted replicates — only single-key
+    :class:`~repro.core.policy.KeyPolicy` factories qualify (the shadow
+    bank replays cannot host stateful policies).
     """
+    if engine == "single-pass":
+        from repro.analysis.mrc import single_pass_mrc
+
+        probe = policy_factory()
+        if type(probe) is not KeyPolicy or len(probe.keys) > 2:
+            # KeyPolicy appends the RANDOM tie-break; a single primary
+            # key therefore shows at most two entries.
+            raise ValueError(
+                "engine='single-pass' needs a single-key KeyPolicy factory"
+            )
+        result = single_pass_mrc(
+            trace, max_needed, rate=sample_rate, replicates=replicates,
+            fractions=fractions, keys=[probe.primary], seed=seed,
+        )
+        return result.miss_curve(probe.primary.name, weighted=weighted)
+    if engine != "exact":
+        raise ValueError(f"unknown engine {engine!r}")
     sweep = capacity_sweep(
         trace, policy_factory, max_needed, fractions, seed=seed,
         workers=workers, result_cache=result_cache,
@@ -130,23 +193,38 @@ def sampled_miss_ratio_curve(
     weighted: bool = False,
     seed: int = 0,
     salt: int = 0,
+    workers: int = 1,
+    result_cache: Optional[ResultCache] = None,
 ) -> List[Tuple[float, float]]:
     """Estimate the miss-ratio curve from a spatial URL sample.
 
     The sampled trace keeps ``sample_rate`` of the URL space; each sweep
     point's cache is scaled by the same rate, so the estimate targets the
-    *full* trace's curve (the SHARDS construction).
+    *full* trace's curve (the SHARDS construction).  Points come back in
+    caller order, matching :func:`miss_ratio_curve`; ``workers`` and
+    ``result_cache`` are forwarded to the sweep engine the same way.
+
+    For many-policy estimates in one trace pass (with error bars), use
+    :func:`repro.analysis.mrc.single_pass_mrc` instead.
     """
+    if max_needed <= 0:
+        raise ValueError("max_needed must be positive")
     sampled = list(sample_by_url(trace, sample_rate, salt=salt))
     if not sampled:
         raise ValueError(
             "the sample is empty; raise sample_rate or change salt"
         )
+    sweep = _sweep_points(
+        sampled,
+        policy_factory,
+        fractions,
+        scale=max_needed * sample_rate,
+        seed=seed,
+        workers=workers,
+        result_cache=result_cache,
+    )
     curve = []
-    for fraction in sorted(fractions):
-        capacity = max(1, int(fraction * max_needed * sample_rate))
-        cache = SimCache(capacity=capacity, policy=policy_factory(), seed=seed)
-        result = simulate(sampled, cache)
+    for fraction, result in sweep:
         rate = (
             result.weighted_hit_rate if weighted else result.hit_rate
         )

@@ -616,6 +616,8 @@ def cmd_mrc(args: argparse.Namespace) -> int:
         return 1
     max_needed = max_needed_for(valid)
     fractions = tuple(args.fractions)
+    if args.single_pass:
+        return _cmd_mrc_single_pass(args, valid, max_needed, fractions)
     result_cache = _result_cache(args)
     curves = {}
     for policy_text in args.policy or ["SIZE", "LRU"]:
@@ -645,6 +647,62 @@ def cmd_mrc(args: argparse.Namespace) -> int:
             f"(MaxNeeded = {max_needed / 2**20:.1f} MB)"
         ),
     ))
+    return 0
+
+
+def _cmd_mrc_single_pass(args, valid, max_needed, fractions) -> int:
+    """The ``mrc --single-pass`` path: every primary key's curve from
+    one trace pass, with error bars, optionally exported as checksummed
+    JSONL."""
+    from repro.analysis.mrc import single_pass_mrc, write_curves
+    from repro.core.keys import key_by_name
+
+    keys = None
+    if args.policy:
+        try:
+            keys = [key_by_name(name) for name in args.policy]
+        except KeyError as error:
+            print(
+                f"--single-pass estimates sort-key policies only: {error}",
+                file=sys.stderr,
+            )
+            return 1
+    obs = _build_obs(args)
+    try:
+        result = single_pass_mrc(
+            valid, max_needed,
+            rate=args.rate, replicates=args.replicates,
+            fractions=fractions, keys=keys, seed=args.seed, obs=obs,
+        )
+    except ValueError as error:
+        print(f"single-pass mrc: {error}", file=sys.stderr)
+        return 1
+    headers = ["fraction of MaxNeeded", "rate"] + [
+        f"{key} {'WHR' if args.weighted else 'HR'}" for key in result.keys()
+    ]
+    rows = []
+    for i, fraction in enumerate(fractions):
+        row = [f"{fraction:.2f}", f"{result.points[i].rate:.2f}"]
+        for key in result.keys():
+            _, value, ci = result.curve(key, weighted=args.weighted)[i]
+            cell = f"{value:.2f}"
+            if ci is not None:
+                cell += f" ±{ci:.2f}"
+            row.append(cell)
+        rows.append(row)
+    kind = "byte hit ratio" if args.weighted else "hit ratio"
+    print(render_table(
+        headers, rows,
+        title=(
+            f"single-pass {kind} (%) vs cache size "
+            f"(rate {args.rate:g}, {args.replicates} replicates, "
+            f"MaxNeeded = {max_needed / 2**20:.1f} MB)"
+        ),
+    ))
+    if args.curves_out:
+        count = write_curves(result, args.curves_out)
+        print(f"wrote {count} curve points to {args.curves_out}")
+    _export_obs(obs, args)
     return 0
 
 
@@ -817,6 +875,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 rows,
                 title="Per-policy wall time and phase p95",
             ))
+            mrc = current.get("mrc")
+            if mrc:
+                print(
+                    f"mrc: single-pass curve set "
+                    f"({len(mrc['keys'])} keys x "
+                    f"{len(mrc['fractions'])} fractions) in "
+                    f"{mrc['single_pass_seconds']:.2f}s vs exact grid "
+                    f"{mrc['exact_grid_seconds']:.2f}s — "
+                    f"{mrc['speedup']:.1f}x speedup"
+                )
             if args.out:
                 write_payload(current, args.out)
                 print(f"wrote benchmark payload to {args.out}")
@@ -1095,6 +1163,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="processes for the size sweep")
     mrc.add_argument("--cache-dir", default="",
                      help="memoize sweep runs in this directory")
+    mrc.add_argument("--single-pass", action="store_true",
+                     help="estimate all curves in one trace pass over a "
+                          "spatial URL sample (sort-key policies only)")
+    mrc.add_argument("--rate", type=float, default=0.10,
+                     help="base URL sampling rate for --single-pass")
+    mrc.add_argument("--replicates", type=_positive_int, default=4,
+                     help="salted replicates for --single-pass error bars")
+    mrc.add_argument("--curves-out", default="", metavar="PATH",
+                     help="write --single-pass curve points as "
+                          "checksummed JSONL")
+    _add_obs_flags(mrc)
     mrc.set_defaults(func=cmd_mrc)
 
     clone = commands.add_parser(

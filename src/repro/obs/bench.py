@@ -32,9 +32,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "BENCH_READABLE_SCHEMAS",
     "BenchError",
     "DEFAULT_THRESHOLD_PCT",
     "bench_meta",
+    "bench_mrc_speedup",
     "build_payload",
     "compare_bench",
     "histogram_quantile",
@@ -46,8 +48,12 @@ __all__ = [
 #: Format version of the ``repro bench`` payload.  Version 1 is the
 #: ad-hoc dict the sweep-engine benchmark wrote (no ``schema`` key);
 #: version 2 added the envelope: ``meta`` (git SHA, python, workers),
-#: ``throughput``, and per-policy ``phases`` quantiles.
-BENCH_SCHEMA_VERSION = 2
+#: ``throughput``, and per-policy ``phases`` quantiles; version 3 added
+#: the ``mrc`` section (single-pass vs exact-grid curve-set timings).
+BENCH_SCHEMA_VERSION = 3
+
+#: Payload versions :func:`load_bench` understands.
+BENCH_READABLE_SCHEMAS = (1, 2, 3)
 
 #: Default regression gate: fail when throughput drops, or a policy's
 #: time grows, by more than this percentage.
@@ -139,7 +145,7 @@ def _phase_quantiles(snapshot: Dict[str, dict]) -> Dict[str, Dict[str, dict]]:
 
 
 def build_payload(report, grid: Dict[str, object], workers: int) -> dict:
-    """Assemble the schema-2 payload from a finished sweep report."""
+    """Assemble the versioned payload from a finished sweep report."""
     phase_stats = _phase_quantiles(report.obs.registry.snapshot())
     policies: Dict[str, dict] = {}
     for jr in report.results:
@@ -165,6 +171,64 @@ def build_payload(report, grid: Dict[str, object], workers: int) -> dict:
     }
 
 
+#: The mrc speedup measurement's capacity grid (the default curve set).
+MRC_BENCH_FRACTIONS = (0.02, 0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.0)
+
+
+def bench_mrc_speedup(
+    trace,
+    max_needed: int,
+    sim_seed: int = 0,
+    rate: float = 0.10,
+    fractions: Sequence[float] = MRC_BENCH_FRACTIONS,
+    obs=None,
+) -> dict:
+    """Time the exact 8-fraction x 6-key curve grid against one
+    single-pass estimate of the same curve set.
+
+    The single pass runs the speed configuration — one replicate, no
+    size floor — because this section records *hot-path cost*, not
+    estimation error (the differential test suite owns accuracy).
+    """
+    import time as _time
+
+    from repro.analysis.mrc import single_pass_mrc
+    from repro.core import SimCache, simulate
+    from repro.core.keys import key_by_name
+    from repro.core.policy import KeyPolicy
+
+    started = _time.perf_counter()
+    for name in BENCH_PRIMARY_KEYS:
+        for fraction in fractions:
+            cache = SimCache(
+                capacity=max(1, int(fraction * max_needed)),
+                policy=KeyPolicy([key_by_name(name)]),
+                seed=sim_seed,
+            )
+            simulate(trace, cache, timeseries=False)
+    exact_seconds = _time.perf_counter() - started
+
+    started = _time.perf_counter()
+    single_pass_mrc(
+        trace, max_needed, rate=rate, replicates=1,
+        fractions=fractions, seed=sim_seed, size_floor=0.0, obs=obs,
+    )
+    single_pass_seconds = _time.perf_counter() - started
+
+    return {
+        "fractions": list(fractions),
+        "keys": list(BENCH_PRIMARY_KEYS),
+        "rate": rate,
+        "replicates": 1,
+        "exact_grid_seconds": exact_seconds,
+        "single_pass_seconds": single_pass_seconds,
+        "speedup": (
+            exact_seconds / single_pass_seconds
+            if single_pass_seconds > 0 else 0.0
+        ),
+    }
+
+
 def run_bench(
     workload: str = "BL",
     scale: float = 0.05,
@@ -177,7 +241,9 @@ def run_bench(
     """Run the pinned benchmark grid; returns ``(payload, report)``.
 
     Phase profiling is on and the result cache off, so every cell is
-    computed and timed on the instrumented access path.
+    computed and timed on the instrumented access path.  The payload
+    also records the single-pass MRC engine's wall-clock speedup over
+    the exact curve grid (``mrc`` section).
     """
     from repro.core.experiments import run_infinite_cache
     from repro.core.sweep import PolicySpec, SimOptions, SweepJob, run_sweep
@@ -204,7 +270,11 @@ def run_bench(
         "seed": {"trace": trace_seed, "simulator": sim_seed},
         "policies": [job.spec.label for job in jobs],
     }
-    return build_payload(report, grid, workers), report
+    payload = build_payload(report, grid, workers)
+    payload["mrc"] = bench_mrc_speedup(
+        trace, max_needed, sim_seed=sim_seed, obs=obs,
+    )
+    return payload, report
 
 
 # -- reading and comparing payloads -------------------------------------------
@@ -269,13 +339,13 @@ def load_bench(path: Union[str, Path]) -> dict:
     if not isinstance(raw, dict):
         raise BenchError(f"benchmark file {path} is not a JSON object")
     schema = raw.get("schema")
-    if schema == BENCH_SCHEMA_VERSION:
+    if schema in BENCH_READABLE_SCHEMAS:
         return raw
     if schema is None and "engine_cold" in raw:
         return _normalize_legacy(raw)
     raise BenchError(
         f"benchmark file {path} has unsupported schema {schema!r} "
-        f"(this reader understands 1 and {BENCH_SCHEMA_VERSION})"
+        f"(this reader understands {BENCH_READABLE_SCHEMAS})"
     )
 
 

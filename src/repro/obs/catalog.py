@@ -23,6 +23,7 @@ __all__ = [
     "sweep_metrics",
     "proxy_metrics",
     "chaos_metrics",
+    "mrc_metrics",
     "trace_metrics",
     "ALL_METRIC_SETS",
 ]
@@ -290,6 +291,39 @@ def chaos_metrics(registry: Registry) -> SimpleNamespace:
     )
 
 
+def mrc_metrics(registry: Registry) -> SimpleNamespace:
+    """Single-pass MRC engine metrics (``repro_mrc_*``).
+
+    Recorded by :func:`repro.analysis.mrc.single_pass_mrc`: volume
+    counters for the shadow-bank hot path plus one wall-time histogram
+    per engine phase (``scan``, ``shadow_bank``, ``estimate``).
+    """
+    return SimpleNamespace(
+        requests=registry.counter(
+            "repro_mrc_requests_total",
+            "Trace requests consumed by single-pass MRC runs",
+        ),
+        shadow_accesses=registry.counter(
+            "repro_mrc_shadow_accesses_total",
+            "Shadow-cache feeds performed across all cells and salts",
+        ),
+        replicates=registry.counter(
+            "repro_mrc_replicates_total",
+            "Salted replicates completed",
+        ),
+        points=registry.counter(
+            "repro_mrc_points_total",
+            "Curve points estimated (key x fraction pairs)",
+        ),
+        phase_seconds=registry.histogram(
+            "repro_mrc_phase_seconds",
+            "Wall time of one single-pass MRC engine phase",
+            labelnames=("phase",),
+            buckets=JOB_SECONDS_BUCKETS,
+        ),
+    )
+
+
 def trace_metrics(registry: Registry) -> SimpleNamespace:
     """Trace-ingestion metrics (``repro_trace_*``)."""
     return SimpleNamespace(
@@ -305,5 +339,5 @@ def trace_metrics(registry: Registry) -> SimpleNamespace:
 #: canonical declaration set.
 ALL_METRIC_SETS = (
     sim_metrics, phase_metrics, timeseries_metrics, sweep_metrics,
-    proxy_metrics, chaos_metrics, trace_metrics,
+    proxy_metrics, chaos_metrics, mrc_metrics, trace_metrics,
 )

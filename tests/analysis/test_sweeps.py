@@ -83,6 +83,40 @@ class TestMissRatioCurve:
         assert 0.0 <= byte_curve[0][1] <= 100.0
 
 
+class TestOrderingConvention:
+    """Every curve function returns points in caller order."""
+
+    UNSORTED = (0.50, 0.05, 1.0, 0.25)
+
+    def test_capacity_sweep_preserves_caller_order(self, scenario):
+        trace, max_needed = scenario
+        sweep = capacity_sweep(trace, size_policy, max_needed, self.UNSORTED)
+        assert [f for f, _ in sweep] == list(self.UNSORTED)
+
+    def test_exact_and_sampled_agree_on_order(self, scenario):
+        trace, max_needed = scenario
+        exact = miss_ratio_curve(
+            trace, size_policy, max_needed, self.UNSORTED,
+        )
+        sampled = sampled_miss_ratio_curve(
+            trace, size_policy, max_needed,
+            sample_rate=0.5, fractions=self.UNSORTED, salt=1,
+        )
+        assert [f for f, _ in exact] == list(self.UNSORTED)
+        assert [f for f, _ in sampled] == list(self.UNSORTED)
+
+    def test_order_only_permutes_points(self, scenario):
+        """The same fractions in a different order give the same curve."""
+        trace, max_needed = scenario
+        forward = dict(miss_ratio_curve(
+            trace, size_policy, max_needed, FRACTIONS,
+        ))
+        reverse = dict(miss_ratio_curve(
+            trace, size_policy, max_needed, tuple(reversed(FRACTIONS)),
+        ))
+        assert forward == reverse
+
+
 class TestSampledCurve:
     def test_estimate_tracks_exact(self, scenario):
         trace, max_needed = scenario
@@ -104,3 +138,32 @@ class TestSampledCurve:
             sampled_miss_ratio_curve(
                 trace[:1], size_policy, max_needed, sample_rate=0.0001,
             )
+
+    def test_workers_and_result_cache_forwarded(self, scenario, tmp_path):
+        """The sampled curve honours workers/result_cache like the exact
+        one: parallel runs match serial, and a warm cache is actually
+        hit on the second call."""
+        from repro.core.sweep import ResultCache
+
+        trace, max_needed = scenario
+        kwargs = dict(
+            sample_rate=0.4, fractions=(0.10, 0.50), salt=1,
+        )
+        serial = sampled_miss_ratio_curve(
+            trace, size_policy, max_needed, **kwargs,
+        )
+        parallel = sampled_miss_ratio_curve(
+            trace, size_policy, max_needed, workers=2, **kwargs,
+        )
+        assert parallel == serial
+
+        cache = ResultCache(tmp_path / "mrc-cache")
+        cold = sampled_miss_ratio_curve(
+            trace, size_policy, max_needed, result_cache=cache, **kwargs,
+        )
+        before = cache.hits
+        warm = sampled_miss_ratio_curve(
+            trace, size_policy, max_needed, result_cache=cache, **kwargs,
+        )
+        assert warm == cold == serial
+        assert cache.hits > before

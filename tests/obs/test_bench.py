@@ -21,7 +21,7 @@ from repro.obs.bench import (
 
 
 def make_payload(rps=100_000.0, seconds=None):
-    """A minimal schema-2 payload with six equal policies by default."""
+    """A minimal current-schema payload, six equal policies by default."""
     seconds = seconds or {
         f"P{i}/RANDOM": 10.0 for i in range(6)
     }
@@ -125,6 +125,18 @@ class TestLoadBench:
         # ... and is comparable against a schema-2 payload.
         assert compare_bench(loaded, loaded) == []
 
+    def test_legacy_schema2_reader(self, tmp_path):
+        """A PR-5 payload (schema 2, no ``mrc`` section) still loads and
+        compares against a current one."""
+        legacy = make_payload()
+        legacy["schema"] = 2
+        path = tmp_path / "BENCH_v2.json"
+        path.write_text(json.dumps(legacy), encoding="utf-8")
+        loaded = load_bench(path)
+        assert loaded["schema"] == 2
+        assert "mrc" not in loaded
+        assert compare_bench(loaded, make_payload()) == []
+
     def test_committed_baseline_loads(self):
         """The checked-in baseline must stay readable — CI compares
         against it on every push."""
@@ -137,6 +149,12 @@ class TestLoadBench:
         for stats in payload["policies"].values():
             assert stats["seconds"] > 0
             assert set(stats["phases"]) == {"lookup", "evict", "admit"}
+        # The schema-3 addition: the single-pass MRC curve-set timing.
+        mrc = payload["mrc"]
+        assert len(mrc["keys"]) == 6
+        assert len(mrc["fractions"]) == 8
+        assert mrc["speedup"] >= 5.0
+        assert mrc["exact_grid_seconds"] > mrc["single_pass_seconds"] > 0
 
 
 class TestCompareBench:

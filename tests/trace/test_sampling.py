@@ -1,5 +1,8 @@
 """Tests for spatial URL sampling."""
 
+import subprocess
+import sys
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -26,6 +29,28 @@ class TestHash:
     def test_salt_changes_position(self):
         values = {url_sample_rate_hash("u", salt) for salt in range(10)}
         assert len(values) > 1
+
+    def test_stable_across_processes(self):
+        """The hash must not depend on process state (no PYTHONHASHSEED
+        effects) — the single-pass MRC engine memoizes across runs."""
+        urls = [f"http://s/u{i}.html" for i in range(32)]
+        local = [url_sample_rate_hash(url, salt=7) for url in urls]
+        script = (
+            "import sys, json\n"
+            "from repro.trace.sampling import url_sample_rate_hash\n"
+            "urls = json.load(sys.stdin)\n"
+            "json.dump([url_sample_rate_hash(u, salt=7) for u in urls],"
+            " sys.stdout)\n"
+        )
+        import json
+        import os
+        env = dict(os.environ, PYTHONHASHSEED="12345")
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            input=json.dumps(urls), capture_output=True, text=True,
+            env=env, check=True,
+        )
+        assert json.loads(out.stdout) == local
 
 
 class TestSample:
@@ -60,6 +85,44 @@ class TestSample:
         low = {r.url for r in sample_by_url(TRACE, 0.3, salt=2)}
         high = {r.url for r in sample_by_url(TRACE, 0.7, salt=2)}
         assert low <= high
+
+
+class TestNesting:
+    """The threshold construction nests samples: keeping "hash < rate"
+    means a rate-r sample contains every URL of any rate-r' < r sample
+    at the same salt.  The single-pass MRC engine leans on this to feed
+    one hashed stream to shadow caches running at different rates."""
+
+    def test_nested_sample_is_superset(self):
+        for salt in range(5):
+            previous = set()
+            for rate in (0.1, 0.3, 0.6, 0.9, 1.0):
+                kept = {r.url for r in sample_by_url(TRACE, rate, salt=salt)}
+                assert previous <= kept
+                previous = kept
+
+    @given(
+        low=st.floats(min_value=0.01, max_value=1.0),
+        high=st.floats(min_value=0.01, max_value=1.0),
+        salt=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_nested_sample_property(self, low, high, salt):
+        if low > high:
+            low, high = high, low
+        small = {r.url for r in sample_by_url(TRACE, low, salt=salt)}
+        large = {r.url for r in sample_by_url(TRACE, high, salt=salt)}
+        assert small <= large
+
+    def test_sample_matches_hash_threshold(self):
+        """sample_by_url is exactly the hash-threshold rule, so callers
+        may hash once and test against many rates."""
+        rate, salt = 0.4, 9
+        kept = {r.url for r in sample_by_url(TRACE, rate, salt=salt)}
+        for request in TRACE:
+            assert (
+                url_sample_rate_hash(request.url, salt) < rate
+            ) == (request.url in kept)
 
 
 @given(
