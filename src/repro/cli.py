@@ -820,10 +820,108 @@ def cmd_obs(args: argparse.Namespace) -> int:
             trace_path=args.trace or None,
             metrics_path=args.metrics or None,
             timeseries_path=args.timeseries or None,
+            fleet_path=args.fleet or None,
         ))
     except ArtifactError as error:
         print(f"obs summarize: {error}", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """The sharded proxy fleet: serve, shard entrypoint, chaos, status."""
+    if args.fleet_command == "shard":
+        from repro.proxy.fleet import shard_main
+
+        return shard_main(args)
+    if args.fleet_command == "status":
+        from repro.httpnet.client import fetch
+
+        host, _, port = args.router.partition(":")
+        try:
+            response = fetch(
+                (host, int(port or 80)), "/fleet/status", timeout=5.0,
+            )
+        except (OSError, ValueError) as error:
+            print(f"fleet status: {error}", file=sys.stderr)
+            return 1
+        print(response.body.decode("utf-8"))
+        return 0 if response.status == 200 else 1
+    if args.fleet_command == "chaos":
+        from repro.faults import FaultPlan
+        from repro.proxy.fleet import run_fleet_chaos
+
+        plan = FaultPlan.load(args.fault_plan) if args.fault_plan else None
+        obs = _build_obs(args)
+        report = run_fleet_chaos(
+            state_root=args.state_dir,
+            shards=args.shards,
+            requests=args.requests,
+            rate=args.rate,
+            seed=args.seed,
+            profile=args.workload,
+            scale=args.scale,
+            plan=plan,
+            capacity=args.capacity,
+            policy=args.policy,
+            shard_max_inflight=args.max_inflight,
+            availability_floor=args.floor,
+            obs=obs,
+        )
+        print(report.render())
+        if args.out:
+            report.write(args.out)
+            print(f"wrote fleet report to {args.out}")
+        _export_obs(obs, args)
+        return 0 if report.ok else 1
+    # serve: run supervisor + router until SIGTERM/SIGINT.
+    import signal as _signal
+    import threading
+    from pathlib import Path
+
+    from repro.proxy.fleet import FleetSupervisor, ShardSpec
+    from repro.proxy.router import FleetRouter
+
+    obs = _build_obs(args)
+    state_root = Path(args.state_dir)
+    specs = [
+        ShardSpec(
+            shard_id=index,
+            state_dir=state_root / f"shard-{index}",
+            capacity=args.capacity,
+            policy=args.policy,
+            origin=args.origin,
+            timeout=args.timeout,
+            max_inflight=args.max_inflight,
+        )
+        for index in range(args.shards)
+    ]
+    supervisor = FleetSupervisor(specs, obs=obs)
+    supervisor.start()
+    router = FleetRouter(
+        supervisor,
+        host=args.host,
+        port=args.port,
+        obs=obs,
+        status=supervisor.status,
+    ).start()
+    print(f"fleet router on {router.address[0]}:{router.address[1]} "
+          f"({args.shards} shard(s), state under {state_root})")
+    print(f"fleet status: curl http://{router.address[0]}"
+          f":{router.address[1]}/fleet/status")
+    stop = threading.Event()
+    _signal.signal(_signal.SIGTERM, lambda *_: stop.set())
+    try:
+        while not stop.wait(5.0):
+            status = supervisor.status()
+            print(f"  up={status['up']}/{args.shards} "
+                  f"restarts={status['restarts']}")
+    except KeyboardInterrupt:
+        pass
+    finally:
+        router.stop()
+        supervisor.stop()
+    _export_obs(obs, args)
     return 0
 
 
@@ -1111,7 +1209,89 @@ def build_parser() -> argparse.ArgumentParser:
                                help="checksummed time-series JSONL "
                                     "(--timeseries-out); verifies the "
                                     "checksum trailer")
+    obs_summarize.add_argument("--fleet", default="", metavar="PATH",
+                               help="FLEET_report.json from 'fleet chaos'; "
+                                    "renders the one-line fleet summary")
     obs_summarize.set_defaults(func=cmd_obs)
+
+    fleet = commands.add_parser(
+        "fleet",
+        help="sharded proxy fleet: supervisor + rendezvous router "
+             "(serve, chaos, status)",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    def _fleet_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--shards", type=_positive_int, default=4)
+        sub.add_argument("--capacity", type=parse_capacity,
+                         default=4 * 2**20,
+                         help="per-shard store capacity")
+        sub.add_argument("--policy", default="SIZE")
+        sub.add_argument("--timeout", type=float, default=5.0)
+        sub.add_argument("--max-inflight", type=int, default=12,
+                         help="per-shard admission bound (excess is shed "
+                              "as 503 + Retry-After)")
+        sub.add_argument("--state-dir", required=True, metavar="DIR",
+                         help="root directory; each shard journals under "
+                              "DIR/shard-<i>")
+
+    fleet_serve = fleet_sub.add_parser(
+        "serve", help="run the supervisor and router until SIGTERM",
+    )
+    _fleet_common(fleet_serve)
+    fleet_serve.add_argument("--host", default="127.0.0.1")
+    fleet_serve.add_argument("--port", type=int, default=8080)
+    fleet_serve.add_argument("--origin", default="",
+                             help="route every request to this host:port")
+    _add_obs_flags(fleet_serve)
+    fleet_serve.set_defaults(func=cmd_fleet)
+
+    fleet_chaos = fleet_sub.add_parser(
+        "chaos",
+        help="seeded shard-kill + overload scenario; writes the "
+             "byte-reproducible FLEET_report.json",
+    )
+    _fleet_common(fleet_chaos)
+    fleet_chaos.add_argument("--requests", type=_positive_int, default=240)
+    fleet_chaos.add_argument("--rate", type=float, default=80.0,
+                             help="offered arrival rate, requests/second")
+    fleet_chaos.add_argument("--seed", type=int, default=1996)
+    fleet_chaos.add_argument("--workload", default="U",
+                             choices=sorted(PROFILES))
+    fleet_chaos.add_argument("--scale", type=float, default=0.05)
+    fleet_chaos.add_argument("--fault-plan", default="",
+                             help="JSON fault plan (defaults to one seeded "
+                                  "KILL_SHARD mid-schedule)")
+    fleet_chaos.add_argument("--floor", type=float, default=99.0,
+                             help="availability floor, percent well-formed")
+    fleet_chaos.add_argument("--out", default="",
+                             help="write FLEET_report.json here")
+    _add_obs_flags(fleet_chaos)
+    fleet_chaos.set_defaults(func=cmd_fleet)
+
+    fleet_shard = fleet_sub.add_parser(
+        "shard",
+        help="run one shard process (spawned by the supervisor; "
+             "publishes endpoint.json into its state dir)",
+    )
+    fleet_shard.add_argument("--shard-id", type=int, default=0)
+    fleet_shard.add_argument("--state-dir", required=True, metavar="DIR")
+    fleet_shard.add_argument("--capacity", type=parse_capacity,
+                             default=4 * 2**20)
+    fleet_shard.add_argument("--policy", default="SIZE")
+    fleet_shard.add_argument("--origin", default="")
+    fleet_shard.add_argument("--timeout", type=float, default=5.0)
+    fleet_shard.add_argument("--max-inflight", type=int, default=12)
+    fleet_shard.add_argument("--max-clients", type=int, default=4)
+    fleet_shard.add_argument("--read-deadline", type=float, default=2.0)
+    fleet_shard.set_defaults(func=cmd_fleet)
+
+    fleet_status = fleet_sub.add_parser(
+        "status", help="print a running router's /fleet/status document",
+    )
+    fleet_status.add_argument("--router", default="127.0.0.1:8080",
+                              metavar="HOST:PORT")
+    fleet_status.set_defaults(func=cmd_fleet)
 
     bench = commands.add_parser(
         "bench",

@@ -27,6 +27,16 @@ by :mod:`repro.durability`: each write to an atomic file or journal is
 one event of a kind-filtered injector (see :meth:`FaultPlan.
 disk_injector`), so chaos tests can tear a journal tail or fill the
 disk at a seeded, reproducible point.
+
+Fleet faults are consumed by the sharded proxy fleet
+(:mod:`repro.proxy.fleet`): ``KILL_SHARD`` and ``STALL_SHARD`` rules
+name *load-generator request indices* in ``at`` and a target shard in
+``shard`` — when the seeded load reaches that request, the supervisor
+SIGKILLs (or SIGSTOPs for ``delay_seconds``) that shard process, forcing
+a failover and, for kills, a journal warm-restart.  ``SLOW_CLIENT``
+rules select load-generator requests whose client trickles its request
+bytes and then stalls — the slowloris traffic the proxy's
+read-deadline guard must shed.
 """
 
 from __future__ import annotations
@@ -46,6 +56,7 @@ from repro.proxy.origin import OriginServer, SyntheticSite, _read_request
 
 __all__ = [
     "DISK_FAULT_KINDS",
+    "FLEET_FAULT_KINDS",
     "ORIGIN_FAULT_KINDS",
     "FaultKind",
     "FaultRule",
@@ -67,6 +78,9 @@ class FaultKind(str, enum.Enum):
     TORN_WRITE = "torn_write"    # a disk write persists only a prefix
     ENOSPC = "enospc"            # a disk write fails: device full
     FSYNC_FAIL = "fsync_fail"    # data written but the flush fails
+    KILL_SHARD = "kill_shard"    # SIGKILL a proxy shard process
+    STALL_SHARD = "stall_shard"  # SIGSTOP a shard, SIGCONT after a delay
+    SLOW_CLIENT = "slow_client"  # a client trickles bytes, then stalls
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -80,6 +94,11 @@ ORIGIN_FAULT_KINDS = frozenset({
 #: Kinds a disk-side injector (``repro.durability``) consults.
 DISK_FAULT_KINDS = frozenset({
     FaultKind.TORN_WRITE, FaultKind.ENOSPC, FaultKind.FSYNC_FAIL,
+})
+
+#: Kinds the proxy-fleet chaos harness (``repro.proxy.fleet``) consults.
+FLEET_FAULT_KINDS = frozenset({
+    FaultKind.KILL_SHARD, FaultKind.STALL_SHARD, FaultKind.SLOW_CLIENT,
 })
 
 
@@ -104,9 +123,12 @@ class FaultRule:
         url_substring: only URLs containing this substring.
         conditional_only: only conditional (If-Modified-Since) requests
             — i.e. the proxy's revalidation traffic.
-        delay_seconds: sleep for ``DELAY`` rules.
+        delay_seconds: sleep for ``DELAY`` rules; stall duration for
+            ``STALL_SHARD`` rules.
         truncate_to: body bytes kept for ``TRUNCATE`` rules.
         status: response code for ``ERROR`` rules.
+        shard: target shard index for ``KILL_SHARD``/``STALL_SHARD``
+            rules (their ``at`` indices name load-generator requests).
     """
 
     kind: FaultKind
@@ -120,6 +142,7 @@ class FaultRule:
     delay_seconds: float = 0.1
     truncate_to: int = 32
     status: int = 503
+    shard: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "kind", FaultKind(self.kind))
@@ -130,6 +153,8 @@ class FaultRule:
             raise ValueError("every/after/limit must be >= 0")
         if not 500 <= self.status <= 599:
             raise ValueError("ERROR rules must use a 5xx status")
+        if self.shard < 0:
+            raise ValueError("shard must be >= 0")
 
     def matches(self, index: int, url: str, conditional: bool) -> bool:
         """Deterministic (coin-free) eligibility of event ``index``."""
@@ -246,6 +271,46 @@ class FaultPlan:
             if rule.kind is FaultKind.KILL_COORDINATOR:
                 indices.update(rule.at)
         return frozenset(indices)
+
+    def shard_kill_points(self) -> Dict[int, Tuple[int, ...]]:
+        """Load-generator request index -> shard indices SIGKILLed there."""
+        points: Dict[int, Tuple[int, ...]] = {}
+        for rule in self.rules:
+            if rule.kind is FaultKind.KILL_SHARD:
+                for index in rule.at:
+                    points[index] = points.get(index, ()) + (rule.shard,)
+        return points
+
+    def shard_stall_points(self) -> Dict[int, Tuple[Tuple[int, float], ...]]:
+        """Request index -> ``(shard, stall_seconds)`` pairs fired there."""
+        points: Dict[int, Tuple[Tuple[int, float], ...]] = {}
+        for rule in self.rules:
+            if rule.kind is FaultKind.STALL_SHARD:
+                for index in rule.at:
+                    points[index] = points.get(index, ()) + (
+                        (rule.shard, rule.delay_seconds),
+                    )
+        return points
+
+    def slow_client_indices(self, requests: int) -> frozenset:
+        """Load-generator request indices served by a slowloris client.
+
+        Resolved up front by consulting a ``SLOW_CLIENT``-filtered
+        injector once per scheduled request (in index order), so the
+        selection is a pure function of the plan — concurrency in the
+        load generator cannot perturb it.
+        """
+        if not any(
+            rule.kind is FaultKind.SLOW_CLIENT for rule in self.rules
+        ):
+            return frozenset()
+        injector = FaultInjector(
+            self, kinds=frozenset({FaultKind.SLOW_CLIENT}),
+        )
+        return frozenset(
+            index for index in range(requests)
+            if injector.next_fault() is not None
+        )
 
     def injector(self) -> "FaultInjector":
         """An origin-side injector (drop/delay/truncate/error rules)."""

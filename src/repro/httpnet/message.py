@@ -34,9 +34,11 @@ REASON_PHRASES = {
     400: "Bad Request",
     403: "Forbidden",
     404: "Not Found",
+    408: "Request Timeout",
     500: "Internal Server Error",
     501: "Not Implemented",
     502: "Bad Gateway",
+    503: "Service Unavailable",
     504: "Gateway Timeout",
 }
 

@@ -22,6 +22,7 @@ __all__ = [
     "timeseries_metrics",
     "sweep_metrics",
     "proxy_metrics",
+    "fleet_metrics",
     "chaos_metrics",
     "mrc_metrics",
     "trace_metrics",
@@ -268,6 +269,81 @@ def proxy_metrics(registry: Registry) -> SimpleNamespace:
             "repro_proxy_store_journal_errors_total",
             "Store journal writes that failed (journaling then disabled)",
         ),
+        client_timeouts=registry.counter(
+            "repro_proxy_client_timeouts_total",
+            "Client connections dropped for exceeding the request-read "
+            "deadline (slowloris guard)",
+        ),
+        shed=registry.counter(
+            "repro_proxy_shed_total",
+            "Requests refused with 503 + Retry-After, by reason "
+            "(saturated admission vs hit-only degradation)",
+            labelnames=("reason",),
+        ),
+        deadline_exhausted=registry.counter(
+            "repro_proxy_deadline_exhausted_total",
+            "Origin work abandoned because the propagated deadline "
+            "budget ran out",
+        ),
+        degraded_mode=registry.gauge(
+            "repro_proxy_degraded_mode",
+            "Current saturation-ladder position (0=full, 1=hit-only, "
+            "2=shed)",
+        ),
+        degraded_seconds=registry.counter(
+            "repro_proxy_degraded_seconds_total",
+            "Seconds spent in each saturation mode (updated at scrape)",
+            labelnames=("mode",),
+        ),
+    )
+
+
+def fleet_metrics(registry: Registry) -> SimpleNamespace:
+    """Sharded-fleet metrics (``repro_fleet_*``).
+
+    Recorded by the :class:`~repro.proxy.fleet.FleetSupervisor` (shard
+    lifecycle, aggregated shard counters) and the
+    :class:`~repro.proxy.router.FleetRouter` (routing outcomes,
+    front-tier shedding).
+    """
+    return SimpleNamespace(
+        requests=registry.counter(
+            "repro_fleet_requests_total",
+            "Requests seen by the front router, by outcome "
+            "(routed, shed, failed)",
+            labelnames=("outcome",),
+        ),
+        failover=registry.counter(
+            "repro_fleet_failover_total",
+            "Requests answered by a lower-ranked shard after the "
+            "preferred shard failed",
+        ),
+        shed=registry.counter(
+            "repro_fleet_shed_total",
+            "Requests shed with 503 + Retry-After, by tier "
+            "(router vs shard)",
+            labelnames=("tier",),
+        ),
+        shard_restarts=registry.counter(
+            "repro_fleet_shard_restarts_total",
+            "Shard processes restarted by the supervisor, per shard",
+            labelnames=("shard",),
+        ),
+        degraded_seconds=registry.counter(
+            "repro_fleet_degraded_seconds_total",
+            "Router-tier seconds spent in each saturation mode",
+            labelnames=("mode",),
+        ),
+        shards=registry.gauge(
+            "repro_fleet_shards",
+            "Shards currently in each lifecycle state",
+            labelnames=("state",),
+        ),
+        request_seconds=registry.histogram(
+            "repro_fleet_request_seconds",
+            "Router-observed wall time of one fleet request",
+            buckets=FETCH_SECONDS_BUCKETS,
+        ),
     )
 
 
@@ -339,5 +415,6 @@ def trace_metrics(registry: Registry) -> SimpleNamespace:
 #: canonical declaration set.
 ALL_METRIC_SETS = (
     sim_metrics, phase_metrics, timeseries_metrics, sweep_metrics,
-    proxy_metrics, chaos_metrics, mrc_metrics, trace_metrics,
+    proxy_metrics, fleet_metrics, chaos_metrics, mrc_metrics,
+    trace_metrics,
 )

@@ -210,11 +210,45 @@ def _summarize_timeseries(path: Path) -> str:
     )
 
 
+def _summarize_fleet(path: Path) -> str:
+    """One line from a ``FLEET_report.json``: shards, restarts, shed %,
+    availability, and the invariant verdict."""
+    text = _read_artifact(path, "fleet report")
+    try:
+        record = json.loads(text)
+        deterministic = record["deterministic"]
+        measured = record["measured"]
+        invariants = deterministic["invariants"]
+        requests = int(deterministic["requests"])
+        shards = int(deterministic["shards"])
+        availability = float(measured["availability_pct"])
+        shed = int(measured["counts"].get("shed", 0))
+        restarts = int(measured["restarts"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ArtifactError(
+            f"fleet report: {path} is not a FleetReport payload ({error})"
+        )
+    shed_pct = 100.0 * shed / requests if requests else 0.0
+    verdict = "PASS" if all(invariants.values()) else "FAIL"
+    failed = sorted(
+        name for name, held in invariants.items() if not held
+    )
+    line = (
+        f"fleet: {shards} shard(s), {restarts} restart(s), "
+        f"shed {shed_pct:.1f}%, availability {availability:.2f}% "
+        f"[{verdict}]"
+    )
+    if failed:
+        line += "\n  violated: " + ", ".join(failed)
+    return line
+
+
 def summarize_run(
     events_path: Optional[Union[str, Path]] = None,
     trace_path: Optional[Union[str, Path]] = None,
     metrics_path: Optional[Union[str, Path]] = None,
     timeseries_path: Optional[Union[str, Path]] = None,
+    fleet_path: Optional[Union[str, Path]] = None,
 ) -> str:
     """Render whichever artifacts were provided into one report.
 
@@ -230,9 +264,11 @@ def summarize_run(
         sections.append(_summarize_metrics(Path(metrics_path)))
     if timeseries_path:
         sections.append(_summarize_timeseries(Path(timeseries_path)))
+    if fleet_path:
+        sections.append(_summarize_fleet(Path(fleet_path)))
     if not sections:
         return (
-            "nothing to summarize: pass --events, --trace, --metrics "
-            "or --timeseries"
+            "nothing to summarize: pass --events, --trace, --metrics, "
+            "--timeseries or --fleet"
         )
     return "\n\n".join(sections)

@@ -16,11 +16,21 @@ cheap in a live server.
   circuit breakers, stale-if-error serving; see :mod:`repro.retry`).
 * :mod:`repro.proxy.chaos` -- fault-injected trace replay and degradation
   reports (see :mod:`repro.faults`).
+* :mod:`repro.proxy.overload` -- bounded admission and the saturation
+  ladder (full -> hit-only -> shed) both fleet tiers share.
+* :mod:`repro.proxy.router` -- the rendezvous-hashing front tier with
+  automatic failover.
+* :mod:`repro.proxy.fleet` -- the shard supervisor (process lifecycle,
+  crash-loop detection, warm restarts) and the seeded fleet chaos
+  harness.
+* :mod:`repro.proxy.loadgen` -- a seeded open-loop load generator
+  driving calibrated workloads through real sockets.
 """
 
 from repro.proxy.consistency import ConsistencyEstimator, Freshness
 from repro.proxy.store import CachedDocument, ProxyStore, StoreStats
 from repro.proxy.origin import OriginServer, SyntheticSite
+from repro.proxy.overload import AdmissionController, OverloadPolicy
 from repro.proxy.server import CachingProxy, OriginError, ProxyStats
 
 __all__ = [
@@ -31,6 +41,8 @@ __all__ = [
     "StoreStats",
     "OriginServer",
     "SyntheticSite",
+    "AdmissionController",
+    "OverloadPolicy",
     "CachingProxy",
     "OriginError",
     "ProxyStats",

@@ -1,0 +1,364 @@
+"""The fleet front tier: rendezvous routing with failover.
+
+URLs map to shards by **rendezvous (highest-random-weight) hashing**:
+every (url, shard) pair gets a stable pseudo-random score and the
+request goes to the highest-scoring *live* shard.  The properties the
+fleet needs fall out directly:
+
+* deterministic — the same URL always prefers the same shard, so each
+  shard's cache sees a stable working set (the paper's locality carries
+  over per shard);
+* minimal reshuffle — when a shard dies, only *its* URLs move (each to
+  its second-choice shard); every other URL stays put, unlike modulo
+  hashing where one death reshuffles nearly everything;
+* built-in failover order — the full score ranking *is* the preference
+  list, so the router retries down it without any extra state.
+
+The :class:`FleetRouter` is itself an overload-aware server (the same
+:class:`~repro.proxy.overload.AdmissionController` ladder the shards
+use): saturation at the front door sheds with ``503 + Retry-After``
+rather than stacking requests onto a struggling fleet.  Every forwarded
+request is stamped with its remaining deadline budget
+(``X-Deadline-Ms``) so shard retries cannot outlive the client.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import queue
+import socket
+import threading
+import time as _time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.httpnet.client import request as _client_request
+from repro.httpnet.message import (
+    HttpMessageError,
+    HttpRequest,
+    HttpResponse,
+)
+from repro.obs import Obs
+from repro.obs.catalog import fleet_metrics
+from repro.proxy.overload import AdmissionController, OverloadPolicy
+from repro.proxy.server import METRICS_PATH, _EXPOSITION_CONTENT_TYPE
+from repro.retry import DEADLINE_HEADER, Deadline
+
+__all__ = [
+    "rendezvous_score",
+    "rendezvous_rank",
+    "StaticDirectory",
+    "FleetRouter",
+    "STATUS_PATH",
+]
+
+#: Local router path answering a JSON fleet-status document.
+STATUS_PATH = "/fleet/status"
+
+
+def rendezvous_score(url: str, shard_id: int) -> int:
+    """The stable pseudo-random weight of placing ``url`` on ``shard_id``.
+
+    ``blake2b`` (not ``hash()``) so the mapping is identical across
+    processes and runs — shard processes, the router, and offline
+    analysis must all agree where a URL lives.
+    """
+    digest = hashlib.blake2b(
+        f"{shard_id}\x00{url}".encode("utf-8"), digest_size=8,
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def rendezvous_rank(url: str, shard_ids: Sequence[int]) -> List[int]:
+    """Shards ordered most- to least-preferred for ``url``.
+
+    Position 0 is the home shard; the rest is the failover order.
+    """
+    return sorted(
+        shard_ids,
+        key=lambda sid: rendezvous_score(url, sid),
+        reverse=True,
+    )
+
+
+class StaticDirectory:
+    """A fixed shard map (id -> address) for tests and ad-hoc routing.
+
+    The live fleet uses :class:`~repro.proxy.fleet.FleetSupervisor` as
+    its directory; this one never restarts anything — ``report_failure``
+    just drops the shard from the live set.
+    """
+
+    def __init__(self, shards: Dict[int, Tuple[str, int]]) -> None:
+        self._shards = dict(shards)
+        self._lock = threading.Lock()
+        self._down: set = set()
+
+    def ids(self) -> List[int]:
+        return sorted(self._shards)
+
+    def address_of(self, shard_id: int) -> Optional[Tuple[str, int]]:
+        with self._lock:
+            if shard_id in self._down:
+                return None
+        return self._shards.get(shard_id)
+
+    def report_failure(self, shard_id: int) -> None:
+        with self._lock:
+            self._down.add(shard_id)
+
+    def revive(self, shard_id: int) -> None:
+        with self._lock:
+            self._down.discard(shard_id)
+
+
+class FleetRouter:
+    """The fleet's client-facing server: admit, rank, forward, fail over.
+
+    Args:
+        directory: where shards live — anything with ``ids()``,
+            ``address_of(shard_id)`` and ``report_failure(shard_id)``
+            (the supervisor, or a :class:`StaticDirectory`).
+        host, port: listen address (port 0 picks a free port).
+        shard_timeout: per-forward socket timeout toward one shard.
+        default_budget: deadline budget (seconds) granted to requests
+            that arrive without an ``X-Deadline-Ms`` header.
+        overload: front-tier admission configuration.
+        max_clients: worker threads in the bounded handler pool.
+        status: optional callable returning the fleet-status dict served
+            at ``/fleet/status`` (the supervisor provides one).
+    """
+
+    def __init__(
+        self,
+        directory,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shard_timeout: float = 5.0,
+        default_budget: float = 10.0,
+        overload: Optional[OverloadPolicy] = None,
+        max_clients: int = 16,
+        obs: Optional[Obs] = None,
+        status: Optional[Callable[[], dict]] = None,
+    ) -> None:
+        self.directory = directory
+        self.shard_timeout = shard_timeout
+        self.default_budget = default_budget
+        self.obs = obs if obs is not None else Obs()
+        self.m = fleet_metrics(self.obs.registry)
+        self._channel = self.obs.channel("fleet")
+        self.status = status
+        self.max_clients = max(1, max_clients)
+        self.admission = AdmissionController(overload)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(128)
+        self.address: Tuple[str, int] = self._listener.getsockname()
+        self._running = False
+        self._thread: Optional[threading.Thread] = None
+        self._workers: List[threading.Thread] = []
+        self._pending: "queue.Queue[Optional[socket.socket]]" = queue.Queue()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "FleetRouter":
+        self._running = True
+        self._workers = [
+            threading.Thread(target=self._work, daemon=True)
+            for _ in range(self.max_clients)
+        ]
+        for worker in self._workers:
+            worker.start()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+        for _ in self._workers:
+            self._pending.put(None)
+        for worker in self._workers:
+            worker.join(timeout=2.0)
+        self._workers = []
+
+    def __enter__(self) -> "FleetRouter":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- serving -----------------------------------------------------------------
+
+    def _serve(self) -> None:
+        while self._running:
+            try:
+                connection, _ = self._listener.accept()
+            except OSError:
+                return
+            if self.admission.try_admit():
+                self._pending.put(connection)
+            else:
+                self._shed_connection(connection)
+
+    def _shed_connection(self, connection: socket.socket) -> None:
+        self.m.shed.labels(tier="router").inc()
+        self.m.requests.labels(outcome="shed").inc()
+        response = _error_response(
+            503, "router_saturated",
+            retry_after=self.admission.retry_after_seconds(),
+        )
+        try:
+            connection.settimeout(0.5)
+            connection.sendall(response.serialize())
+        except OSError:  # pragma: no cover - client already gone
+            pass
+        finally:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _work(self) -> None:
+        while True:
+            connection = self._pending.get()
+            if connection is None:
+                return
+            started = _time.monotonic()
+            try:
+                self._handle_connection(connection)
+            finally:
+                self.admission.release(_time.monotonic() - started)
+
+    def _handle_connection(self, connection: socket.socket) -> None:
+        with connection:
+            try:
+                connection.settimeout(self.shard_timeout)
+                request = HttpRequest.parse(_read_head(connection))
+            except (HttpMessageError, OSError):
+                return
+            response = self.route(request)
+            try:
+                connection.sendall(response.serialize())
+            except OSError:  # pragma: no cover
+                pass
+
+    # -- routing -----------------------------------------------------------------
+
+    def route(self, request: HttpRequest) -> HttpResponse:
+        """Answer one client request (socket-free core, used by tests)."""
+        if request.method == "GET" and request.url == METRICS_PATH:
+            return self._metrics_response()
+        if request.method == "GET" and request.url == STATUS_PATH:
+            return self._status_response()
+        started = _time.perf_counter()
+        response = self._route_with_failover(request)
+        self.m.request_seconds.observe(_time.perf_counter() - started)
+        return response
+
+    def _route_with_failover(self, request: HttpRequest) -> HttpResponse:
+        deadline = self._deadline_for(request)
+        ranked = rendezvous_rank(request.url, self.directory.ids())
+        attempted = 0
+        for rank, shard_id in enumerate(ranked):
+            address = self.directory.address_of(shard_id)
+            if address is None:
+                continue  # not live right now: next preference
+            if deadline.expired():
+                self.m.requests.labels(outcome="failed").inc()
+                return _error_response(503, "deadline_exhausted")
+            forwarded = HttpRequest(
+                method=request.method,
+                url=request.url,
+                headers=dict(request.headers),
+            )
+            forwarded.headers[DEADLINE_HEADER] = deadline.header_value()
+            timeout = min(self.shard_timeout, max(0.05, deadline.remaining()))
+            try:
+                response = _client_request(
+                    address, forwarded, timeout=timeout,
+                )
+            except (OSError, HttpMessageError, ValueError) as error:
+                # The shard is unreachable or spoke garbage: tell the
+                # directory (the supervisor will health-check/restart
+                # it) and fall through to the next preference.
+                attempted += 1
+                self.directory.report_failure(shard_id)
+                self._channel.warning(
+                    "route.failover", shard=shard_id, rank=rank,
+                    url=request.url, error=str(error),
+                )
+                continue
+            if rank > 0 or attempted > 0:
+                self.m.failover.inc()
+            if response.status == 503:
+                self.m.shed.labels(tier="shard").inc()
+                self.m.requests.labels(outcome="shed").inc()
+            else:
+                self.m.requests.labels(outcome="routed").inc()
+            return response
+        self.m.requests.labels(outcome="failed").inc()
+        return _error_response(
+            503, "no_live_shard", retry_after=1.0,
+        )
+
+    def _deadline_for(self, request: HttpRequest) -> Deadline:
+        wanted = DEADLINE_HEADER.lower()
+        for name, value in request.headers.items():
+            if name.lower() == wanted:
+                parsed = Deadline.from_header(value)
+                if parsed is not None:
+                    return parsed
+        return Deadline.after(self.default_budget)
+
+    # -- local endpoints ---------------------------------------------------------
+
+    def _metrics_response(self) -> HttpResponse:
+        for mode, seconds in self.admission.flush_mode_seconds().items():
+            if mode != "full" and seconds > 0:
+                self.m.degraded_seconds.labels(mode=mode).inc(seconds)
+        return HttpResponse(
+            status=200,
+            headers={"Content-Type": _EXPOSITION_CONTENT_TYPE},
+            body=self.obs.registry.render().encode("utf-8"),
+        )
+
+    def _status_response(self) -> HttpResponse:
+        status = self.status() if self.status is not None else {
+            "shards": self.directory.ids(),
+        }
+        return HttpResponse(
+            status=200,
+            headers={"Content-Type": "application/json"},
+            body=json.dumps(status, sort_keys=True).encode("utf-8"),
+        )
+
+
+def _error_response(
+    status: int, reason: str, retry_after: Optional[float] = None, **details,
+) -> HttpResponse:
+    """A well-formed JSON error, shaped like the shard proxy's."""
+    from repro.proxy.server import CachingProxy
+
+    return CachingProxy._error_response(
+        status, reason, retry_after=retry_after, **details,
+    )
+
+
+def _read_head(connection: socket.socket, limit: int = 1 << 20) -> bytes:
+    """Read until the end of a request head (timeout already set)."""
+    chunks = bytearray()
+    while b"\r\n\r\n" not in chunks and b"\n\n" not in chunks:
+        chunk = connection.recv(4096)
+        if not chunk:
+            break
+        chunks.extend(chunk)
+        if len(chunks) > limit:
+            raise HttpMessageError("request head too large")
+    return bytes(chunks)

@@ -12,10 +12,30 @@ Eviction is whatever removal policy the :class:`~repro.proxy.store.ProxyStore`
 was built with — by default SIZE, the paper's recommendation.  Responses
 carry an ``X-Cache`` header (``HIT``/``REVALIDATED``/``MISS``) so clients
 and tests can observe the path taken.
+
+The server is overload-resilient (fleet PR):
+
+* connections are handled by a **bounded worker pool** behind an
+  :class:`~repro.proxy.overload.AdmissionController`; arrivals beyond
+  the in-flight bound are answered inline with a well-formed
+  ``503 + Retry-After`` instead of queueing without bound;
+* under pressure the proxy degrades to **hit-only** service (fresh hits
+  and stale copies still served; misses shed) before shedding outright;
+* request heads are read under a **total deadline** as well as the
+  per-recv idle timeout, so a slowloris client trickling bytes cannot
+  pin a worker (counted as ``repro_proxy_client_timeouts_total``);
+* an ``X-Deadline-Ms`` budget on the request clamps every origin
+  attempt and backoff wait (see :class:`repro.retry.Deadline`);
+* every locally-generated 502/503 carries a machine-readable JSON body
+  (``{"error": <reason>, ...}``) and — where a retry can help — a
+  ``Retry-After`` header derived from breaker/saturation state.
 """
 
 from __future__ import annotations
 
+import json
+import math
+import queue
 import random
 import socket
 import threading
@@ -32,9 +52,9 @@ from repro.httpnet.message import (
 from repro.obs import Obs
 from repro.obs.catalog import proxy_metrics
 from repro.proxy.consistency import ConsistencyEstimator, Freshness
-from repro.proxy.origin import _read_request
+from repro.proxy.overload import AdmissionController, OverloadPolicy
 from repro.proxy.store import CachedDocument, ProxyStore
-from repro.retry import BreakerRegistry, RetryPolicy
+from repro.retry import DEADLINE_HEADER, BreakerRegistry, Deadline, RetryPolicy
 
 __all__ = ["OriginError", "ProxyStats", "CachingProxy", "METRICS_PATH"]
 
@@ -49,7 +69,22 @@ _EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 class OriginError(OSError):
     """A terminal origin-fetch failure (after retries), or a fast-fail
     from an open circuit breaker.  Subclasses :class:`OSError` so every
-    pre-existing ``except OSError`` failure path still applies."""
+    pre-existing ``except OSError`` failure path still applies.
+
+    Carries a machine-readable ``reason`` (the JSON error code clients
+    see) and, when a retry could plausibly help, a ``retry_after`` hint
+    in seconds (e.g. the breaker's time-to-next-probe).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        reason: str = "origin_unreachable",
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after = retry_after
 
 #: Resolves a URL's host to a (address, port) the proxy should connect to.
 #: Tests and demos point every host at a local toy origin.
@@ -105,6 +140,12 @@ class ProxyStats:
     breaker_open = _counter_property(
         "breaker_open",
         "Requests failed fast by an open per-origin circuit breaker.")
+    client_timeouts = _counter_property(
+        "client_timeouts",
+        "Client connections dropped by the slowloris read deadline.")
+    deadline_exhausted = _counter_property(
+        "deadline_exhausted",
+        "Origin work abandoned because the deadline budget ran out.")
 
     @property
     def hit_rate(self) -> float:
@@ -136,6 +177,12 @@ class CachingProxy:
         breakers: per-origin circuit breakers; pass a configured
             :class:`~repro.retry.BreakerRegistry` to tune thresholds.
         sleep: how backoff waits are performed (injectable for tests).
+        overload: admission-control configuration (in-flight bound and
+            the saturation ladder); defaults to a permissive
+            :class:`~repro.proxy.overload.OverloadPolicy`.
+        max_clients: worker threads in the bounded handler pool.
+        read_deadline: total seconds a client may take to deliver its
+            request head (the slowloris guard); defaults to ``timeout``.
     """
 
     def __init__(
@@ -152,6 +199,9 @@ class CachingProxy:
         breakers: Optional[BreakerRegistry] = None,
         sleep=_time.sleep,
         obs: Optional[Obs] = None,
+        overload: Optional[OverloadPolicy] = None,
+        max_clients: int = 8,
+        read_deadline: Optional[float] = None,
     ) -> None:
         self.store = store
         self.resolver = resolver if resolver is not None else self._default_resolver
@@ -180,6 +230,11 @@ class CachingProxy:
                 snapshot_ok=recovery.snapshot_ok,
             )
         self.timeout = timeout
+        self.read_deadline = read_deadline if read_deadline is not None else timeout
+        self.max_clients = max(1, max_clients)
+        self.admission = AdmissionController(
+            overload, on_transition=self._on_mode_transition,
+        )
         self.retry_policy = (
             retry_policy if retry_policy is not None
             else RetryPolicy(timeout=timeout)
@@ -201,6 +256,8 @@ class CachingProxy:
         self.address: Tuple[str, int] = self._listener.getsockname()
         self._running = False
         self._thread: Optional[threading.Thread] = None
+        self._workers: list = []
+        self._pending: "queue.Queue[Optional[socket.socket]]" = queue.Queue()
 
     @staticmethod
     def _default_resolver(host: str) -> Tuple[str, int]:
@@ -211,6 +268,12 @@ class CachingProxy:
 
     def start(self) -> "CachingProxy":
         self._running = True
+        self._workers = [
+            threading.Thread(target=self._work, daemon=True)
+            for _ in range(self.max_clients)
+        ]
+        for worker in self._workers:
+            worker.start()
         self._thread = threading.Thread(target=self._serve, daemon=True)
         self._thread.start()
         return self
@@ -223,6 +286,11 @@ class CachingProxy:
             pass
         if self._thread is not None:
             self._thread.join(timeout=2.0)
+        for _ in self._workers:
+            self._pending.put(None)
+        for worker in self._workers:
+            worker.join(timeout=2.0)
+        self._workers = []
 
     def __enter__(self) -> "CachingProxy":
         return self.start()
@@ -231,15 +299,72 @@ class CachingProxy:
         self.stop()
 
     def _serve(self) -> None:
+        """Acceptor: admit connections into the bounded pool, or shed.
+
+        Admission is decided *at the door*.  A refused connection gets a
+        prebuilt ``503 + Retry-After`` written inline and is closed —
+        overload is answered in microseconds, never queued into a stall.
+        """
         while self._running:
             try:
                 connection, _ = self._listener.accept()
             except OSError:
                 return
-            threading.Thread(
-                target=self._handle_connection, args=(connection,),
-                daemon=True,
-            ).start()
+            if self.admission.try_admit():
+                self._pending.put(connection)
+            else:
+                self._shed_connection(connection)
+
+    def _shed_connection(self, connection: socket.socket) -> None:
+        self.stats.m.shed.labels(reason="saturated").inc()
+        response = self._error_response(
+            503, "saturated",
+            retry_after=self.admission.retry_after_seconds(),
+        )
+        try:
+            connection.settimeout(0.5)
+            connection.sendall(response.serialize())
+        except OSError:  # pragma: no cover - client already gone
+            pass
+        finally:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _work(self) -> None:
+        while True:
+            connection = self._pending.get()
+            if connection is None:
+                return
+            started = _time.monotonic()
+            try:
+                self._handle_connection(connection)
+            finally:
+                self.admission.release(_time.monotonic() - started)
+
+    def _read_head(self, connection: socket.socket) -> bytes:
+        """Read a request head under both an idle and a total deadline.
+
+        The per-recv timeout bounds a *silent* client; the total
+        deadline bounds a slowloris client that trickles one byte per
+        recv and would otherwise pin this worker indefinitely.
+        """
+        deadline = _time.monotonic() + self.read_deadline
+        chunks = bytearray()
+        limit = 1 << 20
+        while b"\r\n\r\n" not in chunks and b"\n\n" not in chunks:
+            remaining = deadline - _time.monotonic()
+            if remaining <= 0:
+                raise socket.timeout("request head read deadline exceeded")
+            connection.settimeout(min(self.timeout, remaining))
+            chunk = connection.recv(4096)
+            if not chunk:
+                break
+            chunks.extend(chunk)
+            if len(chunks) > limit:
+                raise HttpMessageError("request head too large")
+        return bytes(chunks)
 
     def _handle_connection(self, connection: socket.socket) -> None:
         with connection:
@@ -248,9 +373,20 @@ class CachingProxy:
             except OSError:  # pragma: no cover - racing disconnect
                 peer = "-"
             try:
-                request = HttpRequest.parse(
-                    _read_request(connection, timeout=self.timeout)
-                )
+                request = HttpRequest.parse(self._read_head(connection))
+            except socket.timeout:
+                # Slowloris guard tripped: not a server error, the
+                # client just never finished its request head.
+                self.stats.inc("client_timeouts")
+                self._channel.warning("client.timeout", peer=peer)
+                try:
+                    connection.sendall(
+                        self._error_response(408, "client_read_timeout")
+                        .serialize()
+                    )
+                except OSError:  # pragma: no cover
+                    pass
+                return
             except (HttpMessageError, OSError):
                 self.stats.inc("errors")
                 return
@@ -280,23 +416,36 @@ class CachingProxy:
             response = self._dispatch(request)
         except Exception:
             self.stats.inc("errors")
-            response = HttpResponse(status=502)
+            response = self._error_response(502, "internal_error")
         self._log_access(request, response, client)
         return response
+
+    @staticmethod
+    def _request_deadline(request: HttpRequest) -> Optional[Deadline]:
+        """The propagated budget, when the request carries one."""
+        wanted = DEADLINE_HEADER.lower()
+        for name, value in request.headers.items():
+            if name.lower() == wanted:
+                return Deadline.from_header(value)
+        return None
 
     def _dispatch(self, request: HttpRequest) -> HttpResponse:
         if not request.url.startswith("http://"):
             self.stats.inc("errors")
             return HttpResponse(status=400)
+        deadline = self._request_deadline(request)
+        hit_only = self.admission.mode != "full"
         if request.method in ("HEAD", "POST"):
             # Pass through uncached: HEAD carries no cacheable body and
             # POST responses are dynamic by definition (Section 1: only
             # static documents are cacheable).
+            if hit_only:
+                return self._shed_degraded()
             try:
-                response = self._forward(request)
-            except OSError:
+                response = self._forward(request, deadline)
+            except OSError as error:
                 self.stats.inc("errors")
-                return HttpResponse(status=502)
+                return self._origin_error_response(error)
             self.stats.inc("misses")
             return self._tag(response, "PASS")
         if request.method != "GET":
@@ -312,8 +461,22 @@ class CachingProxy:
                 self.stats.inc("hits")
                 self.stats.inc("bytes_from_cache", cached.size)
                 return self._respond_from(cached, "HIT")
-            return self._revalidate(request, cached, now)
-        return self._fetch_and_cache(request, now)
+            if hit_only:
+                # Degraded: we hold a copy; serving it stale beats
+                # queueing an origin round-trip behind the backlog.
+                return self._serve_stale(cached)
+            return self._revalidate(request, cached, now, deadline)
+        if hit_only:
+            return self._shed_degraded()
+        return self._fetch_and_cache(request, now, deadline)
+
+    def _shed_degraded(self) -> HttpResponse:
+        """Refuse origin-bound work while on the degraded ladder."""
+        self.stats.m.shed.labels(reason="degraded").inc()
+        return self._error_response(
+            503, "degraded",
+            retry_after=self.admission.retry_after_seconds(),
+        )
 
     def _log_access(
         self, request: HttpRequest, response: HttpResponse, client: str
@@ -337,7 +500,11 @@ class CachingProxy:
     # -- cases (2) and (3) -------------------------------------------------------------
 
     def _revalidate(
-        self, request: HttpRequest, cached: CachedDocument, now: float
+        self,
+        request: HttpRequest,
+        cached: CachedDocument,
+        now: float,
+        deadline: Optional[Deadline] = None,
     ) -> HttpResponse:
         self.stats.inc("revalidations")
         conditional = HttpRequest(
@@ -350,7 +517,7 @@ class CachingProxy:
                 cached.last_modified
             )
         try:
-            origin_response = self._forward(conditional)
+            origin_response = self._forward(conditional, deadline)
         except OSError:
             # Stale-if-error: the origin is unreachable, but we still
             # hold a copy — serving it beats erroring (availability over
@@ -387,12 +554,17 @@ class CachingProxy:
         self._channel.warning("stale.served", url=cached.url)
         return self._respond_from(cached, "STALE")
 
-    def _fetch_and_cache(self, request: HttpRequest, now: float) -> HttpResponse:
+    def _fetch_and_cache(
+        self,
+        request: HttpRequest,
+        now: float,
+        deadline: Optional[Deadline] = None,
+    ) -> HttpResponse:
         try:
-            origin_response = self._forward(request)
-        except OSError:
+            origin_response = self._forward(request, deadline)
+        except OSError as error:
             self.stats.inc("errors")
-            return HttpResponse(status=502)
+            return self._origin_error_response(error)
         self.stats.inc("misses")
         self._maybe_cache(request.url, origin_response, now)
         return self._tag(origin_response, "MISS")
@@ -425,6 +597,36 @@ class CachingProxy:
 
     # -- plumbing -----------------------------------------------------------------------
 
+    @staticmethod
+    def _error_response(
+        status: int,
+        reason: str,
+        retry_after: Optional[float] = None,
+        **details,
+    ) -> HttpResponse:
+        """A well-formed local error: JSON ``{"error": reason, ...}``
+        body, plus ``Retry-After`` (whole seconds, >= 1) when a retry
+        can plausibly succeed."""
+        body = json.dumps(
+            {"error": reason, **details}, sort_keys=True,
+        ).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        if retry_after is not None:
+            headers["Retry-After"] = str(max(1, math.ceil(retry_after)))
+        return HttpResponse(status=status, headers=headers, body=body)
+
+    def _origin_error_response(self, error: OSError) -> HttpResponse:
+        """Map a terminal origin failure to its client-facing 502."""
+        return self._error_response(
+            502,
+            getattr(error, "reason", "origin_unreachable"),
+            retry_after=getattr(error, "retry_after", None),
+            detail=str(error),
+        )
+
+    def _on_mode_transition(self, old: str, new: str) -> None:
+        self._channel.warning("overload.mode", old=old, new=new)
+
     def _metrics_response(self) -> HttpResponse:
         """``GET /metrics``: the registry in Prometheus text format.
 
@@ -447,6 +649,12 @@ class CachingProxy:
         behind = errors - int(self.stats.m.store_journal_errors.value)
         if behind > 0:
             self.stats.m.store_journal_errors.inc(behind)
+        self.stats.m.degraded_mode.set(self.admission.mode_index())
+        for mode, seconds in self.admission.flush_mode_seconds().items():
+            # Time in "full" is healthy service, not degradation, and
+            # counting it would make idle scrapes non-reproducible.
+            if mode != "full" and seconds > 0:
+                self.stats.m.degraded_seconds.labels(mode=mode).inc(seconds)
         return HttpResponse(
             status=200,
             headers={"Content-Type": _EXPOSITION_CONTENT_TYPE},
@@ -459,24 +667,52 @@ class CachingProxy:
             "breaker.transition", host=host, old=old, new=new,
         )
 
-    def _forward(self, request: HttpRequest) -> HttpResponse:
+    def _deadline_exhausted(self, host: str, url: str) -> OriginError:
+        self.stats.inc("deadline_exhausted")
+        self._channel.warning("deadline.exhausted", host=host, url=url)
+        return OriginError(
+            f"deadline budget exhausted fetching {url}",
+            reason="deadline_exhausted",
+        )
+
+    def _forward(
+        self, request: HttpRequest, deadline: Optional[Deadline] = None,
+    ) -> HttpResponse:
         """Fetch from the origin with retries, behind its circuit breaker.
 
+        When the request carries a deadline budget, every attempt's
+        socket timeout is clamped to the remaining budget and the retry
+        loop gives up (rather than sleeping a backoff) once the budget
+        cannot cover another attempt — a tier must never retry past the
+        point where its caller has already timed out.
+
         Raises:
-            OriginError: breaker open, or every attempt failed (refused,
-                timed out, reset, or returned malformed/truncated bytes).
+            OriginError: breaker open, deadline exhausted, or every
+                attempt failed (refused, timed out, reset, or returned
+                malformed/truncated bytes).
         """
         host = urlsplit(request.url).netloc
         breaker = self.breakers.for_host(host)
-        if not breaker.allow(self._clock()):
+        now = self._clock()
+        if not breaker.allow(now):
             self.stats.inc("breaker_open")
             self._channel.warning("breaker.fastfail", host=host)
-            raise OriginError(f"circuit breaker open for {host}")
+            raise OriginError(
+                f"circuit breaker open for {host}",
+                reason="breaker_open",
+                retry_after=breaker.retry_after(now),
+            )
         policy = self.retry_policy
         fetch_start = _time.perf_counter()
         for retry_index in range(policy.attempts):
+            attempt_timeout = self.timeout
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0:
+                    raise self._deadline_exhausted(host, request.url)
+                attempt_timeout = min(attempt_timeout, remaining)
             try:
-                response = self._fetch_once(request, host)
+                response = self._fetch_once(request, host, attempt_timeout)
             except (OSError, HttpMessageError) as error:
                 if retry_index >= policy.max_retries:
                     breaker.record_failure(self._clock())
@@ -491,12 +727,15 @@ class CachingProxy:
                         f"origin fetch failed after {policy.attempts} "
                         f"attempt(s): {error}"
                     ) from error
+                delay = policy.delay(retry_index, self._retry_rng)
+                if deadline is not None and delay >= deadline.remaining():
+                    raise self._deadline_exhausted(host, request.url)
                 self.stats.inc("retries")
                 self._channel.warning(
                     "origin.retry", host=host, url=request.url,
                     attempt=retry_index + 1, error=str(error),
                 )
-                self._sleep(policy.delay(retry_index, self._retry_rng))
+                self._sleep(delay)
             else:
                 breaker.record_success()
                 self.stats.m.origin_fetch_seconds.observe(
@@ -505,13 +744,19 @@ class CachingProxy:
                 return response
         raise AssertionError("unreachable")  # pragma: no cover
 
-    def _fetch_once(self, request: HttpRequest, host: str) -> HttpResponse:
+    def _fetch_once(
+        self,
+        request: HttpRequest,
+        host: str,
+        timeout: Optional[float] = None,
+    ) -> HttpResponse:
         """One origin attempt: connect, send, read to EOF, validate."""
         address = self.resolver(host)
-        with socket.create_connection(address, timeout=self.timeout) as upstream:
+        timeout = self.timeout if timeout is None else timeout
+        with socket.create_connection(address, timeout=timeout) as upstream:
             upstream.sendall(request.serialize())
             data = bytearray()
-            upstream.settimeout(self.timeout)
+            upstream.settimeout(timeout)
             while True:
                 chunk = upstream.recv(65536)
                 if not chunk:

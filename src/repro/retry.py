@@ -14,6 +14,11 @@ provides the two standard mechanisms the proxy composes:
   ``reset_after`` seconds pass, at which point one probe request is
   allowed through (*half-open*); its outcome closes or re-opens the
   breaker.
+* :class:`Deadline` — a total-time budget carried across tiers.  The
+  fleet router stamps each forwarded request with its remaining budget
+  (``X-Deadline-Ms``); the shard proxy parses it back and clamps every
+  origin attempt and backoff wait so retries can never outlive the
+  client's overall timeout, no matter how many tiers retried.
 
 Neither class knows anything about HTTP or sockets; the proxy wires them
 around its origin fetches (see :mod:`repro.proxy.server`).
@@ -23,10 +28,75 @@ from __future__ import annotations
 
 import random
 import threading
-from dataclasses import dataclass
+import time as _time
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, Optional
 
-__all__ = ["RetryPolicy", "CircuitBreaker", "BreakerRegistry"]
+__all__ = [
+    "DEADLINE_HEADER",
+    "Deadline",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "BreakerRegistry",
+]
+
+#: Header carrying the remaining request budget in integer milliseconds.
+#: Parsed case-insensitively (HTTP headers are), emitted in this case.
+DEADLINE_HEADER = "X-Deadline-Ms"
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute point on a monotonic clock before which a request's
+    whole lifetime — queueing, every retry attempt, every backoff wait —
+    must finish.
+
+    Budgets shrink as they cross tiers: the router constructs one from
+    the client budget, forwards the *remaining* milliseconds to the
+    shard, which forwards its remainder to the origin fetch.  A tier
+    that receives an exhausted deadline fails immediately instead of
+    doing work whose answer nobody is still waiting for.
+    """
+
+    expires_at: float
+    clock: Callable[[], float] = field(
+        default=_time.monotonic, compare=False, repr=False,
+    )
+
+    @classmethod
+    def after(
+        cls, budget_seconds: float, clock: Callable[[], float] = _time.monotonic,
+    ) -> "Deadline":
+        """A deadline ``budget_seconds`` from now."""
+        if budget_seconds <= 0:
+            raise ValueError("budget_seconds must be positive")
+        return cls(expires_at=clock() + budget_seconds, clock=clock)
+
+    @classmethod
+    def from_header(
+        cls, value: str, clock: Callable[[], float] = _time.monotonic,
+    ) -> Optional["Deadline"]:
+        """Parse an ``X-Deadline-Ms`` header value; ``None`` when it is
+        absent or unusable (a malformed budget must never 500 a request)."""
+        try:
+            millis = int(str(value).strip())
+        except (TypeError, ValueError):
+            return None
+        if millis <= 0:
+            # An already-spent budget is still a deadline: now.
+            return cls(expires_at=clock(), clock=clock)
+        return cls(expires_at=clock() + millis / 1000.0, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left, floored at zero."""
+        return max(0.0, self.expires_at - self.clock())
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def header_value(self) -> str:
+        """The remaining budget as the integer-millisecond header value."""
+        return str(int(self.remaining() * 1000.0))
 
 
 @dataclass(frozen=True)
@@ -127,6 +197,22 @@ class CircuitBreaker:
     @property
     def state(self) -> str:
         return self._state
+
+    def retry_after(self, now: float) -> float:
+        """How long a client should wait before retrying this origin.
+
+        While the breaker is open this is the time until the next
+        half-open probe is admitted; otherwise the full reset timeout is
+        the honest hint (a failure that just opened the breaker will
+        gate requests for that long).  Never less than one second, so
+        the value is always a legal ``Retry-After``.
+        """
+        with self._lock:
+            if self._state == "open":
+                wait = self.reset_after - (now - self._opened_at)
+            else:
+                wait = self.reset_after
+        return max(1.0, wait)
 
     def _notify(self, old: str, new: str) -> None:
         if old != new and self.on_transition is not None:

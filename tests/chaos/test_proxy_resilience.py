@@ -8,6 +8,7 @@ through the full stack finishes with zero client-visible failures and a
 hit rate within five points of the fault-free baseline.
 """
 
+import json
 import socket
 import threading
 
@@ -89,11 +90,20 @@ class RawOrigin:
         self.close()
 
 
-def well_formed_502(response):
-    """The response is a real 502 a client could parse off the wire."""
+def well_formed_502(response, reason=None):
+    """The response is a real 502 a client could parse off the wire,
+    carrying the machine-readable JSON reason body."""
     assert response.status == 502
     reparsed = HttpResponse.parse(response.serialize())
     assert reparsed.status == 502
+    content_type = {
+        name.lower(): value for name, value in reparsed.headers.items()
+    }["content-type"]
+    assert content_type == "application/json"
+    body = json.loads(reparsed.body.decode("utf-8"))
+    assert "error" in body
+    if reason is not None:
+        assert body["error"] == reason
     return True
 
 
@@ -105,7 +115,7 @@ class TestErrorPaths:
         proxy = make_proxy(lambda host: ("127.0.0.1", port))
         try:
             response = proxy.handle(HttpRequest("GET", "http://gone.edu/a"))
-            assert well_formed_502(response)
+            assert well_formed_502(response, reason="origin_unreachable")
             assert proxy.stats.errors == 1
             assert proxy.stats.retries == FAST_RETRY.max_retries
         finally:
@@ -265,7 +275,10 @@ class TestCircuitBreaker:
             assert proxy.breakers.open_hosts() == {"down.edu": "open"}
             # The third request never touches the socket layer.
             response = proxy.handle(HttpRequest("GET", "http://down.edu/2"))
-            assert response.status == 502
+            assert well_formed_502(response, reason="breaker_open")
+            # The fast-fail tells the client when the next half-open
+            # probe will be admitted.
+            assert response.headers["Retry-After"] == "100"
             assert proxy.stats.breaker_open == 1
             assert proxy.stats.errors == 3
         finally:

@@ -1,6 +1,7 @@
 """Unit tests for the retry/backoff and circuit-breaker primitives."""
 
 import random
+import threading
 
 import pytest
 
@@ -103,6 +104,32 @@ class TestCircuitBreaker:
             CircuitBreaker(failure_threshold=0)
         with pytest.raises(ValueError):
             CircuitBreaker(reset_after=0.0)
+
+    def test_half_open_admits_exactly_one_probe_under_concurrency(self):
+        """Many threads hammer allow() the instant the reset window
+        elapses: exactly one wins the half-open probe slot."""
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=5.0)
+        breaker.record_failure(0.0)
+        admitted = []
+        barrier = threading.Barrier(16)
+
+        def probe():
+            barrier.wait()
+            if breaker.allow(5.0):
+                admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=probe) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 1
+        # The probe failing re-opens the breaker for a fresh window:
+        # nobody else gets through until reset_after elapses again.
+        breaker.record_failure(5.0)
+        assert breaker.state == "open"
+        assert not breaker.allow(9.9)
+        assert breaker.allow(10.0)
 
 
 class TestBreakerRegistry:

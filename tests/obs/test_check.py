@@ -22,6 +22,26 @@ class TestRepoIsClean:
             build(registry)
         assert len(registry.names()) >= 20
 
+    def test_fleet_families_are_declared(self):
+        # The fleet tier's metrics live in the catalog like everyone
+        # else's, so the lint covers them.
+        _, registered = run_check()
+        for name in (
+            "repro_fleet_requests_total",
+            "repro_fleet_failover_total",
+            "repro_fleet_shed_total",
+            "repro_fleet_shard_restarts_total",
+            "repro_fleet_degraded_seconds_total",
+            "repro_fleet_shards",
+            "repro_fleet_request_seconds",
+            "repro_proxy_client_timeouts_total",
+            "repro_proxy_shed_total",
+            "repro_proxy_deadline_exhausted_total",
+            "repro_proxy_degraded_mode",
+            "repro_proxy_degraded_seconds_total",
+        ):
+            assert name in registered, name
+
 
 class TestLiteralScan:
     def test_finds_undeclared_literal(self, tmp_path):

@@ -1,0 +1,106 @@
+"""Tests for the seeded open-loop load generator: schedule determinism,
+outcome classification, and a small real run against a live proxy."""
+
+from repro.httpnet.message import HttpResponse
+from repro.proxy import CachingProxy, ProxyStore
+from repro.proxy.loadgen import (
+    OUTCOMES,
+    LoadGenerator,
+    LoadReport,
+    build_schedule,
+    schedule_checksum,
+)
+from repro.proxy.origin import OriginServer, SyntheticSite
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule(self):
+        a = build_schedule("U", seed=7, scale=0.05, requests=50)
+        b = build_schedule("U", seed=7, scale=0.05, requests=50)
+        assert a == b
+        assert len(a) == 50
+
+    def test_different_seed_different_schedule(self):
+        a = build_schedule("U", seed=7, scale=0.05, requests=50)
+        b = build_schedule("U", seed=8, scale=0.05, requests=50)
+        assert a != b
+
+    def test_short_traces_cycle_to_the_requested_length(self):
+        urls = build_schedule("U", seed=7, scale=0.05, requests=10_000)
+        assert len(urls) == 10_000
+
+    def test_checksum_covers_urls_rate_and_seed(self):
+        urls = ["http://a.edu/x"]
+        base = schedule_checksum(urls, 50.0, 7)
+        assert schedule_checksum(urls, 50.0, 7) == base
+        assert schedule_checksum(urls, 60.0, 7) != base
+        assert schedule_checksum(urls, 50.0, 8) != base
+        assert schedule_checksum(["http://b.edu/x"], 50.0, 7) != base
+
+
+class TestClassification:
+    def classify(self, status, headers=None):
+        response = HttpResponse(status=status, headers=headers or {})
+        return LoadGenerator._classify(0, "u", response, 0.01).outcome
+
+    def test_success_family(self):
+        assert self.classify(200) == "ok"
+        assert self.classify(304) == "ok"
+
+    def test_shed_requires_retry_after(self):
+        assert self.classify(503, {"Retry-After": "1"}) == "shed"
+        assert self.classify(503, {"retry-after": "2"}) == "shed"
+        assert self.classify(503) == "malformed"
+
+    def test_other_statuses_are_failures(self):
+        assert self.classify(502) == "failed"
+        assert self.classify(404) == "failed"
+
+
+class TestLoadReport:
+    def test_availability_excludes_slow_client_probes(self):
+        report = LoadReport(
+            requests=10,
+            counts={"ok": 6, "shed": 2, "failed": 1, "slow_client": 1},
+            latencies=[0.01] * 8,
+        )
+        assert report.well_formed == 8
+        assert report.offered == 9
+        assert report.availability_pct == (100.0 * 8 / 9)
+
+    def test_percentiles_over_recorded_latencies(self):
+        report = LoadReport(
+            requests=3, counts={"ok": 3},
+            latencies=[0.3, 0.1, 0.2],
+        )
+        assert report.percentile(0.0) == 0.1
+        assert report.percentile(1.0) == 0.3
+        assert LoadReport(0, {}, []).percentile(0.5) == 0.0
+
+
+class TestLiveRun:
+    def test_small_run_against_a_real_proxy(self):
+        origin = OriginServer(SyntheticSite()).start()
+        proxy = CachingProxy(
+            ProxyStore(capacity=256 * 1024),
+            resolver=lambda host: origin.address,
+            timeout=2.0,
+        ).start()
+        fired = []
+        try:
+            urls = build_schedule("U", seed=3, scale=0.05, requests=30)
+            generator = LoadGenerator(
+                proxy.address, urls, rate=200.0, timeout=5.0,
+                concurrency=8, deadline_ms=5_000,
+                on_index=fired.append,
+            )
+            report = generator.run()
+            assert report.requests == 30
+            assert report.counts["ok"] == 30
+            assert report.counts["hang"] == 0
+            assert report.availability_pct == 100.0
+            assert set(report.counts) == set(OUTCOMES)
+            assert sorted(fired) == list(range(30))
+        finally:
+            proxy.stop()
+            origin.stop()

@@ -1,0 +1,233 @@
+"""Tests for admission control, the saturation ladder, and the guards
+that keep an overloaded proxy answering: hit-only degradation through
+``handle()`` and the slowloris read-deadline over a real socket."""
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro.httpnet.message import HttpRequest, HttpResponse
+from repro.proxy import CachingProxy, ProxyStore
+from repro.proxy.overload import MODES, AdmissionController, OverloadPolicy
+from repro.proxy.origin import OriginServer, SyntheticSite
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestOverloadPolicy:
+    def test_defaults_are_valid(self):
+        policy = OverloadPolicy()
+        assert policy.max_inflight == 64
+        assert policy.hit_only_at == 0.75
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_inflight": 0},
+        {"hit_only_at": 0.0},
+        {"hit_only_at": 1.5},
+        {"p95_budget": -1.0},
+        {"retry_after": 0.0},
+        {"latency_window": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            OverloadPolicy(**kwargs)
+
+
+class TestAdmissionController:
+    def controller(self, **kwargs):
+        clock = FakeClock()
+        policy = OverloadPolicy(
+            max_inflight=4, hit_only_at=0.75, retry_after=1.0, **kwargs,
+        )
+        return AdmissionController(policy, clock=clock), clock
+
+    def test_admits_up_to_the_bound_then_sheds(self):
+        admission, _ = self.controller()
+        assert all(admission.try_admit() for _ in range(4))
+        assert not admission.try_admit()
+        assert not admission.try_admit()
+        assert admission.shed_count == 2
+        assert admission.inflight == 4
+        admission.release()
+        assert admission.try_admit()
+
+    def test_ladder_climbs_and_descends_with_pressure(self):
+        admission, _ = self.controller()
+        assert admission.mode == "full"
+        admission.try_admit()
+        admission.try_admit()
+        assert admission.mode == "full"          # 2/4 < 0.75
+        admission.try_admit()
+        assert admission.mode == "hit-only"      # 3/4 >= 0.75
+        admission.try_admit()
+        assert admission.mode == "shed"          # at the bound
+        admission.release()
+        assert admission.mode == "hit-only"
+        admission.release()
+        admission.release()
+        admission.release()
+        assert admission.mode == "full"
+
+    def test_retry_after_deepens_per_ladder_step(self):
+        admission, _ = self.controller()
+        hints = {}
+        for step in range(5):
+            hints[admission.mode] = admission.retry_after_seconds()
+            admission.try_admit()
+        assert hints["full"] == 1.0
+        assert hints["hit-only"] == 2.0
+        assert admission.retry_after_seconds() == 4.0  # shed
+
+    def test_p95_budget_degrades_despite_queue_headroom(self):
+        admission, _ = self.controller(p95_budget=0.5, latency_window=8)
+        admission.try_admit()
+        admission.release(2.0)  # one slow request blows the budget
+        assert admission.mode == "hit-only"
+        assert admission.inflight == 0
+
+    def test_transition_hook_fires_outside_critical_path(self):
+        moves = []
+        policy = OverloadPolicy(max_inflight=1, hit_only_at=1.0)
+        admission = AdmissionController(
+            policy, clock=FakeClock(), on_transition=lambda a, b: moves.append((a, b)),
+        )
+        admission.try_admit()
+        admission.release()
+        assert ("full", "shed") in moves
+        assert ("shed", "full") in moves
+
+    def test_flush_mode_seconds_accumulates_and_resets(self):
+        admission, clock = self.controller()
+        for _ in range(4):
+            admission.try_admit()     # -> shed
+        clock.advance(3.0)
+        admission.release()           # -> hit-only
+        clock.advance(2.0)
+        flushed = admission.flush_mode_seconds()
+        assert flushed["shed"] == pytest.approx(3.0)
+        assert flushed["hit-only"] == pytest.approx(2.0)
+        # The flush closed every open interval: a second flush with no
+        # time elapsed reports zeros.
+        again = admission.flush_mode_seconds()
+        assert all(seconds == 0.0 for seconds in again.values())
+        assert set(flushed) == set(MODES)
+
+
+def make_stack(**proxy_kwargs):
+    origin = OriginServer(SyntheticSite()).start()
+    proxy = CachingProxy(
+        ProxyStore(capacity=256 * 1024),
+        resolver=lambda host: origin.address,
+        timeout=2.0,
+        **proxy_kwargs,
+    )
+    return origin, proxy
+
+
+class TestHitOnlyDispatch:
+    """Degraded mode through ``handle()``: hits still served, misses
+    shed with an honest 503."""
+
+    def test_miss_is_shed_but_hit_survives(self):
+        origin, proxy = make_stack(
+            overload=OverloadPolicy(max_inflight=4, hit_only_at=0.75),
+        )
+        try:
+            url = "http://site-0.edu/doc-0.html"
+            warm = proxy.handle(HttpRequest("GET", url))
+            assert warm.status == 200
+            # Push in-flight to 3/4: the ladder reads hit-only.
+            for _ in range(3):
+                assert proxy.admission.try_admit()
+            assert proxy.admission.mode == "hit-only"
+            hit = proxy.handle(HttpRequest("GET", url))
+            assert hit.status == 200
+            assert hit.headers["X-Cache"] == "HIT"
+            miss = proxy.handle(
+                HttpRequest("GET", "http://site-0.edu/doc-1.html")
+            )
+            assert miss.status == 503
+            assert miss.headers["Retry-After"] == "2"
+            body = json.loads(miss.body.decode("utf-8"))
+            assert body["error"] == "degraded"
+            assert proxy.stats.m.shed.labels(reason="degraded").value == 1
+        finally:
+            proxy.stop()
+            origin.stop()
+
+    def test_head_is_shed_while_degraded(self):
+        origin, proxy = make_stack(
+            overload=OverloadPolicy(max_inflight=2, hit_only_at=0.5),
+        )
+        try:
+            assert proxy.admission.try_admit()
+            response = proxy.handle(
+                HttpRequest("HEAD", "http://site-0.edu/doc-0.html")
+            )
+            assert response.status == 503
+            assert json.loads(response.body)["error"] == "degraded"
+        finally:
+            proxy.stop()
+            origin.stop()
+
+
+class TestSlowlorisGuard:
+    def test_trickled_head_gets_408_and_counts_client_timeout(self):
+        origin, proxy = make_stack(read_deadline=0.4)
+        proxy.start()
+        try:
+            with socket.create_connection(proxy.address, timeout=5.0) as sock:
+                sock.sendall(b"GET http://site-0.edu/doc-0.html HT")
+                # ... and stall.  The guard must cut us off around the
+                # read deadline, not at the (much longer) idle timeout.
+                sock.settimeout(5.0)
+                chunks = bytearray()
+                try:
+                    while True:
+                        chunk = sock.recv(4096)
+                        if not chunk:
+                            break
+                        chunks.extend(chunk)
+                except OSError:
+                    pass
+            if chunks:
+                response = HttpResponse.parse(bytes(chunks))
+                assert response.status == 408
+                assert json.loads(response.body)["error"] == (
+                    "client_read_timeout"
+                )
+            deadline = time.monotonic() + 5.0
+            while (proxy.stats.client_timeouts == 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+            assert proxy.stats.client_timeouts == 1
+            assert proxy.stats.errors == 0
+        finally:
+            proxy.stop()
+            origin.stop()
+
+    def test_fast_client_is_unaffected(self):
+        origin, proxy = make_stack(read_deadline=0.4)
+        proxy.start()
+        try:
+            from repro.httpnet.client import fetch
+
+            response = fetch(
+                proxy.address, "http://site-0.edu/doc-0.html", timeout=5.0,
+            )
+            assert response.status == 200
+            assert proxy.stats.client_timeouts == 0
+        finally:
+            proxy.stop()
+            origin.stop()
