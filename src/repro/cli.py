@@ -812,6 +812,26 @@ def cmd_obs(args: argparse.Namespace) -> int:
         problems, registered = run_check()
         print(render_problems(problems, registered))
         return 1 if problems else 0
+    if args.obs_command == "tail":
+        from repro.obs.events import tail_events
+
+        try:
+            tail_events(
+                args.events,
+                channel=args.channel or None,
+                level=args.level or None,
+                follow=args.follow,
+                poll_interval=args.interval,
+            )
+        except FileNotFoundError:
+            print(f"obs tail: {args.events}: no such file", file=sys.stderr)
+            return 1
+        except ValueError as error:
+            print(f"obs tail: {error}", file=sys.stderr)
+            return 1
+        except KeyboardInterrupt:
+            pass  # a follow ends on ^C, not with a traceback
+        return 0
     from repro.obs.summarize import ArtifactError, summarize_run
 
     try:
@@ -847,6 +867,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             return 1
         print(response.body.decode("utf-8"))
         return 0 if response.status == 200 else 1
+    if args.fleet_command == "telemetry":
+        return _cmd_fleet_telemetry(args)
     if args.fleet_command == "chaos":
         from repro.faults import FaultPlan
         from repro.proxy.fleet import run_fleet_chaos
@@ -867,11 +889,21 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             shard_max_inflight=args.max_inflight,
             availability_floor=args.floor,
             obs=obs,
+            telemetry_out=args.telemetry_out or None,
+            dashboard_out=args.dashboard_out or None,
+            timeseries_out=args.timeseries_out or None,
         )
         print(report.render())
         if args.out:
             report.write(args.out)
             print(f"wrote fleet report to {args.out}")
+        for flag, path in (
+            ("telemetry", args.telemetry_out),
+            ("dashboard", args.dashboard_out),
+            ("time series", args.timeseries_out),
+        ):
+            if path:
+                print(f"wrote fleet {flag} to {path}")
         _export_obs(obs, args)
         return 0 if report.ok else 1
     # serve: run supervisor + router until SIGTERM/SIGINT.
@@ -879,6 +911,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     import threading
     from pathlib import Path
 
+    from repro.obs.telemetry import TelemetryAggregator, render_dashboard_html
     from repro.proxy.fleet import FleetSupervisor, ShardSpec
     from repro.proxy.router import FleetRouter
 
@@ -898,17 +931,23 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     ]
     supervisor = FleetSupervisor(specs, obs=obs)
     supervisor.start()
+    aggregator = TelemetryAggregator(supervisor, obs=obs)
+    aggregator.start()
     router = FleetRouter(
         supervisor,
         host=args.host,
         port=args.port,
         obs=obs,
         status=supervisor.status,
+        telemetry=aggregator.telemetry,
+        dashboard=lambda: render_dashboard_html(aggregator.telemetry()),
     ).start()
     print(f"fleet router on {router.address[0]}:{router.address[1]} "
           f"({args.shards} shard(s), state under {state_root})")
     print(f"fleet status: curl http://{router.address[0]}"
           f":{router.address[1]}/fleet/status")
+    print(f"fleet telemetry: curl http://{router.address[0]}"
+          f":{router.address[1]}/fleet/telemetry")
     stop = threading.Event()
     _signal.signal(_signal.SIGTERM, lambda *_: stop.set())
     try:
@@ -920,8 +959,68 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         pass
     finally:
         router.stop()
+        aggregator.stop()
         supervisor.stop()
     _export_obs(obs, args)
+    return 0
+
+
+def _cmd_fleet_telemetry(args: argparse.Namespace) -> int:
+    """``repro fleet telemetry``: fetch a live router's rollup document
+    (or load a saved one) and render the dashboard."""
+    import json as _json
+
+    from repro.obs.telemetry import (
+        render_dashboard_ascii,
+        render_dashboard_html,
+    )
+    from repro.proxy.router import TELEMETRY_PATH
+
+    if getattr(args, "from_path", ""):
+        from pathlib import Path
+
+        try:
+            doc = _json.loads(
+                Path(args.from_path).read_text(encoding="utf-8"),
+            )
+        except (OSError, ValueError) as error:
+            print(f"fleet telemetry: {error}", file=sys.stderr)
+            return 1
+    else:
+        from repro.httpnet.client import fetch
+
+        host, _, port = args.router.partition(":")
+        try:
+            response = fetch(
+                (host, int(port or 80)), TELEMETRY_PATH, timeout=5.0,
+            )
+        except (OSError, ValueError) as error:
+            print(f"fleet telemetry: {error}", file=sys.stderr)
+            return 1
+        if response.status != 200:
+            print(f"fleet telemetry: router returned {response.status}",
+                  file=sys.stderr)
+            return 1
+        try:
+            doc = _json.loads(response.body.decode("utf-8"))
+        except ValueError as error:
+            print(f"fleet telemetry: bad payload ({error})", file=sys.stderr)
+            return 1
+    if not isinstance(doc, dict):
+        print("fleet telemetry: payload is not a telemetry document",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_dashboard_ascii(doc))
+    if args.html_out:
+        from pathlib import Path
+
+        Path(args.html_out).write_text(
+            render_dashboard_html(doc), encoding="utf-8",
+        )
+        print(f"wrote dashboard to {args.html_out}")
     return 0
 
 
@@ -936,6 +1035,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         write_payload,
     )
 
+    if args.list:
+        from repro.obs.bench import list_bench, render_bench_listing
+
+        entries = list_bench(args.results_dir)
+        print(render_bench_listing(entries, args.results_dir))
+        return 1 if any(not entry["ok"] for entry in entries) else 0
     obs = _build_obs(args)
     try:
         if args.current:
@@ -1196,6 +1301,23 @@ def build_parser() -> argparse.ArgumentParser:
              "unregistered literals",
     )
     obs_check.set_defaults(func=cmd_obs)
+    obs_tail = obs_sub.add_parser(
+        "tail",
+        help="stream an events JSONL file, optionally filtered and "
+             "followed live",
+    )
+    obs_tail.add_argument("events", metavar="PATH",
+                          help="events JSONL file (--events-out)")
+    obs_tail.add_argument("--channel", default="",
+                          help="only events from this channel")
+    obs_tail.add_argument("--level", default="",
+                          help="minimum level (debug/info/warning/error)")
+    obs_tail.add_argument("--follow", "-f", action="store_true",
+                          help="keep polling for appended events "
+                               "(waits for the file to appear)")
+    obs_tail.add_argument("--interval", type=float, default=0.2,
+                          help="poll interval for --follow, seconds")
+    obs_tail.set_defaults(func=cmd_obs)
     obs_summarize = obs_sub.add_parser(
         "summarize", help="summarize run artifacts into tables",
     )
@@ -1266,6 +1388,15 @@ def build_parser() -> argparse.ArgumentParser:
                              help="availability floor, percent well-formed")
     fleet_chaos.add_argument("--out", default="",
                              help="write FLEET_report.json here")
+    fleet_chaos.add_argument("--telemetry-out", default="", metavar="PATH",
+                             help="write the final aggregated telemetry "
+                                  "document as JSON")
+    fleet_chaos.add_argument("--dashboard-out", default="", metavar="PATH",
+                             help="write the HTML telemetry dashboard "
+                                  "snapshot")
+    fleet_chaos.add_argument("--timeseries-out", default="", metavar="PATH",
+                             help="write the aggregator's per-round rollup "
+                                  "series as checksummed JSONL")
     _add_obs_flags(fleet_chaos)
     fleet_chaos.set_defaults(func=cmd_fleet)
 
@@ -1293,6 +1424,25 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="HOST:PORT")
     fleet_status.set_defaults(func=cmd_fleet)
 
+    fleet_telemetry = fleet_sub.add_parser(
+        "telemetry",
+        help="render a fleet's aggregated telemetry (rollups, SLO burn "
+             "rates) from a live router or a saved document",
+    )
+    fleet_telemetry.add_argument("--router", default="127.0.0.1:8080",
+                                 metavar="HOST:PORT",
+                                 help="fetch /fleet/telemetry from this "
+                                      "router")
+    fleet_telemetry.add_argument("--from", dest="from_path", default="",
+                                 metavar="PATH",
+                                 help="render a saved --telemetry-out "
+                                      "document instead of fetching")
+    fleet_telemetry.add_argument("--json", action="store_true",
+                                 help="print the raw JSON document")
+    fleet_telemetry.add_argument("--html-out", default="", metavar="PATH",
+                                 help="also write the HTML dashboard here")
+    fleet_telemetry.set_defaults(func=cmd_fleet)
+
     bench = commands.add_parser(
         "bench",
         help="pinned perf benchmark of the sweep grid, with a "
@@ -1319,6 +1469,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "running the benchmark")
     bench.add_argument("--threshold", type=float, default=15.0,
                        help="regression threshold in percent")
+    bench.add_argument("--list", action="store_true",
+                       help="list every BENCH_*.json under --results-dir "
+                            "with schema validation; exit 1 if any is "
+                            "invalid")
+    bench.add_argument("--results-dir", default="benchmarks/results",
+                       metavar="DIR",
+                       help="directory scanned by --list")
     _add_obs_flags(bench)
     bench.set_defaults(func=cmd_bench)
 

@@ -40,7 +40,9 @@ __all__ = [
     "build_payload",
     "compare_bench",
     "histogram_quantile",
+    "list_bench",
     "load_bench",
+    "render_bench_listing",
     "render_comparison",
     "run_bench",
 ]
@@ -442,3 +444,70 @@ def write_payload(payload: dict, path: Union[str, Path]) -> None:
         json.dumps(payload, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
+
+
+def list_bench(results_dir: Union[str, Path]) -> List[dict]:
+    """Inventory every ``BENCH_*.json`` under a results directory.
+
+    Each file is validated through :func:`load_bench` — the regression
+    gate only protects payloads it can actually read, so the listing
+    doubles as a health check (``repro bench --list`` exits non-zero
+    when any known benchmark file is unreadable).
+
+    Returns one entry per file, sorted by name:
+    ``{"name", "path", "ok", "schema", "kind", "git_sha",
+    "requests_per_second", "error"}`` (``error`` set when ``ok`` is
+    False; value fields ``None`` when unavailable).
+    """
+    results_dir = Path(results_dir)
+    entries: List[dict] = []
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        entry = {
+            "name": path.name,
+            "path": str(path),
+            "ok": False,
+            "schema": None,
+            "kind": None,
+            "git_sha": None,
+            "requests_per_second": None,
+            "error": None,
+        }
+        try:
+            payload = load_bench(path)
+        except BenchError as error:
+            entry["error"] = str(error)
+        else:
+            entry.update(
+                ok=True,
+                schema=payload.get("schema"),
+                kind=payload.get("kind", "repro-bench"),
+                git_sha=payload.get("meta", {}).get("git_sha"),
+                requests_per_second=payload.get("throughput", {}).get(
+                    "requests_per_second",
+                ),
+            )
+        entries.append(entry)
+    return entries
+
+
+def render_bench_listing(
+    entries: Sequence[dict], results_dir: Union[str, Path],
+) -> str:
+    """One human-readable block for ``repro bench --list``."""
+    lines = [f"benchmark results in {results_dir}:"]
+    if not entries:
+        lines.append("  (none — run `repro bench --out "
+                     f"{Path(results_dir) / 'BENCH_sweep.json'}` first)")
+        return "\n".join(lines)
+    for entry in entries:
+        if entry["ok"]:
+            rps = entry["requests_per_second"]
+            sha = (entry["git_sha"] or "unknown")[:12]
+            lines.append(
+                f"  {entry['name']}: OK schema={entry['schema']} "
+                f"sha={sha}"
+                + (f" {rps:,.0f} req/s" if rps else "")
+            )
+        else:
+            lines.append(f"  {entry['name']}: INVALID — {entry['error']}")
+    return "\n".join(lines)

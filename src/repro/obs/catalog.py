@@ -26,6 +26,7 @@ __all__ = [
     "chaos_metrics",
     "mrc_metrics",
     "trace_metrics",
+    "telemetry_metrics",
     "ALL_METRIC_SETS",
 ]
 
@@ -411,10 +412,79 @@ def trace_metrics(registry: Registry) -> SimpleNamespace:
     )
 
 
+def telemetry_metrics(registry: Registry) -> SimpleNamespace:
+    """Fleet telemetry-plane metrics (``repro_fleet_*`` rollups).
+
+    Recorded by the :class:`~repro.obs.telemetry.TelemetryAggregator`
+    (scrape health, merged fleet rollups) and its
+    :class:`~repro.obs.telemetry.SLOEngine` (burn rates, alert counts).
+    Gauges here are *derived* each aggregation round from merged shard
+    snapshots — they are rollups over the ``repro_proxy_*`` families,
+    not independent measurements.
+    """
+    return SimpleNamespace(
+        scrapes=registry.counter(
+            "repro_fleet_scrapes_total",
+            "Shard /metrics scrape attempts, by outcome "
+            "(ok, error, unreachable)",
+            labelnames=("outcome",),
+        ),
+        rounds=registry.counter(
+            "repro_fleet_telemetry_rounds_total",
+            "Completed fleet aggregation rounds",
+        ),
+        hit_ratio=registry.gauge(
+            "repro_fleet_hit_ratio",
+            "Fleet-wide hit ratio (percent), merged over all shards",
+        ),
+        weighted_hit_ratio=registry.gauge(
+            "repro_fleet_weighted_hit_ratio",
+            "Fleet-wide weighted (byte) hit ratio, percent",
+        ),
+        shard_occupancy=registry.gauge(
+            "repro_fleet_shard_occupancy_ratio",
+            "Per-shard store occupancy from the latest scrape",
+            labelnames=("shard",),
+        ),
+        latency_quantile=registry.gauge(
+            "repro_fleet_latency_quantile_seconds",
+            "Interpolated fleet request-latency quantiles (p50/p95/p99)",
+            labelnames=("quantile",),
+        ),
+        shard_degraded_seconds=registry.gauge(
+            "repro_fleet_shard_degraded_seconds",
+            "Shard-tier seconds in each saturation mode, summed over "
+            "the fleet",
+            labelnames=("mode",),
+        ),
+        scrape_staleness=registry.gauge(
+            "repro_fleet_scrape_staleness_seconds",
+            "Seconds since each shard's last successful scrape "
+            "(-1 if never scraped)",
+            labelnames=("shard",),
+        ),
+        scrape_failures=registry.gauge(
+            "repro_fleet_scrape_failures",
+            "Consecutive failed scrapes per shard",
+            labelnames=("shard",),
+        ),
+        slo_burn_rate=registry.gauge(
+            "repro_fleet_slo_burn_rate",
+            "Error-budget burn rate per SLO and alert window",
+            labelnames=("slo", "window"),
+        ),
+        slo_alerts=registry.counter(
+            "repro_fleet_slo_alerts_total",
+            "Burn-rate alerts fired, by SLO and severity",
+            labelnames=("slo", "severity"),
+        ),
+    )
+
+
 #: Everything ``repro obs check`` applies to one registry to build the
 #: canonical declaration set.
 ALL_METRIC_SETS = (
     sim_metrics, phase_metrics, timeseries_metrics, sweep_metrics,
     proxy_metrics, fleet_metrics, chaos_metrics, mrc_metrics,
-    trace_metrics,
+    trace_metrics, telemetry_metrics,
 )

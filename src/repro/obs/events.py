@@ -22,11 +22,12 @@ from __future__ import annotations
 
 import json
 import threading
+import time as _time
 from collections import Counter, deque
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, TextIO, Union
 
-__all__ = ["LEVELS", "Channel", "EventLog"]
+__all__ = ["LEVELS", "Channel", "EventLog", "tail_events"]
 
 #: Level name -> numeric threshold (stdlib-compatible ordering).
 LEVELS: Dict[str, int] = {
@@ -214,3 +215,86 @@ class EventLog:
                 if line:
                     records.append(json.loads(line))
         return records
+
+
+def tail_events(
+    path: Union[str, Path],
+    channel: Optional[str] = None,
+    level: Optional[Union[str, int]] = None,
+    follow: bool = False,
+    poll_interval: float = 0.2,
+    out: Optional[TextIO] = None,
+    stop: Optional[threading.Event] = None,
+) -> int:
+    """Stream an events JSONL file (``repro obs tail``).
+
+    Reads the file start to end, writing each matching event as one
+    sorted-key JSON line to ``out``.  With ``follow``, keeps polling for
+    appended lines (and waits for the file to appear) until ``stop`` is
+    set — the live view of a chaos run writing ``--events-out``.
+
+    Robustness over strictness: a torn/partial trailing line (the writer
+    is mid-append) is buffered until its newline arrives, and a line
+    that is complete but not valid JSON is skipped, never fatal.
+
+    Args:
+        channel: exact channel filter (``fleet``, ``slo``, ...).
+        level: minimum level (events below it are skipped).
+        stop: optional event that ends a ``follow`` loop; without it a
+            follow runs until interrupted.
+
+    Returns:
+        The number of events written.
+    """
+    import sys
+
+    out = out if out is not None else sys.stdout
+    threshold = _level_number(level) if level is not None else None
+    path = Path(path)
+    written = 0
+    offset = 0
+    buffer = ""
+    while True:
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+                offset = handle.tell()
+        except FileNotFoundError:
+            if not follow:
+                raise
+            chunk = ""
+        buffer += chunk
+        *lines, buffer = buffer.split("\n")
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn or corrupt line: skip, keep tailing
+            if not isinstance(record, dict):
+                continue
+            if channel is not None and record.get("channel") != channel:
+                continue
+            if threshold is not None:
+                try:
+                    if _level_number(
+                        record.get("level", "info"),
+                    ) < threshold:
+                        continue
+                except ValueError:
+                    continue  # unparseable level: treat as filtered out
+            out.write(json.dumps(record, sort_keys=True) + "\n")
+            written += 1
+        if hasattr(out, "flush"):
+            out.flush()
+        if not follow:
+            return written
+        if stop is not None and stop.is_set():
+            return written
+        if stop is not None:
+            stop.wait(poll_interval)
+        else:
+            _time.sleep(poll_interval)

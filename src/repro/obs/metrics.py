@@ -135,7 +135,9 @@ class _GaugeChild:
 class _HistogramChild:
     """One (labelled) histogram sample: per-bucket counts + sum/count."""
 
-    __slots__ = ("_lock", "_edges", "counts", "inf_count", "sum", "count")
+    __slots__ = (
+        "_lock", "_edges", "counts", "inf_count", "sum", "count", "exemplar",
+    )
 
     def __init__(self, lock: threading.Lock, edges: Tuple[float, ...]) -> None:
         self._lock = lock
@@ -144,8 +146,12 @@ class _HistogramChild:
         self.inf_count = 0
         self.sum = 0.0
         self.count = 0
+        #: Most recent exemplar (``{"trace_id": ..., "value": ...}``) or
+        #: None.  Exemplars ride along in snapshots/merges but are never
+        #: rendered (text format 0.0.4 has no exemplar syntax).
+        self.exemplar: Optional[Dict[str, object]] = None
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[object] = None) -> None:
         with self._lock:
             # ``le`` is an inclusive upper bound: a value equal to an
             # edge lands in that edge's bucket.
@@ -156,6 +162,10 @@ class _HistogramChild:
                 self.inf_count += 1
             self.sum += value
             self.count += 1
+            if exemplar is not None:
+                self.exemplar = {
+                    "trace_id": str(exemplar), "value": float(value),
+                }
 
     def cumulative(self) -> List[Tuple[float, int]]:
         """(le, cumulative count) pairs, excluding +Inf."""
@@ -298,8 +308,8 @@ class Histogram(_Family):
     def _make_child(self) -> _HistogramChild:
         return _HistogramChild(self._lock, self.buckets)
 
-    def observe(self, value: float) -> None:
-        self._require_default().observe(value)
+    def observe(self, value: float, exemplar: Optional[object] = None) -> None:
+        self._require_default().observe(value, exemplar=exemplar)
 
     @property
     def sum(self) -> float:
@@ -412,13 +422,16 @@ class Registry:
             samples: List[dict] = entry["samples"]  # type: ignore[assignment]
             for labels, child in family.samples():
                 if isinstance(child, _HistogramChild):
-                    samples.append({
+                    sample = {
                         "labels": labels,
                         "bucket_counts": list(child.counts),
                         "inf_count": child.inf_count,
                         "sum": child.sum,
                         "count": child.count,
-                    })
+                    }
+                    if child.exemplar is not None:
+                        sample["exemplar"] = dict(child.exemplar)
+                    samples.append(sample)
                 else:
                     samples.append({
                         "labels": labels,
@@ -468,6 +481,9 @@ class Registry:
                         child.inf_count += sample["inf_count"]  # type: ignore[union-attr]
                         child.sum += sample["sum"]  # type: ignore[union-attr]
                         child.count += sample["count"]  # type: ignore[union-attr]
+                        exemplar = sample.get("exemplar")
+                        if exemplar is not None:
+                            child.exemplar = dict(exemplar)  # type: ignore[union-attr]
 
     # -- exposition ----------------------------------------------------------
 

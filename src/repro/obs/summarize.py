@@ -240,7 +240,50 @@ def _summarize_fleet(path: Path) -> str:
     )
     if failed:
         line += "\n  violated: " + ", ".join(failed)
+    telemetry = measured.get("telemetry")
+    if telemetry:
+        line += "\n" + _render_fleet_telemetry(telemetry)
     return line
+
+
+def _render_fleet_telemetry(telemetry: dict) -> str:
+    """The aggregated rollup + SLO lines a telemetry-bearing fleet
+    report adds to ``obs summarize --fleet``."""
+    fleet = telemetry.get("fleet", {})
+    latency = fleet.get("latency", {})
+    stale = sorted(
+        shard_id
+        for shard_id, entry in telemetry.get("shards", {}).items()
+        if entry.get("stale")
+    )
+    lines = [
+        "  telemetry: {rounds} round(s), HR {hr:.1f}%, WHR {whr:.1f}%, "
+        "p50 {p50:.3f}s p95 {p95:.3f}s p99 {p99:.3f}s".format(
+            rounds=telemetry.get("rounds", 0),
+            hr=fleet.get("hit_ratio_pct", 0.0),
+            whr=fleet.get("weighted_hit_ratio_pct", 0.0),
+            p50=latency.get("p50_s", 0.0),
+            p95=latency.get("p95_s", 0.0),
+            p99=latency.get("p99_s", 0.0),
+        ),
+    ]
+    if stale:
+        lines.append("  stale shards: " + ", ".join(stale))
+    slo = telemetry.get("slo", {})
+    for objective in slo.get("objectives", ()):
+        burns = objective.get("burn_rates", {})
+        worst = max(burns.values()) if burns else 0.0
+        lines.append(
+            f"  slo {objective.get('name', '?')}: "
+            f"target {objective.get('target', 0.0):.2f}, "
+            f"worst burn {worst:.2f}"
+        )
+    alerts = slo.get("alerts", ())
+    if alerts:
+        lines.append("  FIRING: " + ", ".join(
+            f"{a['slo']}/{a['window']}" for a in alerts
+        ))
+    return "\n".join(lines)
 
 
 def summarize_run(

@@ -36,13 +36,24 @@ __all__ = ["SpanHandle", "Tracer"]
 class SpanHandle:
     """Lets code inside a span attach arguments after the fact."""
 
-    __slots__ = ("record",)
+    __slots__ = ("record", "_clock")
 
-    def __init__(self, record: dict) -> None:
+    def __init__(
+        self, record: dict, clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         self.record = record
+        self._clock = clock or time.perf_counter
 
     def set(self, **args: object) -> None:
         self.record["args"].update(args)
+
+    def event(self, name: str, **fields: object) -> None:
+        """Attach a timestamped point event (failover hop, shed
+        decision, ...) to the span."""
+        record = dict(fields)
+        record["name"] = name
+        record["ts"] = self._clock()
+        self.record.setdefault("events", []).append(record)
 
     @property
     def name(self) -> str:
@@ -52,17 +63,31 @@ class SpanHandle:
 class Tracer:
     """Collects nested spans from any number of threads."""
 
+    #: Span-buffer bound: long-lived servers (proxy, router) record a
+    #: span per request, so the buffer is a ring — the oldest spans are
+    #: dropped (and counted) once the cap is hit.
+    MAX_SPANS = 65536
+
     def __init__(
         self,
         clock: Callable[[], float] = time.perf_counter,
         enabled: bool = True,
+        max_spans: int = MAX_SPANS,
     ) -> None:
         self.clock = clock
         self.enabled = enabled
+        self.max_spans = max_spans
+        self.dropped = 0
         self._lock = threading.Lock()
         self._spans: List[dict] = []
         self._local = threading.local()
         self._next_id = 0
+
+    def _trim_locked(self) -> None:
+        excess = len(self._spans) - self.max_spans
+        if excess > 0:
+            del self._spans[:excess]
+            self.dropped += excess
 
     # -- recording -----------------------------------------------------------
 
@@ -95,9 +120,10 @@ class Tracer:
         with self._lock:
             # Appended at open time: parents precede their children.
             self._spans.append(record)
+            self._trim_locked()
         stack.append(record)
         try:
-            yield SpanHandle(record)
+            yield SpanHandle(record, self.clock)
         finally:
             stack.pop()
             record["end"] = self.clock()
@@ -117,12 +143,19 @@ class Tracer:
                 if span.get("parent") is not None:
                     span["parent"] = mapping.get(span["parent"])
             self._spans.extend(batch)
+            self._trim_locked()
 
     # -- inspection ----------------------------------------------------------
 
     def spans(self) -> List[dict]:
         with self._lock:
-            return [dict(span) for span in self._spans]
+            out = []
+            for span in self._spans:
+                copy = dict(span)
+                if "events" in copy:
+                    copy["events"] = [dict(ev) for ev in copy["events"]]
+                out.append(copy)
+            return out
 
     def to_dicts(self) -> List[dict]:
         """Alias of :meth:`spans` (the worker export path)."""
@@ -184,6 +217,21 @@ class Tracer:
                 "tid": span["tid"],
                 "args": dict(span["args"], span_id=span["id"]),
             })
+            for point in span.get("events", ()):
+                args = {
+                    key: value for key, value in point.items()
+                    if key not in ("name", "ts")
+                }
+                events.append({
+                    "name": f"{span['name']}.{point['name']}",
+                    "cat": "repro",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": (point["ts"] - epoch) * 1e6,
+                    "pid": span["pid"],
+                    "tid": span["tid"],
+                    "args": dict(args, span_id=span["id"]),
+                })
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
     def write_chrome_trace(self, path: Union[str, Path]) -> int:

@@ -52,7 +52,14 @@ from repro.durability import atomic_write_text
 from repro.faults import FaultKind, FaultPlan, FaultRule
 from repro.httpnet.client import fetch as _fetch
 from repro.obs import Obs
-from repro.obs.catalog import fleet_metrics
+from repro.obs.catalog import fleet_metrics, telemetry_metrics
+from repro.obs.metrics import Registry
+from repro.obs.telemetry import (
+    TelemetryAggregator,
+    render_dashboard_html,
+    slo_config,
+)
+from repro.obs.timeseries import merge_samples, write_timeseries
 from repro.proxy.loadgen import (
     LoadGenerator,
     build_schedule,
@@ -121,6 +128,8 @@ class ShardHandle:
     restart_at: float = 0.0     # when RESTARTING, respawn not before this
     backoff: float = 0.0
     suspect: int = 0            # consecutive failed scrapes / reports
+    last_scrape_ok: Optional[float] = None  # monotonic; None = never
+    scrape_failures: int = 0    # consecutive, reset on success/respawn
 
     def alive(self) -> bool:
         return self.process is not None and self.process.poll() is None
@@ -245,6 +254,7 @@ class FleetSupervisor:
         handle.address = None
         handle.state = "STARTING"
         handle.suspect = 0
+        handle.scrape_failures = 0
         self._channel.info(
             "shard.spawn", shard=spec.shard_id, pid=handle.process.pid,
         )
@@ -326,6 +336,8 @@ class FleetSupervisor:
                     handle.state = "UP"
                     handle.suspect = 0
                     handle.backoff = 0.0
+                    handle.last_scrape_ok = _time.monotonic()
+                    handle.scrape_failures = 0
                     self._channel.info(
                         "shard.up", shard=handle.spec.shard_id,
                         host=address[0], port=address[1],
@@ -334,8 +346,11 @@ class FleetSupervisor:
             # UP: the scrape is the heartbeat.
             if healthy:
                 handle.suspect = 0
+                handle.last_scrape_ok = _time.monotonic()
+                handle.scrape_failures = 0
             else:
                 handle.suspect += 1
+                handle.scrape_failures += 1
                 if handle.suspect == self.suspect_threshold:
                     self._channel.warning(
                         "shard.unresponsive", shard=handle.spec.shard_id,
@@ -449,8 +464,15 @@ class FleetSupervisor:
             return sum(h.restarts for h in self._handles.values())
 
     def status(self) -> dict:
-        """The JSON document served at ``/fleet/status``."""
+        """The JSON document served at ``/fleet/status``.
+
+        Each shard carries a ``telemetry`` freshness block so a *stale*
+        shard (process up, scrapes failing) is distinguishable from a
+        *dead* one (state not UP): last successful scrape age plus the
+        consecutive-failure count.
+        """
         with self._lock:
+            now = _time.monotonic()
             shards = [
                 {
                     "id": handle.spec.shard_id,
@@ -460,6 +482,19 @@ class FleetSupervisor:
                     ),
                     "restarts": handle.restarts,
                     "suspect": handle.suspect >= self.suspect_threshold,
+                    "telemetry": {
+                        "last_scrape_age_s": (
+                            round(now - handle.last_scrape_ok, 3)
+                            if handle.last_scrape_ok is not None else None
+                        ),
+                        "consecutive_scrape_failures":
+                            handle.scrape_failures,
+                        "stale": (
+                            handle.state == "UP"
+                            and handle.scrape_failures
+                            >= self.suspect_threshold
+                        ),
+                    },
                 }
                 for _, handle in sorted(self._handles.items())
             ]
@@ -595,12 +630,19 @@ def run_fleet_chaos(
     deadline_ms: int = 15_000,
     availability_floor: float = 99.0,
     obs: Optional[Obs] = None,
+    telemetry_out: Optional[Union[str, Path]] = None,
+    dashboard_out: Optional[Union[str, Path]] = None,
+    timeseries_out: Optional[Union[str, Path]] = None,
 ) -> FleetReport:
     """Run the seeded shard-kill + overload scenario end to end.
 
     Spawns a slow origin, ``shards`` journaled shard processes, the
     rendezvous router, then offers ``requests`` URLs at ``rate``/s while
-    firing the plan's faults at their request indices.  Returns the
+    firing the plan's faults at their request indices.  A
+    :class:`~repro.obs.telemetry.TelemetryAggregator` rides along on the
+    health cadence, so the run produces fleet rollups and SLO burn-rate
+    evaluations (``telemetry_out`` / ``dashboard_out`` /
+    ``timeseries_out`` write them out).  Returns the
     :class:`FleetReport`; the caller decides what to do with ``.ok``.
     """
     state_root = Path(state_root)
@@ -632,6 +674,7 @@ def run_fleet_chaos(
         for index in range(shards)
     ]
     supervisor = FleetSupervisor(specs, obs=obs)
+    aggregator = TelemetryAggregator(supervisor, obs=obs)
     killed_ids = sorted({s for sids in kills.values() for s in sids})
     try:
         supervisor.start()
@@ -641,7 +684,12 @@ def run_fleet_chaos(
             default_budget=deadline_ms / 1000.0,
             obs=obs,
             status=supervisor.status,
+            telemetry=aggregator.telemetry,
+            dashboard=lambda: render_dashboard_html(
+                aggregator.telemetry(),
+            ),
         ).start()
+        aggregator.start()
         try:
             fired: set = set()
             fire_lock = threading.Lock()
@@ -678,11 +726,18 @@ def run_fleet_chaos(
                 )
                 if recovered is None or recovered <= 0:
                     warm_restart_ok = False
+
+            # One final aggregation round while every shard is still up,
+            # so the telemetry document reflects the whole run.
+            aggregator.scrape_once()
+            final_status = supervisor.status()
         finally:
+            aggregator.stop()
             router.stop()
     finally:
         supervisor.stop()
         origin.stop()
+    telemetry_doc = aggregator.telemetry()
 
     counts = load.counts
     availability = load.availability_pct
@@ -698,6 +753,17 @@ def run_fleet_chaos(
             <= max(1, len(killed_ids)) * shard_max_inflight
         ),
         "warm_restart_ok": warm_restart_ok,
+        "telemetry_collected": telemetry_doc["rounds"] >= 1,
+    }
+    # The SLO configuration and the rollup family set are pure data —
+    # byte-identical across same-seed runs; the rollup *values* (rounds,
+    # burn rates, latencies) are measured and live in ``measured``.
+    rollup_registry = Registry()
+    telemetry_metrics(rollup_registry)
+    deterministic_telemetry = {
+        "cadence_s": supervisor.health_interval,
+        "slo": slo_config(aggregator.slo.specs, aggregator.slo.windows),
+        "rollup_families": sorted(rollup_registry.snapshot()),
     }
     deterministic = {
         "seed": seed,
@@ -714,6 +780,7 @@ def run_fleet_chaos(
         "availability_floor": availability_floor,
         "plan": plan.to_dict(),
         "schedule_checksum": checksum,
+        "telemetry": deterministic_telemetry,
         "invariants": invariants,
     }
     fleet_m = router.m
@@ -725,7 +792,23 @@ def run_fleet_chaos(
         "latency_p50_s": round(load.percentile(0.50), 6),
         "latency_p95_s": round(load.percentile(0.95), 6),
         "wall_seconds": round(load.wall_seconds, 3),
+        "telemetry": telemetry_doc,
+        "status": final_status,
     }
+    if telemetry_out is not None:
+        Path(telemetry_out).write_text(
+            json.dumps(telemetry_doc, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if dashboard_out is not None:
+        Path(dashboard_out).write_text(
+            render_dashboard_html(telemetry_doc), encoding="utf-8",
+        )
+    if timeseries_out is not None:
+        write_timeseries(
+            merge_samples([("fleet", aggregator.recorder)]),
+            timeseries_out,
+        )
     return FleetReport(deterministic=deterministic, measured=measured)
 
 

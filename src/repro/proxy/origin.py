@@ -21,6 +21,8 @@ from repro.httpnet.message import (
     HttpResponse,
     format_http_date,
 )
+from repro.obs import Obs
+from repro.obs.telemetry import TraceContext, extract_trace_context
 
 __all__ = ["SyntheticSite", "OriginServer"]
 
@@ -88,9 +90,11 @@ class OriginServer:
         host: str = "127.0.0.1",
         port: int = 0,
         timeout: float = 5.0,
+        obs: Optional[Obs] = None,
     ) -> None:
         self.site = site if site is not None else SyntheticSite()
         self.timeout = timeout
+        self.obs = obs if obs is not None else Obs()
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -152,7 +156,27 @@ class OriginServer:
 
     def respond(self, request: HttpRequest) -> HttpResponse:
         """Build the response for a parsed request (also used directly by
-        unit tests, no sockets involved)."""
+        unit tests, no sockets involved).
+
+        When the request carries an ``X-Trace-Context`` stamped by an
+        upstream proxy, the origin's span joins that trace — the last
+        hop of a request's router → shard → origin path.
+        """
+        obs = getattr(self, "obs", None)
+        if obs is None:  # partially-constructed instances (tests)
+            return self._respond(request)
+        inbound = extract_trace_context(request.headers)
+        ctx = inbound.child() if inbound is not None else TraceContext.root()
+        with obs.span(
+            "origin.respond",
+            url=request.url,
+            trace_id=ctx.trace_id,
+            ctx=ctx.span_id,
+            parent_ctx=inbound.span_id if inbound is not None else None,
+        ):
+            return self._respond(request)
+
+    def _respond(self, request: HttpRequest) -> HttpResponse:
         path = request.url
         if path.startswith("http://"):
             path = "/" + path.split("/", 3)[-1]

@@ -194,6 +194,24 @@ class AdmissionController:
         """The ``Retry-After`` hint, deepening with saturation."""
         return self.policy.retry_after * (2 ** self.mode_index())
 
+    def snapshot(self) -> Dict[str, object]:
+        """The controller's current state *without* flushing anything —
+        telemetry payloads read this; metrics scrapes (which own the
+        degraded-seconds counters) use :meth:`flush_mode_seconds`."""
+        with self._lock:
+            now = self._clock()
+            mode_seconds = dict(self._mode_seconds)
+            mode_seconds[self._mode] += now - self._mode_since
+            return {
+                "mode": self._mode,
+                "inflight": self._inflight,
+                "shed": self._shed,
+                "mode_seconds": {
+                    mode: round(seconds, 6)
+                    for mode, seconds in mode_seconds.items()
+                },
+            }
+
     def flush_mode_seconds(self) -> Dict[str, float]:
         """Seconds accumulated per mode since the last flush (the
         current mode's open interval included).  Metrics scrapes add

@@ -40,6 +40,12 @@ from repro.httpnet.message import (
 )
 from repro.obs import Obs
 from repro.obs.catalog import fleet_metrics
+from repro.obs.telemetry import (
+    TRACE_ID_HEADER,
+    TraceContext,
+    extract_trace_context,
+    set_trace_header,
+)
 from repro.proxy.overload import AdmissionController, OverloadPolicy
 from repro.proxy.server import METRICS_PATH, _EXPOSITION_CONTENT_TYPE
 from repro.retry import DEADLINE_HEADER, Deadline
@@ -50,10 +56,18 @@ __all__ = [
     "StaticDirectory",
     "FleetRouter",
     "STATUS_PATH",
+    "TELEMETRY_PATH",
+    "DASHBOARD_PATH",
 ]
 
 #: Local router path answering a JSON fleet-status document.
 STATUS_PATH = "/fleet/status"
+
+#: Local router path answering the aggregated fleet telemetry document.
+TELEMETRY_PATH = "/fleet/telemetry"
+
+#: Local router path answering the self-contained HTML dashboard.
+DASHBOARD_PATH = "/fleet/dashboard"
 
 
 def rendezvous_score(url: str, shard_id: int) -> int:
@@ -127,6 +141,12 @@ class FleetRouter:
         max_clients: worker threads in the bounded handler pool.
         status: optional callable returning the fleet-status dict served
             at ``/fleet/status`` (the supervisor provides one).
+        telemetry: optional callable returning the aggregated telemetry
+            document served at ``/fleet/telemetry`` (the
+            :class:`~repro.obs.telemetry.TelemetryAggregator` provides
+            one).
+        dashboard: optional callable returning the HTML dashboard page
+            served at ``/fleet/dashboard``.
     """
 
     def __init__(
@@ -140,6 +160,8 @@ class FleetRouter:
         max_clients: int = 16,
         obs: Optional[Obs] = None,
         status: Optional[Callable[[], dict]] = None,
+        telemetry: Optional[Callable[[], dict]] = None,
+        dashboard: Optional[Callable[[], str]] = None,
     ) -> None:
         self.directory = directory
         self.shard_timeout = shard_timeout
@@ -148,6 +170,8 @@ class FleetRouter:
         self.m = fleet_metrics(self.obs.registry)
         self._channel = self.obs.channel("fleet")
         self.status = status
+        self.telemetry = telemetry
+        self.dashboard = dashboard
         self.max_clients = max(1, max_clients)
         self.admission = AdmissionController(overload)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -257,12 +281,36 @@ class FleetRouter:
             return self._metrics_response()
         if request.method == "GET" and request.url == STATUS_PATH:
             return self._status_response()
+        if request.method == "GET" and request.url == TELEMETRY_PATH:
+            return self._telemetry_response()
+        if request.method == "GET" and request.url == DASHBOARD_PATH:
+            return self._dashboard_response()
+        # Trace propagation: continue the client's trace if it sent a
+        # well-formed X-Trace-Context, otherwise this hop is the root.
+        # A malformed header parses to None — never an error response.
+        inbound = extract_trace_context(request.headers)
+        ctx = inbound.child() if inbound is not None else TraceContext.root()
         started = _time.perf_counter()
-        response = self._route_with_failover(request)
-        self.m.request_seconds.observe(_time.perf_counter() - started)
+        with self.obs.span(
+            "fleet.route",
+            url=request.url,
+            trace_id=ctx.trace_id,
+            ctx=ctx.span_id,
+            parent_ctx=inbound.span_id if inbound is not None else None,
+        ) as span:
+            response = self._route_with_failover(request, ctx, span)
+        self.m.request_seconds.observe(
+            _time.perf_counter() - started, exemplar=ctx.trace_id,
+        )
+        response.headers.setdefault(TRACE_ID_HEADER, ctx.trace_id)
         return response
 
-    def _route_with_failover(self, request: HttpRequest) -> HttpResponse:
+    def _route_with_failover(
+        self,
+        request: HttpRequest,
+        ctx: TraceContext,
+        span=None,
+    ) -> HttpResponse:
         deadline = self._deadline_for(request)
         ranked = rendezvous_rank(request.url, self.directory.ids())
         attempted = 0
@@ -272,6 +320,8 @@ class FleetRouter:
                 continue  # not live right now: next preference
             if deadline.expired():
                 self.m.requests.labels(outcome="failed").inc()
+                if span is not None:
+                    span.event("deadline_exhausted", shard=shard_id)
                 return _error_response(503, "deadline_exhausted")
             forwarded = HttpRequest(
                 method=request.method,
@@ -279,6 +329,7 @@ class FleetRouter:
                 headers=dict(request.headers),
             )
             forwarded.headers[DEADLINE_HEADER] = deadline.header_value()
+            set_trace_header(forwarded.headers, ctx)
             timeout = min(self.shard_timeout, max(0.05, deadline.remaining()))
             try:
                 response = _client_request(
@@ -294,16 +345,25 @@ class FleetRouter:
                     "route.failover", shard=shard_id, rank=rank,
                     url=request.url, error=str(error),
                 )
+                if span is not None:
+                    span.event(
+                        "failover", shard=shard_id, rank=rank,
+                        error=str(error),
+                    )
                 continue
             if rank > 0 or attempted > 0:
                 self.m.failover.inc()
             if response.status == 503:
                 self.m.shed.labels(tier="shard").inc()
                 self.m.requests.labels(outcome="shed").inc()
+                if span is not None:
+                    span.event("shed", tier="shard", shard=shard_id)
             else:
                 self.m.requests.labels(outcome="routed").inc()
             return response
         self.m.requests.labels(outcome="failed").inc()
+        if span is not None:
+            span.event("no_live_shard")
         return _error_response(
             503, "no_live_shard", retry_after=1.0,
         )
@@ -337,6 +397,26 @@ class FleetRouter:
             status=200,
             headers={"Content-Type": "application/json"},
             body=json.dumps(status, sort_keys=True).encode("utf-8"),
+        )
+
+    def _telemetry_response(self) -> HttpResponse:
+        if self.telemetry is None:
+            return _error_response(404, "telemetry_not_configured")
+        return HttpResponse(
+            status=200,
+            headers={"Content-Type": "application/json"},
+            body=json.dumps(
+                self.telemetry(), sort_keys=True,
+            ).encode("utf-8"),
+        )
+
+    def _dashboard_response(self) -> HttpResponse:
+        if self.dashboard is None:
+            return _error_response(404, "dashboard_not_configured")
+        return HttpResponse(
+            status=200,
+            headers={"Content-Type": "text/html; charset=utf-8"},
+            body=self.dashboard().encode("utf-8"),
         )
 
 

@@ -51,6 +51,12 @@ from repro.httpnet.message import (
 )
 from repro.obs import Obs
 from repro.obs.catalog import proxy_metrics
+from repro.obs.telemetry import (
+    TRACE_ID_HEADER,
+    TraceContext,
+    extract_trace_context,
+    set_trace_header,
+)
 from repro.proxy.consistency import ConsistencyEstimator, Freshness
 from repro.proxy.overload import AdmissionController, OverloadPolicy
 from repro.proxy.store import CachedDocument, ProxyStore
@@ -249,6 +255,9 @@ class CachingProxy:
         #: the trace format the simulator consumes.
         self.access_log = access_log
         self._log_lock = threading.Lock()
+        #: Per-worker-thread trace context of the request in flight, so
+        #: origin fetches deep in the call stack can continue the trace.
+        self._trace_local = threading.local()
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -412,11 +421,30 @@ class CachingProxy:
         if request.method == "GET" and request.url == METRICS_PATH:
             return self._metrics_response()
         self.stats.inc("requests")
+        # Trace propagation: continue the router's trace when the
+        # request carries a well-formed X-Trace-Context; anything
+        # malformed or absent starts a fresh root — never an error.
+        inbound = extract_trace_context(request.headers)
+        ctx = inbound.child() if inbound is not None else TraceContext.root()
         try:
-            response = self._dispatch(request)
+            with self.obs.span(
+                "proxy.request",
+                url=request.url,
+                trace_id=ctx.trace_id,
+                ctx=ctx.span_id,
+                parent_ctx=inbound.span_id if inbound is not None else None,
+            ) as span:
+                self._trace_local.ctx = ctx
+                self._trace_local.span = span
+                try:
+                    response = self._dispatch(request)
+                finally:
+                    self._trace_local.ctx = None
+                    self._trace_local.span = None
         except Exception:
             self.stats.inc("errors")
             response = self._error_response(502, "internal_error")
+        response.headers.setdefault(TRACE_ID_HEADER, ctx.trace_id)
         self._log_access(request, response, client)
         return response
 
@@ -473,6 +501,9 @@ class CachingProxy:
     def _shed_degraded(self) -> HttpResponse:
         """Refuse origin-bound work while on the degraded ladder."""
         self.stats.m.shed.labels(reason="degraded").inc()
+        span = getattr(self._trace_local, "span", None)
+        if span is not None:
+            span.event("shed", reason="degraded", mode=self.admission.mode)
         return self._error_response(
             503, "degraded",
             retry_after=self.admission.retry_after_seconds(),
@@ -703,45 +734,70 @@ class CachingProxy:
                 retry_after=breaker.retry_after(now),
             )
         policy = self.retry_policy
+        # Continue the in-flight request's trace toward the origin (or
+        # start one: direct callers without a handler context get a
+        # fresh root), and stamp the outbound request so an
+        # instrumented origin can join the same tree.
+        parent = getattr(self._trace_local, "ctx", None)
+        fetch_ctx = (
+            parent.child() if parent is not None else TraceContext.root()
+        )
+        set_trace_header(request.headers, fetch_ctx)
         fetch_start = _time.perf_counter()
-        for retry_index in range(policy.attempts):
-            attempt_timeout = self.timeout
-            if deadline is not None:
-                remaining = deadline.remaining()
-                if remaining <= 0:
-                    raise self._deadline_exhausted(host, request.url)
-                attempt_timeout = min(attempt_timeout, remaining)
-            try:
-                response = self._fetch_once(request, host, attempt_timeout)
-            except (OSError, HttpMessageError) as error:
-                if retry_index >= policy.max_retries:
-                    breaker.record_failure(self._clock())
-                    self.stats.m.origin_fetch_seconds.observe(
-                        _time.perf_counter() - fetch_start
+        with self.obs.span(
+            "proxy.origin_fetch",
+            url=request.url,
+            trace_id=fetch_ctx.trace_id,
+            ctx=fetch_ctx.span_id,
+            parent_ctx=parent.span_id if parent is not None else None,
+        ) as span:
+            for retry_index in range(policy.attempts):
+                attempt_timeout = self.timeout
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining <= 0:
+                        raise self._deadline_exhausted(host, request.url)
+                    attempt_timeout = min(attempt_timeout, remaining)
+                try:
+                    response = self._fetch_once(
+                        request, host, attempt_timeout,
                     )
+                except (OSError, HttpMessageError) as error:
+                    if retry_index >= policy.max_retries:
+                        breaker.record_failure(self._clock())
+                        self.stats.m.origin_fetch_seconds.observe(
+                            _time.perf_counter() - fetch_start,
+                            exemplar=fetch_ctx.trace_id,
+                        )
+                        self._channel.warning(
+                            "origin.failed", host=host, url=request.url,
+                            attempts=policy.attempts, error=str(error),
+                        )
+                        raise OriginError(
+                            f"origin fetch failed after {policy.attempts} "
+                            f"attempt(s): {error}"
+                        ) from error
+                    delay = policy.delay(retry_index, self._retry_rng)
+                    if deadline is not None and delay >= deadline.remaining():
+                        raise self._deadline_exhausted(host, request.url)
+                    self.stats.inc("retries")
                     self._channel.warning(
-                        "origin.failed", host=host, url=request.url,
-                        attempts=policy.attempts, error=str(error),
+                        "origin.retry", host=host, url=request.url,
+                        attempt=retry_index + 1, error=str(error),
                     )
-                    raise OriginError(
-                        f"origin fetch failed after {policy.attempts} "
-                        f"attempt(s): {error}"
-                    ) from error
-                delay = policy.delay(retry_index, self._retry_rng)
-                if deadline is not None and delay >= deadline.remaining():
-                    raise self._deadline_exhausted(host, request.url)
-                self.stats.inc("retries")
-                self._channel.warning(
-                    "origin.retry", host=host, url=request.url,
-                    attempt=retry_index + 1, error=str(error),
-                )
-                self._sleep(delay)
-            else:
-                breaker.record_success()
-                self.stats.m.origin_fetch_seconds.observe(
-                    _time.perf_counter() - fetch_start
-                )
-                return response
+                    if span is not None:
+                        span.event(
+                            "retry", attempt=retry_index + 1,
+                            error=str(error),
+                        )
+                    self._sleep(delay)
+                else:
+                    breaker.record_success()
+                    self.stats.m.origin_fetch_seconds.observe(
+                        _time.perf_counter() - fetch_start,
+                        exemplar=fetch_ctx.trace_id,
+                    )
+                    return response
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _fetch_once(

@@ -145,3 +145,31 @@ class TestFleetChaosAcceptance:
         for report in chaos_runs:
             rules = report.deterministic["plan"]["rules"]
             assert any(rule["kind"] == "kill_shard" for rule in rules)
+
+    def test_telemetry_collected_and_config_deterministic(self, chaos_runs):
+        """The aggregator ran at least one round; the SLO configuration
+        and rollup family names land in the deterministic section (so
+        the byte-identity test above covers them), while the measured
+        telemetry document carries the live rollups."""
+        for report in chaos_runs:
+            assert report.deterministic["invariants"]["telemetry_collected"]
+            config = report.deterministic["telemetry"]
+            assert [s["name"] for s in config["slo"]["specs"]] == [
+                "availability", "latency_p95", "hit_ratio_floor",
+            ]
+            assert all(
+                name.startswith("repro_fleet_")
+                for name in config["rollup_families"]
+            )
+            doc = report.measured["telemetry"]
+            assert doc["rounds"] >= 1
+            assert set(doc["shards"]) == {"0", "1", "2", "3"}
+            assert "objectives" in doc["slo"]
+
+    def test_status_reports_per_shard_scrape_freshness(self, chaos_runs):
+        for report in chaos_runs:
+            for shard in report.measured["status"]["shards"]:
+                telemetry = shard["telemetry"]
+                assert "last_scrape_age_s" in telemetry
+                assert "consecutive_scrape_failures" in telemetry
+                assert telemetry["stale"] in (True, False)

@@ -155,3 +155,79 @@ class TestSerialisation:
             return json.dumps(log.to_dicts(), sort_keys=True)
 
         assert run() == run()
+
+
+class TestTailEvents:
+    def _write(self, path, records):
+        with path.open("a", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def test_reads_filters_and_counts(self, tmp_path):
+        from repro.obs.events import tail_events
+
+        path = tmp_path / "events.jsonl"
+        self._write(path, [
+            {"seq": 1, "channel": "fleet", "level": "info", "event": "a"},
+            {"seq": 2, "channel": "slo", "level": "warning", "event": "b"},
+            {"seq": 3, "channel": "fleet", "level": "debug", "event": "c"},
+        ])
+        out = io.StringIO()
+        written = tail_events(
+            path, channel="fleet", level="info", out=out,
+        )
+        assert written == 1
+        assert json.loads(out.getvalue())["event"] == "a"
+
+    def test_partial_trailing_line_is_buffered(self, tmp_path):
+        from repro.obs.events import tail_events
+
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"seq": 1, "channel": "x", "level": "info", "event": "whole"}'
+            '\n{"seq": 2, "torn',
+            encoding="utf-8",
+        )
+        out = io.StringIO()
+        assert tail_events(path, out=out) == 1
+
+    def test_follow_picks_up_appended_events(self, tmp_path):
+        import threading
+
+        from repro.obs.events import tail_events
+
+        path = tmp_path / "events.jsonl"
+        self._write(path, [
+            {"seq": 1, "channel": "fleet", "level": "info", "event": "a"},
+        ])
+        out = io.StringIO()
+        stop = threading.Event()
+        results = {}
+
+        def run():
+            results["written"] = tail_events(
+                path, follow=True, poll_interval=0.01, out=out, stop=stop,
+            )
+
+        tailer = threading.Thread(target=run)
+        tailer.start()
+        deadline = 50
+        while "a" not in out.getvalue() and deadline:
+            deadline -= 1
+            stop.wait(0.02)
+        self._write(path, [
+            {"seq": 2, "channel": "fleet", "level": "info", "event": "b"},
+        ])
+        deadline = 50
+        while "b" not in out.getvalue() and deadline:
+            deadline -= 1
+            stop.wait(0.02)
+        stop.set()
+        tailer.join(timeout=2.0)
+        assert results["written"] == 2
+
+    def test_missing_file_raises_unless_following(self, tmp_path):
+        from repro.obs.events import tail_events
+
+        with pytest.raises(FileNotFoundError):
+            tail_events(tmp_path / "gone.jsonl")

@@ -111,6 +111,62 @@ class TestAbsorb:
         assert spans["w.outer"]["parent"] is None
 
 
+class TestSpanEvents:
+    def test_events_recorded_with_fields(self):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("fleet.route") as handle:
+            handle.event("failover", shard=2, rank=1)
+            handle.event("shed", tier="router")
+        (span,) = tracer.spans()
+        names = [event["name"] for event in span["events"]]
+        assert names == ["failover", "shed"]
+        assert span["events"][0]["shard"] == 2
+
+    def test_events_become_instant_trace_events(self):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("fleet.route") as handle:
+            handle.event("failover", shard=2)
+        trace = tracer.to_chrome_trace()
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "fleet.route.failover"
+        assert instants[0]["args"]["shard"] == 2
+
+    def test_spans_copies_are_isolated(self):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("x") as handle:
+            handle.event("e")
+        tracer.spans()[0]["events"].append({"name": "tampered"})
+        assert len(tracer.spans()[0]["events"]) == 1
+
+
+class TestMultiProcessEpochs:
+    def test_three_shard_exports_each_get_own_epoch(self):
+        """Absorbing three concurrent shard tracers: every pid's first
+        span renders at ts 0 on its own process row, regardless of how
+        far apart the shards' monotonic clocks started."""
+        parent = Tracer(clock=fake_clock())
+        with parent.span("fleet.route"):
+            pass
+        base = os.getpid()
+        for offset, start in ((1, 50.0), (2, 500.0), (3, 5000.0)):
+            parent.absorb([{
+                "id": 1, "parent": None, "name": f"shard-{offset}.request",
+                "start": start, "end": start + 1.0, "args": {},
+                "pid": base + offset, "tid": 1,
+            }])
+        trace = parent.to_chrome_trace()
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert len(meta) == 4  # the parent plus three shard rows
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        by_pid = {}
+        for event in spans:
+            by_pid.setdefault(event["pid"], []).append(event)
+        assert len(by_pid) == 4
+        for events in by_pid.values():
+            assert min(e["ts"] for e in events) == 0.0
+
+
 class TestChromeTrace:
     def test_export_shape(self):
         tracer = Tracer(clock=fake_clock(start=100.0))

@@ -193,3 +193,124 @@ class TestBenchCommand:
         err = capsys.readouterr().err
         assert err.startswith("bench: cannot read")
         assert len(err.strip().splitlines()) == 1
+
+    def test_list_validates_committed_results(self, capsys):
+        """Every committed BENCH_*.json loads and reports OK — the
+        naming-drift guard (the gate writes BENCH_sweep.json; any file
+        matching the pattern must stay schema-readable)."""
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_sweep.json" in out
+        assert "OK" in out
+        assert "INVALID" not in out
+
+    def test_list_flags_an_invalid_payload(self, tmp_path, capsys):
+        (tmp_path / "BENCH_corrupt.json").write_text(
+            "{broken", encoding="utf-8",
+        )
+        assert main([
+            "bench", "--list", "--results-dir", str(tmp_path),
+        ]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_list_of_empty_directory_hints_and_passes(self, tmp_path, capsys):
+        assert main([
+            "bench", "--list", "--results-dir", str(tmp_path),
+        ]) == 0
+        assert "none" in capsys.readouterr().out
+
+
+class TestObsTailCommand:
+    def _write_events(self, path):
+        log = EventLog(level="debug")
+        log.emit("fleet", "info", "shard.up", shard=0)
+        log.emit("slo", "warning", "slo.burn", slo="availability")
+        log.emit("fleet", "debug", "scrape.ok", shard=1)
+        log.write_jsonl(path)
+
+    def test_tail_prints_every_event(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        self._write_events(path)
+        assert main(["obs", "tail", str(path)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert all(json.loads(line)["seq"] for line in lines)
+
+    def test_channel_and_level_filters(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        self._write_events(path)
+        assert main([
+            "obs", "tail", str(path), "--channel", "fleet",
+            "--level", "info",
+        ]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["event"] == "shard.up"
+
+    def test_missing_file_is_one_line_error(self, tmp_path, capsys):
+        assert main(["obs", "tail", str(tmp_path / "gone.jsonl")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("obs tail:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_corrupt_lines_are_skipped_not_fatal(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"seq": 1, "channel": "fleet", "level": "info", '
+            '"event": "ok"}\nnot json\n[1, 2]\n',
+            encoding="utf-8",
+        )
+        assert main(["obs", "tail", str(path)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1
+
+
+class TestFleetTelemetryCommand:
+    def _doc(self):
+        return {
+            "rounds": 3,
+            "fleet": {
+                "requests": 120, "hit_ratio_pct": 33.5,
+                "weighted_hit_ratio_pct": 28.1,
+                "latency": {"p50_s": 0.02, "p95_s": 0.4, "p99_s": 1.1},
+                "degraded_seconds": {}, "alerts": [],
+            },
+            "shards": {
+                "0": {"occupancy_ratio": 0.5, "last_scrape_age_s": 0.2,
+                      "consecutive_scrape_failures": 0, "stale": False},
+            },
+            "slo": {"objectives": [], "alerts": []},
+        }
+
+    def test_renders_a_saved_document(self, tmp_path, capsys):
+        path = tmp_path / "telemetry.json"
+        path.write_text(json.dumps(self._doc()), encoding="utf-8")
+        assert main(["fleet", "telemetry", "--from", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet rollup" in out
+        assert "33.50" in out
+
+    def test_json_mode_and_html_out(self, tmp_path, capsys):
+        path = tmp_path / "telemetry.json"
+        path.write_text(json.dumps(self._doc()), encoding="utf-8")
+        html = tmp_path / "dash.html"
+        assert main([
+            "fleet", "telemetry", "--from", str(path),
+            "--json", "--html-out", str(html),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out[:out.rindex("}") + 1])["rounds"] == 3
+        assert html.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")
+
+    def test_missing_document_is_one_line_error(self, tmp_path, capsys):
+        assert main([
+            "fleet", "telemetry", "--from", str(tmp_path / "gone.json"),
+        ]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("fleet telemetry:")
+
+    def test_unreachable_router_is_an_error_not_a_traceback(self, capsys):
+        assert main([
+            "fleet", "telemetry", "--router", "127.0.0.1:1",
+        ]) == 1
+        assert capsys.readouterr().err.startswith("fleet telemetry:")
